@@ -1,0 +1,44 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each figure benchmark regenerates the paper artifact's data series at the
+scale selected by ``REPRO_SCALE`` (default: ``default``; set
+``REPRO_FULL=1`` for the paper's exact seeds and run sizes) and prints
+the same rows the paper plots.  Timings reported by pytest-benchmark are
+the cost of regenerating each artifact.
+
+Sweeps shared between figures (4a/4b/4c; 5b/5c/5d) are cached within the
+session, so the first benchmark of a group pays for the sweep and the
+rest are table lookups.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.report import render_figure
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale.from_env()
+
+
+@pytest.fixture
+def show():
+    """Print a figure's series so the run log doubles as the report."""
+
+    def _show(result):
+        print()
+        print(render_figure(result))
+
+    return _show
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an expensive experiment exactly once."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""Extension: decision-point workloads (paper future work).
+
+The paper's simulations never exercise ``conditionally unsafe`` /
+``conditionally conflict``; this benchmark does, running tree-program
+workloads with runtime-resolved decision points under the full
+pre-analysis machinery (TreeOracle over a precomputed RelationTable).
+"""
+
+from repro.core.oracle import TreeOracle
+from repro.core.policy import CCAPolicy, EDFPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.experiments.config import DISK_BASE, MAIN_MEMORY_BASE
+from repro.metrics.summary import summarize
+from repro.workload.programs import TreeWorkloadGenerator
+
+from benchmarks.conftest import run_once
+
+
+def compare_on_trees(config, seeds):
+    per_policy = {"EDF-HP": [], "CCA": []}
+    for seed in seeds:
+        table, specs = TreeWorkloadGenerator(config, seed).generate()
+        oracle = TreeOracle(table)
+        for name, policy in (("EDF-HP", EDFPolicy()), ("CCA", CCAPolicy(1.0))):
+            result = RTDBSimulator(config, specs, policy, oracle=oracle).run()
+            per_policy[name].append(result)
+    return {name: summarize(runs) for name, runs in per_policy.items()}
+
+
+def print_rows(title, summaries):
+    print(f"\n== extension: {title} ==")
+    for name, s in summaries.items():
+        print(
+            f"{name:8s} miss%={s.miss_percent.mean:6.2f} "
+            f"lateness={s.mean_lateness.mean:8.2f} "
+            f"restarts/tr={s.restarts_per_transaction.mean:6.3f}"
+        )
+
+
+def test_tree_programs_main_memory(benchmark, scale):
+    config = scale.scale_config(MAIN_MEMORY_BASE.replace(arrival_rate=8.0))
+    seeds = scale.seeds_for(config)[:5]
+    summaries = run_once(benchmark, compare_on_trees, config, seeds)
+    print_rows("tree programs, main memory, 8 tr/s", summaries)
+    assert (
+        summaries["CCA"].restarts_per_transaction.mean
+        <= summaries["EDF-HP"].restarts_per_transaction.mean + 0.05
+    )
+
+
+def test_tree_programs_disk(benchmark, scale):
+    config = scale.scale_config(DISK_BASE.replace(arrival_rate=5.0))
+    seeds = scale.seeds_for(config)[:5]
+    summaries = run_once(benchmark, compare_on_trees, config, seeds)
+    print_rows("tree programs, disk resident, 5 tr/s", summaries)
+    assert (
+        summaries["CCA"].restarts_per_transaction.mean
+        <= summaries["EDF-HP"].restarts_per_transaction.mean + 0.05
+    )

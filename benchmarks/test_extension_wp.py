@@ -1,0 +1,77 @@
+"""Extension: the abort/wait spectrum (paper Sections 3.2 and 6).
+
+"EDF-HP and Priority Ceiling Protocol are the extreme methods that use
+abort and wait respectively" — CCA sits in between, choosing per
+transaction.  This benchmark runs the whole spectrum on paired
+workloads: EDF-HP (pure abort), EDF-WP (wait + priority inheritance),
+EDF-Wait (CCA's w→∞ limit), and CCA (w = 1).
+
+Expected story: EDF-HP restarts the most; EDF-WP (almost) never restarts
+but pays in waiting (lateness) and suffers broken deadlocks; CCA takes
+the best of both.
+"""
+
+from repro.core.policy import CCAPolicy, EDFPolicy, EDFWaitPolicy, EDFWPPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.experiments.config import MAIN_MEMORY_BASE
+from repro.metrics.summary import summarize
+from repro.workload.generator import generate_workload
+
+from benchmarks.conftest import run_once
+
+
+def run_spectrum(scale):
+    config = scale.scale_config(MAIN_MEMORY_BASE.replace(arrival_rate=8.0))
+    seeds = scale.seeds_for(config)
+    factories = {
+        "EDF-HP": EDFPolicy,
+        "EDF-WP": EDFWPPolicy,
+        "EDF-Wait": EDFWaitPolicy,
+        "CCA": lambda: CCAPolicy(1.0),
+    }
+    deadlock_breaks = dict.fromkeys(factories, 0)
+    runs = {name: [] for name in factories}
+    for seed in seeds:
+        workload = generate_workload(config, seed)
+        for name, factory in factories.items():
+            events = []
+            result = RTDBSimulator(
+                config,
+                workload,
+                factory(),
+                trace=lambda event, **kw: events.append(event),
+            ).run()
+            runs[name].append(result)
+            deadlock_breaks[name] += events.count("deadlock_break")
+    summaries = {name: summarize(results) for name, results in runs.items()}
+    return summaries, deadlock_breaks
+
+
+def test_abort_wait_spectrum(benchmark, scale):
+    summaries, deadlock_breaks = run_once(benchmark, run_spectrum, scale)
+    print("\n== extension: the abort/wait spectrum (8 tr/s) ==")
+    print(
+        f"{'scheme':>9s} {'miss %':>7s} {'lateness':>9s} "
+        f"{'restarts/tr':>12s} {'deadlocks':>10s}"
+    )
+    for name, summary in summaries.items():
+        print(
+            f"{name:>9s} {summary.miss_percent.mean:7.2f} "
+            f"{summary.mean_lateness.mean:9.2f} "
+            f"{summary.restarts_per_transaction.mean:12.3f} "
+            f"{deadlock_breaks[name]:10d}"
+        )
+    # The abort extreme restarts the most; the wait schemes the least.
+    assert (
+        summaries["EDF-WP"].restarts_per_transaction.mean
+        < summaries["EDF-HP"].restarts_per_transaction.mean
+    )
+    # Only the wait-promote scheme can deadlock (paper Section 3.2).
+    assert deadlock_breaks["EDF-HP"] == 0
+    assert deadlock_breaks["CCA"] == 0
+    assert deadlock_breaks["EDF-Wait"] == 0
+    # CCA beats the pure-abort extreme on misses.
+    assert (
+        summaries["CCA"].miss_percent.mean
+        <= summaries["EDF-HP"].miss_percent.mean + 0.5
+    )

@@ -1,0 +1,90 @@
+"""Microbenchmarks of the substrates.
+
+These are conventional pytest-benchmark measurements (many rounds): the
+event-loop throughput of the simulation kernel, the cost of one penalty
+computation, the cost of a full relation-table precompute, and the
+end-to-end cost of a single paper-scale simulation run.
+"""
+
+from repro.config import SimulationConfig
+from repro.core.oracle import SetOracle
+from repro.core.penalty import penalty_of_conflict
+from repro.core.policy import CCAPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.rtdb.recovery import FixedRecovery
+from repro.rtdb.transaction import Transaction
+from repro.sim.engine import Simulator
+from repro.analysis.table import RelationTable
+from repro.analysis.tree import TransactionTree
+from repro.workload.generator import generate_workload
+from repro.workload.programs import TreeWorkloadGenerator
+
+from tests.conftest import make_spec
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-fire cost of the kernel (10k chained events)."""
+
+    def run_chain():
+        sim = Simulator()
+        remaining = [10_000]
+
+        def tick(event):
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_chain)
+    assert events == 10_000
+
+
+def test_penalty_computation(benchmark):
+    """One penalty evaluation against a 10-member P-list."""
+    oracle = SetOracle()
+    recovery = FixedRecovery(4.0)
+    candidate = Transaction(make_spec(0, list(range(20))))
+    plist = []
+    for tid in range(1, 11):
+        tx = Transaction(make_spec(tid, [tid, 100 + tid]))
+        tx.record_access(tid)
+        tx.service_received = 40.0
+        plist.append(tx)
+
+    result = benchmark(
+        penalty_of_conflict, candidate, plist, oracle, recovery, True
+    )
+    assert result > 0
+
+
+def test_relation_table_precompute(benchmark):
+    """Pre-analysis cost for 20 tree programs (start-up, not runtime)."""
+    config = SimulationConfig(
+        n_transaction_types=20, db_size=200, n_transactions=50
+    )
+    programs = TreeWorkloadGenerator(config, seed=3).make_programs()
+    trees = [TransactionTree(p) for p in programs]
+
+    def precompute():
+        table = RelationTable(trees)
+        table.precompute()
+        return table
+
+    table = benchmark(precompute)
+    assert len(table.programs) == 20
+
+
+def test_single_simulation_run(benchmark):
+    """End-to-end cost of one paper-scale main-memory run (1000
+    transactions, 8 tr/s, CCA)."""
+    config = SimulationConfig(arrival_rate=8.0, n_transactions=1000, db_size=300)
+    workload = generate_workload(config, seed=1)
+
+    def run():
+        return RTDBSimulator(config, workload, CCAPolicy(1.0)).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.n_committed == 1000

@@ -1,0 +1,55 @@
+"""Regenerate the in-text numbers around Tables 1 and 2.
+
+The paper quotes, beyond the figures: the average number of partially
+executed transactions ("1 to 2" in both configurations, so CCA's
+scheduling overhead is no problem) and the disk utilization staying below
+the 62.5% compatible-schedule maximum for arrival rates 1..7.
+"""
+
+from repro.experiments.config import DISK_BASE, MAIN_MEMORY_BASE
+from repro.experiments.runner import compare_policies
+
+from benchmarks.conftest import run_once
+
+
+def print_summaries(title, summaries):
+    print(f"\n== {title} ==")
+    header = (
+        f"{'policy':10s} {'miss%':>8s} {'lateness':>10s} {'restarts/tr':>12s} "
+        f"{'plist':>6s} {'cpu':>5s} {'disk':>5s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, s in summaries.items():
+        print(
+            f"{name:10s} {s.miss_percent.mean:8.2f} {s.mean_lateness.mean:10.2f} "
+            f"{s.restarts_per_transaction.mean:12.3f} {s.mean_plist_size.mean:6.2f} "
+            f"{s.cpu_utilization.mean:5.2f} {s.disk_utilization.mean:5.2f}"
+        )
+
+
+def test_table1_base_parameters_main_memory(benchmark, scale, show):
+    config = scale.scale_config(MAIN_MEMORY_BASE.replace(arrival_rate=8.0))
+    seeds = scale.seeds_for(config)
+    summaries = run_once(benchmark, compare_policies, config, seeds)
+    print_summaries("Table 1 base parameters at 8 tr/s (main memory)", summaries)
+    for name, summary in summaries.items():
+        # Paper: the P-list holds 1 to 2 transactions on average across
+        # 1..10 tr/s, so CCA's per-decision scan is cheap.
+        assert summary.mean_plist_size.mean < 4.0, name
+    assert (
+        summaries["CCA"].miss_percent.mean
+        <= summaries["EDF-HP"].miss_percent.mean + 1.0
+    )
+
+
+def test_table2_base_parameters_disk(benchmark, scale, show):
+    config = scale.scale_config(DISK_BASE.replace(arrival_rate=4.0))
+    seeds = scale.seeds_for(config)
+    summaries = run_once(benchmark, compare_policies, config, seeds)
+    print_summaries("Table 2 base parameters at 4 tr/s (disk resident)", summaries)
+    for name, summary in summaries.items():
+        assert summary.mean_plist_size.mean < 4.0, name
+        # Paper Section 5: utilization stays below the 62.5% maximum for
+        # compatible-only schedules within 1..7 tr/s.
+        assert summary.disk_utilization.mean < 0.625, name

@@ -1,0 +1,76 @@
+"""Surviving overload: firm deadlines, bursty load and three schedulers.
+
+A control-room scenario: the system is sized for ~7 transactions/second,
+but traffic arrives in bursts (3x the rate for a fifth of the time) and
+every transaction is *firm* — a result delivered after its deadline is
+worthless, so the system kills late transactions instead of finishing
+them ([Har91] semantics, ``config.firm_deadlines``).
+
+Three concurrency-control schemes ride the same workloads:
+
+* EDF-HP locking (the paper's baseline),
+* CCA locking (the paper's contribution),
+* broadcast-commit OCC (the related-work comparator).
+
+The metric that matters under firm semantics is the *drop* rate: the
+fraction of transactions the system had to kill.
+"""
+
+from repro import (
+    CCAPolicy,
+    EDFPolicy,
+    OCCSimulator,
+    RTDBSimulator,
+    SimulationConfig,
+    generate_workload,
+    mean_confidence_interval,
+)
+
+SEEDS = range(1, 9)
+
+
+def main() -> None:
+    config = SimulationConfig(
+        db_size=30,
+        abort_cost=4.0,
+        firm_deadlines=True,
+        arrival_model="bursty",
+        burst_factor=3.0,
+        burst_fraction=0.2,
+        arrival_rate=7.0,
+        n_transactions=500,
+    )
+
+    schemes = {
+        "EDF-HP": lambda wl: RTDBSimulator(config, wl, EDFPolicy()).run(),
+        "CCA": lambda wl: RTDBSimulator(config, wl, CCAPolicy(1.0)).run(),
+        "OCC": lambda wl: OCCSimulator(config, wl, EDFPolicy()).run(),
+    }
+
+    drops: dict[str, list[float]] = {name: [] for name in schemes}
+    restarts: dict[str, list[float]] = {name: [] for name in schemes}
+    for seed in SEEDS:
+        workload = generate_workload(config, seed)
+        for name, run in schemes.items():
+            result = run(workload)
+            drops[name].append(result.drop_percent)
+            restarts[name].append(result.restarts_per_transaction)
+
+    print(f"{'scheme':8s} {'drop % (95% CI)':>28s} {'restarts/tr':>12s}")
+    for name in schemes:
+        interval = mean_confidence_interval(drops[name])
+        mean_restarts = sum(restarts[name]) / len(restarts[name])
+        print(
+            f"{name:8s} {interval.mean:8.2f} "
+            f"[{interval.lower:6.2f}, {interval.upper:6.2f}]      "
+            f"{mean_restarts:12.3f}"
+        )
+    print(
+        "\nFirm semantics reward cost-consciousness the same way soft ones\n"
+        "do: CCA kills the fewest transactions because it wastes the least\n"
+        "work on executions that were doomed to be thrown away."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Tuning the penalty weight for a custom workload (Figure 5a/5f style).
+
+The paper's priority formula ``Pr(T) = -(deadline + w * penalty)`` has a
+single knob, w, and one of its selling points is that performance is
+*insensitive* to w over a wide range: w = 0 degenerates to EDF-HP and a
+huge w to EDF-Wait, but everything in between behaves similarly.
+
+This example sweeps w on a disk-resident workload and prints miss
+percent and restarts per transaction for each value, averaged over
+seeds — what an operator would run before deploying CCA on their own
+transaction mix.
+"""
+
+from repro import CCAPolicy, RTDBSimulator, SimulationConfig, generate_workload
+from repro.metrics.summary import summarize
+
+WEIGHTS = (0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0)
+SEEDS = range(1, 7)
+
+
+def main() -> None:
+    config = SimulationConfig(
+        disk_resident=True,
+        disk_access_time=25.0,
+        disk_access_prob=0.1,
+        abort_cost=5.0,
+        db_size=30,
+        arrival_rate=5.0,
+        n_transactions=300,
+    )
+
+    workloads = {seed: generate_workload(config, seed) for seed in SEEDS}
+
+    print(f"{'weight':>7s} {'miss %':>8s} {'lateness':>10s} {'restarts/tr':>12s}")
+    for weight in WEIGHTS:
+        runs = [
+            RTDBSimulator(config, workloads[seed], CCAPolicy(weight)).run()
+            for seed in SEEDS
+        ]
+        summary = summarize(runs)
+        print(
+            f"{weight:7.1f} {summary.miss_percent.mean:8.2f} "
+            f"{summary.mean_lateness.mean:10.2f} "
+            f"{summary.restarts_per_transaction.mean:12.3f}"
+        )
+    print(
+        "\nw = 0 reproduces EDF-HP's restart behaviour; any w >= 1 sits on"
+        "\nthe stable plateau the paper reports (Figures 5a and 5f)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: compare CCA against EDF-HP on the paper's base workload.
+
+Run with::
+
+    python examples/quickstart.py
+
+Generates one Table-1-style workload, replays it under both schedulers
+(the paired-comparison methodology of the paper), and prints the three
+metrics the paper reports: miss percent, mean lateness, and restarts per
+transaction.
+"""
+
+from repro import (
+    CCAPolicy,
+    EDFPolicy,
+    RTDBSimulator,
+    SimulationConfig,
+    generate_workload,
+    improvement_percent,
+)
+
+
+def main() -> None:
+    # Table 1 parameters, at 8 transactions/second (near the restart
+    # peak, where CCA's cost-consciousness matters most).
+    config = SimulationConfig(
+        arrival_rate=8.0,
+        n_transactions=1000,
+        db_size=30,
+        compute_per_update=4.0,
+        abort_cost=4.0,
+        penalty_weight=1.0,
+    )
+    workload = generate_workload(config, seed=1)
+
+    edf = RTDBSimulator(config, workload, EDFPolicy()).run()
+    cca = RTDBSimulator(config, workload, CCAPolicy(config.penalty_weight)).run()
+
+    print(f"{'':12s} {'miss %':>8s} {'lateness':>10s} {'restarts/tr':>12s}")
+    for result in (edf, cca):
+        print(
+            f"{result.policy_name:12s} {result.miss_percent:8.2f} "
+            f"{result.mean_lateness:10.2f} "
+            f"{result.restarts_per_transaction:12.3f}"
+        )
+    print()
+    print(
+        "CCA improvement: "
+        f"miss {improvement_percent(edf.miss_percent, cca.miss_percent):.1f} %, "
+        "lateness "
+        f"{improvement_percent(edf.mean_lateness, cca.mean_lateness):.1f} %"
+    )
+
+
+if __name__ == "__main__":
+    main()

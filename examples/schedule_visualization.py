@@ -1,0 +1,75 @@
+"""Visualizing schedules: why CCA wins, one Gantt chart at a time.
+
+Recreates the paper's motivating scenario (Section 3.2): a long
+transaction is nearly finished when a short, conflicting, earlier-
+deadline transaction arrives.  EDF-HP wounds the long one and throws
+away its work; CCA's penalty of conflict sees the cost and lets it
+finish first.  The :class:`repro.tracing.EventLog` renders both
+schedules as ASCII Gantt charts and dumps the raw event streams to
+JSONL for external tooling.
+"""
+
+from repro import EDFPolicy, CCAPolicy, RTDBSimulator, SimulationConfig
+from repro.rtdb.transaction import Operation, TransactionSpec
+from repro.tracing import EventLog
+
+
+def scenario():
+    """The paper's motivating example, concretely."""
+    long_tx = TransactionSpec(
+        tid=1,
+        type_id=0,
+        arrival_time=0.0,
+        deadline=2500.0,
+        operations=tuple(
+            Operation(item=item, compute_time=500.0) for item in (1, 2, 3, 4)
+        ),
+        program_name="long-report",
+    )
+    urgent = TransactionSpec(
+        tid=2,
+        type_id=1,
+        arrival_time=1800.0,  # the long one has 1800 of 2000 ms done
+        deadline=2200.0,
+        operations=(
+            Operation(item=1, compute_time=10.0),
+            Operation(item=9, compute_time=10.0),
+        ),
+        program_name="urgent-update",
+    )
+    return [long_tx, urgent]
+
+
+def show(policy) -> None:
+    config = SimulationConfig(db_size=30, abort_cost=4.0, n_transactions=2,
+                              arrival_rate=1.0)
+    log = EventLog()
+    result = RTDBSimulator(config, scenario(), policy, trace=log).run()
+    print(f"--- {result.policy_name} ---")
+    print(log.gantt(width=64))
+    for record in sorted(result.records, key=lambda r: r.tid):
+        status = "MISSED" if record.missed else "met"
+        print(
+            f"  tx{record.tid}: committed at {record.commit_time:7.1f} ms, "
+            f"deadline {record.deadline:7.1f} ms ({status}), "
+            f"{record.restarts} restart(s)"
+        )
+    path = log.to_jsonl(f"schedule_{result.policy_name.lower()}.jsonl")
+    print(f"  raw events -> {path}")
+    print()
+
+
+def main() -> None:
+    print(__doc__)
+    show(EDFPolicy())
+    show(CCAPolicy(1.0))
+    print(
+        "EDF-HP wounds the long transaction at t=1800 and re-runs all\n"
+        "2000 ms of it, missing its deadline; CCA prices that loss into\n"
+        "the urgent transaction's priority and runs it 200 ms later —\n"
+        "both deadlines met, zero restarts."
+    )
+
+
+if __name__ == "__main__":
+    main()

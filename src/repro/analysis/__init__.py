@@ -1,0 +1,49 @@
+"""Transaction pre-analysis (paper Section 3.2.2).
+
+The paper models every transaction program as a *transaction tree*: the
+root is the program entry, and each *decision point* (a conditional that
+commits the transaction to a subset of its data set) branches the tree.
+From per-node access sets the analysis derives, for every node ``P``:
+
+* ``hasaccessed(P)`` — items accessed on the path from the root to ``P``;
+* ``mightaccess(P)`` — items any continuation from ``P`` might access;
+* ``leaves(P)`` — the leaves reachable from ``P``.
+
+Those sets induce the ternary **conflict** relation (conflict /
+conditionally conflict / don't conflict) used by ``IOwait-schedule`` and
+the ternary **safety** relation (safe / conditionally unsafe / unsafe)
+used by the penalty-of-conflict computation.
+
+Modules:
+
+* :mod:`repro.analysis.program` — program representation and builders;
+* :mod:`repro.analysis.tree` — the analyzed transaction tree;
+* :mod:`repro.analysis.relations` — conflict and safety relations;
+* :mod:`repro.analysis.table` — precomputed pairwise relation tables.
+"""
+
+from repro.analysis.program import (
+    ProgramNode,
+    TransactionProgram,
+    linear_program,
+)
+from repro.analysis.relations import (
+    Conflict,
+    Safety,
+    conflict_between,
+    safety_of,
+)
+from repro.analysis.table import RelationTable
+from repro.analysis.tree import TransactionTree
+
+__all__ = [
+    "Conflict",
+    "ProgramNode",
+    "RelationTable",
+    "Safety",
+    "TransactionProgram",
+    "TransactionTree",
+    "conflict_between",
+    "linear_program",
+    "safety_of",
+]

@@ -1,0 +1,133 @@
+"""Transaction program representation.
+
+A transaction program is a loop-free program over database items.  The
+statements where the program commits itself to a subset of its data set
+(by executing a conditional) are its *decision points*.  Between decision
+points the program accesses a known set of items.
+
+We represent a program directly as the tree the paper derives from it:
+each :class:`ProgramNode` carries the set of items accessed after entering
+the node and before the next decision point; its children are the branches
+of that decision point.  A node with no children is a leaf — the program
+runs to commit without further decisions.
+
+Example — the paper's Figure 1/2 programs::
+
+    program_b = linear_program("B", [1, 2, 3])
+
+    program_a = TransactionProgram(
+        "A",
+        ProgramNode(
+            "A",
+            accesses=[0],                       # reads w
+            children=[
+                ProgramNode("Aa", accesses=[1, 2, 3]),   # w > 100
+                ProgramNode("Ab", accesses=[4, 5, 6]),   # w <= 100
+            ],
+        ),
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+
+class ProgramNode:
+    """One node of a transaction tree.
+
+    ``accesses`` is the set of items the transaction accesses between
+    entering this node and reaching its next decision point (paper:
+    ``accesses(T_P)``).  ``children`` are the outcomes of that decision
+    point; an empty list marks a leaf.
+    """
+
+    __slots__ = ("label", "accesses", "children", "parent")
+
+    def __init__(
+        self,
+        label: str,
+        accesses: Iterable[int] = (),
+        children: Optional[Sequence["ProgramNode"]] = None,
+    ) -> None:
+        self.label = label
+        self.accesses = frozenset(accesses)
+        self.children: tuple[ProgramNode, ...] = tuple(children or ())
+        self.parent: Optional[ProgramNode] = None
+        for child in self.children:
+            if child.parent is not None:
+                raise ValueError(
+                    f"node {child.label!r} already has a parent; programs are trees"
+                )
+            child.parent = self
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def walk(self) -> Iterator["ProgramNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"{len(self.children)} branches"
+        return f"ProgramNode({self.label!r}, {sorted(self.accesses)}, {kind})"
+
+
+class TransactionProgram:
+    """A named transaction program (the root of a transaction tree).
+
+    Validates the tree shape: labels must be unique (they identify nodes
+    in relation tables) and the structure must be a proper tree.
+    """
+
+    def __init__(self, name: str, root: ProgramNode) -> None:
+        if not name:
+            raise ValueError("program name must be non-empty")
+        self.name = name
+        self.root = root
+        self._nodes: dict[str, ProgramNode] = {}
+        for node in root.walk():
+            if node.label in self._nodes:
+                raise ValueError(f"duplicate node label {node.label!r} in {name!r}")
+            self._nodes[node.label] = node
+
+    def node(self, label: str) -> ProgramNode:
+        """Look up a node by label."""
+        try:
+            return self._nodes[label]
+        except KeyError:
+            raise KeyError(f"program {self.name!r} has no node {label!r}") from None
+
+    @property
+    def nodes(self) -> Iterator[ProgramNode]:
+        return iter(self._nodes.values())
+
+    @property
+    def data_set(self) -> frozenset[int]:
+        """Every item any execution of this program might access."""
+        items: set[int] = set()
+        for node in self.root.walk():
+            items |= node.accesses
+        return frozenset(items)
+
+    @property
+    def has_decision_points(self) -> bool:
+        return not self.root.is_leaf
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionProgram({self.name!r}, "
+            f"{len(self._nodes)} nodes, {len(self.data_set)} items)"
+        )
+
+
+def linear_program(name: str, items: Iterable[int]) -> TransactionProgram:
+    """A program with no decision points (a single-node tree).
+
+    This is the shape the paper's simulation workload uses: the full data
+    set is accessed unconditionally, so conflict and safety are exact.
+    """
+    return TransactionProgram(name, ProgramNode(name, accesses=items))

@@ -1,0 +1,112 @@
+"""Conflict and safety relations between analyzed transactions.
+
+Paper definitions (Section 3.2.2), for transaction ``T^N`` at node ``P``
+and transaction ``T^M`` at node ``Q``:
+
+Conflict (symmetric; drives ``IOwait-schedule``):
+
+* *conflict* — for **every** pair of leaves ``(p, q)`` below ``P`` and
+  ``Q``, ``mightaccess(p) ∩ mightaccess(q) ≠ ∅``: no matter how either
+  executes, their data sets overlap.
+* *conditionally conflict* — some leaf pair overlaps and some doesn't:
+  whether they conflict depends on future decisions.
+* *don't conflict* — no leaf pair overlaps.
+
+Safety (asymmetric; drives the penalty of conflict).  "``T^N`` is safe
+wrt ``T^M``" asks: if ``T^M`` runs to commit, must ``T^N`` be rolled
+back, or does blocking suffice?
+
+* *safe* — ``hasaccessed(T^N_P) ∩ mightaccess(T^M_Q) = ∅``: ``T^M`` can
+  never touch an item ``T^N`` already accessed, so blocking suffices.
+* *unsafe* — for **every** leaf ``q`` below ``Q``,
+  ``hasaccessed(T^N_P) ∩ mightaccess(q) ≠ ∅``: every execution of ``T^M``
+  touches something ``T^N`` accessed; ``T^N`` must be rolled back.
+* *conditionally unsafe* — overlap exists but some execution of ``T^M``
+  avoids it.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.analysis.tree import TransactionTree
+
+
+class Conflict(enum.Enum):
+    """Ternary conflict relation."""
+
+    NONE = "dont_conflict"
+    CONDITIONAL = "conditionally_conflict"
+    CERTAIN = "conflict"
+
+    @property
+    def possible(self) -> bool:
+        """True when a conflict may (or must) occur."""
+        return self is not Conflict.NONE
+
+
+class Safety(enum.Enum):
+    """Ternary safety relation."""
+
+    SAFE = "safe"
+    CONDITIONALLY_UNSAFE = "conditionally_unsafe"
+    UNSAFE = "unsafe"
+
+    @property
+    def needs_rollback(self) -> bool:
+        """True when running the other transaction may force a rollback."""
+        return self is not Safety.SAFE
+
+
+def conflict_between(
+    tree_a: TransactionTree,
+    label_a: str,
+    tree_b: TransactionTree,
+    label_b: str,
+) -> Conflict:
+    """Conflict relation between ``tree_a`` at ``label_a`` and ``tree_b``
+    at ``label_b``.
+
+    Symmetric: ``conflict_between(a, pa, b, pb) ==
+    conflict_between(b, pb, a, pa)``.
+    """
+    leaves_a = tree_a.leaves(label_a)
+    leaves_b = tree_b.leaves(label_b)
+    any_overlap = False
+    all_overlap = True
+    for leaf_a in leaves_a:
+        might_a = tree_a.mightaccess(leaf_a.label)
+        for leaf_b in leaves_b:
+            if might_a & tree_b.mightaccess(leaf_b.label):
+                any_overlap = True
+            else:
+                all_overlap = False
+    if not any_overlap:
+        return Conflict.NONE
+    if all_overlap:
+        return Conflict.CERTAIN
+    return Conflict.CONDITIONAL
+
+
+def safety_of(
+    tree_subject: TransactionTree,
+    label_subject: str,
+    tree_runner: TransactionTree,
+    label_runner: str,
+) -> Safety:
+    """Safety of the *subject* transaction wrt the *runner*.
+
+    The runner is the transaction about to be scheduled (``Ta`` in the
+    paper); the subject is a partially executed transaction.  ``UNSAFE``
+    means every execution of the runner forces the subject's rollback.
+    """
+    has = tree_subject.hasaccessed(label_subject)
+    if not has & tree_runner.mightaccess(label_runner):
+        return Safety.SAFE
+    all_overlap = all(
+        has & tree_runner.mightaccess(leaf.label)
+        for leaf in tree_runner.leaves(label_runner)
+    )
+    if all_overlap:
+        return Safety.UNSAFE
+    return Safety.CONDITIONALLY_UNSAFE

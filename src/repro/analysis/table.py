@@ -1,0 +1,94 @@
+"""Precomputed pairwise relation tables.
+
+The paper's scheduler consults conflict/safety relations at every
+scheduling decision, so it pre-analyzes the (fixed, known) set of
+transaction programs and stores the relations in tables — trading space
+for scheduling speed.  :class:`RelationTable` is that store: it memoizes
+``conflict_between`` and ``safety_of`` over (program, node) pairs.
+
+Because a transaction's knowable state is exactly its current tree node
+(the paper assumes items are accessed at start and immediately after each
+decision point), a (program name, node label) pair fully keys the
+relations for a live transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.relations import Conflict, Safety, conflict_between, safety_of
+from repro.analysis.tree import TransactionTree
+
+
+class RelationTable:
+    """Memoized conflict/safety relations over a set of analyzed programs."""
+
+    def __init__(self, trees: Iterable[TransactionTree]) -> None:
+        self._trees: dict[str, TransactionTree] = {}
+        for tree in trees:
+            if tree.name in self._trees:
+                raise ValueError(f"duplicate program name {tree.name!r}")
+            self._trees[tree.name] = tree
+        self._conflict: dict[tuple[str, str, str, str], Conflict] = {}
+        self._safety: dict[tuple[str, str, str, str], Safety] = {}
+
+    def tree(self, name: str) -> TransactionTree:
+        try:
+            return self._trees[name]
+        except KeyError:
+            raise KeyError(f"no analyzed program named {name!r}") from None
+
+    @property
+    def programs(self) -> tuple[str, ...]:
+        return tuple(self._trees)
+
+    def conflict(
+        self, name_a: str, label_a: str, name_b: str, label_b: str
+    ) -> Conflict:
+        """Conflict relation between two (program, node) states."""
+        key = (name_a, label_a, name_b, label_b)
+        result = self._conflict.get(key)
+        if result is None:
+            result = conflict_between(
+                self.tree(name_a), label_a, self.tree(name_b), label_b
+            )
+            self._conflict[key] = result
+            # The relation is symmetric; cache the mirror too.
+            self._conflict[(name_b, label_b, name_a, label_a)] = result
+        return result
+
+    def safety(
+        self,
+        subject_name: str,
+        subject_label: str,
+        runner_name: str,
+        runner_label: str,
+    ) -> Safety:
+        """Safety of the subject state wrt the runner state (asymmetric)."""
+        key = (subject_name, subject_label, runner_name, runner_label)
+        result = self._safety.get(key)
+        if result is None:
+            result = safety_of(
+                self.tree(subject_name),
+                subject_label,
+                self.tree(runner_name),
+                runner_label,
+            )
+            self._safety[key] = result
+        return result
+
+    def precompute(self) -> None:
+        """Eagerly fill both tables for every (program, node) pair.
+
+        Useful to move all analysis cost to system start-up, as the paper
+        intends; the scheduler then only does dictionary lookups.
+        """
+        states = [
+            (name, node.label)
+            for name, tree in self._trees.items()
+            for node in tree.program.root.walk()
+        ]
+        for name_a, label_a in states:
+            for name_b, label_b in states:
+                self.conflict(name_a, label_a, name_b, label_b)
+                self.safety(name_a, label_a, name_b, label_b)

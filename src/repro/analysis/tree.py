@@ -1,0 +1,89 @@
+"""Analyzed transaction trees: hasaccessed / mightaccess / leaves.
+
+Implements the paper's recursive definitions.  With ``K`` the set of nodes
+on the root-to-``P`` path (inclusive)::
+
+    hasaccessed(P) = union of accesses(k) for k in K
+    mightaccess(P) = hasaccessed(P)                       if P is a leaf
+                   = union of mightaccess(c) for children c  otherwise
+
+(The non-leaf case of ``mightaccess`` implicitly includes
+``hasaccessed(P)`` because every child's ``mightaccess`` does.)
+
+These sets are computed once per program and cached — that is the paper's
+"pre-analysis": the space/time trade the authors argue is worthwhile for
+an RTDBS.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.program import ProgramNode, TransactionProgram
+
+
+class TransactionTree:
+    """A :class:`TransactionProgram` with its analysis sets computed."""
+
+    def __init__(self, program: TransactionProgram) -> None:
+        self.program = program
+        self._hasaccessed: dict[str, frozenset[int]] = {}
+        self._mightaccess: dict[str, frozenset[int]] = {}
+        self._leaves: dict[str, tuple[ProgramNode, ...]] = {}
+        self._analyze(program.root, frozenset())
+
+    def _analyze(
+        self, node: ProgramNode, accumulated: frozenset[int]
+    ) -> tuple[frozenset[int], tuple[ProgramNode, ...]]:
+        hasaccessed = accumulated | node.accesses
+        self._hasaccessed[node.label] = hasaccessed
+        if node.is_leaf:
+            mightaccess: frozenset[int] = hasaccessed
+            leaves: tuple[ProgramNode, ...] = (node,)
+        else:
+            might: set[int] = set()
+            leaf_list: list[ProgramNode] = []
+            for child in node.children:
+                child_might, child_leaves = self._analyze(child, hasaccessed)
+                might |= child_might
+                leaf_list.extend(child_leaves)
+            mightaccess = frozenset(might)
+            leaves = tuple(leaf_list)
+        self._mightaccess[node.label] = mightaccess
+        self._leaves[node.label] = leaves
+        return mightaccess, leaves
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+    @property
+    def root(self) -> ProgramNode:
+        return self.program.root
+
+    def node(self, label: str) -> ProgramNode:
+        return self.program.node(label)
+
+    def hasaccessed(self, label: str) -> frozenset[int]:
+        """Items accessed from the root through node ``label``.
+
+        Note the paper's convention: a transaction is assumed to access
+        its items *when it begins and immediately after its decision
+        points*, so "has accessed" at a node includes that node's own
+        segment accesses.
+        """
+        return self._hasaccessed[label]
+
+    def mightaccess(self, label: str) -> frozenset[int]:
+        """Items any continuation from node ``label`` might access."""
+        return self._mightaccess[label]
+
+    def leaves(self, label: str) -> tuple[ProgramNode, ...]:
+        """Leaves of the subtree rooted at node ``label``."""
+        return self._leaves[label]
+
+    def labels(self) -> Iterator[str]:
+        return iter(self._hasaccessed)
+
+    def __repr__(self) -> str:
+        return f"TransactionTree({self.name!r})"

@@ -1,0 +1,99 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    repro fig4a                    # one figure, default scale
+    repro all --scale quick        # everything, CI-sized
+    repro fig5c --scale full       # paper-exact seeds and sizes
+    repro fig4b --csv out/         # also write out/fig4b.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.extensions import EXTENSION_EXPERIMENTS
+from repro.experiments.figures import ALL_EXPERIMENTS
+from repro.experiments.report import render_figure, write_csv
+
+#: Everything the CLI can regenerate: paper artifacts plus extensions.
+ALL_RUNNABLE = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables/figures of 'Real-Time Transaction Scheduling: "
+            "A Cost Conscious Approach' (SIGMOD 1993)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_RUNNABLE) + ["all", "validate"],
+        help=(
+            "experiment id (paper figure/table or ext-* extension study), "
+            "'all' to run every paper artifact, or 'validate' to "
+            "self-check every figure's paper shape"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "default", "full"],
+        default=None,
+        help=(
+            "run scale; 'full' matches the paper's seeds and run sizes "
+            "(default: $REPRO_SCALE or 'default')"
+        ),
+    )
+    parser.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write each experiment's series to DIR/<id>.csv",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.scale is None:
+        scale = ExperimentScale.from_env()
+    else:
+        scale = {
+            "quick": ExperimentScale.quick,
+            "default": ExperimentScale.default,
+            "full": ExperimentScale.full,
+        }[args.scale]()
+
+    if args.experiment == "validate":
+        from repro.experiments.validation import render_report, validate_all
+
+        started = time.time()
+        checks = validate_all(scale)
+        print(render_report(checks))
+        print(f"[validated in {time.time() - started:.1f}s at scale={scale.name}]")
+        return 0 if all(check.passed for check in checks) else 1
+
+    ids = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for figure_id in ids:
+        started = time.time()
+        result = ALL_RUNNABLE[figure_id](scale)
+        print(render_figure(result))
+        elapsed = time.time() - started
+        print(f"[{figure_id} done in {elapsed:.1f}s at scale={scale.name}]")
+        print()
+        if args.csv is not None:
+            path = write_csv(result, args.csv)
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's contribution: cost conscious real-time transaction scheduling.
+
+* :mod:`repro.core.policy` — priority assignment policies (EDF, LSF,
+  FCFS, CCA with its penalty weight, EDF-Wait as the w → ∞ limit, and a
+  multi-criticalness CCA extension);
+* :mod:`repro.core.penalty` — the penalty-of-conflict computation;
+* :mod:`repro.core.oracle` — conflict/safety oracles connecting the
+  scheduler to the pre-analysis (exact set-based oracle for flat
+  programs; tree oracle for programs with decision points);
+* :mod:`repro.core.scheduler` — the paper's three scheduling procedures
+  as pure functions (``tr-arrival-schedule`` / ``tr-finish-schedule``
+  collapse to primary selection; ``IOwait-schedule`` is secondary
+  selection);
+* :mod:`repro.core.simulator` — the event-driven RTDBS simulator that
+  drives everything (both main-memory and disk-resident configurations).
+"""
+
+from repro.core.oracle import (
+    ConflictOracle,
+    OptimisticConflictOracle,
+    SetOracle,
+    TreeOracle,
+)
+from repro.core.penalty import penalty_of_conflict
+from repro.core.policy import (
+    CCAPolicy,
+    CriticalnessCCAPolicy,
+    EDFPolicy,
+    EDFWaitPolicy,
+    EDFWPPolicy,
+    FCFSPolicy,
+    LSFPolicy,
+    PriorityPolicy,
+    StaticEvaluationPolicy,
+    make_policy,
+)
+from repro.core.scheduler import choose_primary, choose_secondary, is_compatible
+from repro.core.simulator import RTDBSimulator, SimulationResult
+
+__all__ = [
+    "CCAPolicy",
+    "ConflictOracle",
+    "CriticalnessCCAPolicy",
+    "EDFPolicy",
+    "EDFWPPolicy",
+    "EDFWaitPolicy",
+    "FCFSPolicy",
+    "LSFPolicy",
+    "OptimisticConflictOracle",
+    "PriorityPolicy",
+    "RTDBSimulator",
+    "SetOracle",
+    "StaticEvaluationPolicy",
+    "SimulationResult",
+    "TreeOracle",
+    "choose_primary",
+    "choose_secondary",
+    "is_compatible",
+    "make_policy",
+    "penalty_of_conflict",
+]

@@ -1,0 +1,132 @@
+"""Conflict/safety oracles: the scheduler's view of the pre-analysis.
+
+The scheduler asks two questions about live transactions:
+
+* ``safety(subject, runner)`` — if *runner* executes to commit, must the
+  partially executed *subject* be rolled back (UNSAFE / CONDITIONALLY
+  UNSAFE) or does blocking suffice (SAFE)?  Feeds the penalty of
+  conflict.
+* ``conflict(a, b)`` — can the two transactions' data sets overlap at
+  all, given their current tree nodes?  Feeds ``IOwait-schedule``.
+
+Two implementations:
+
+* :class:`SetOracle` — for the paper's simulation workload, where every
+  transaction is a flat (decision-point-free) program.  There the tree
+  relations collapse to set intersections over the actual access sets,
+  which is both exact and fast; this matches the paper's simulation
+  assumption that safe/unsafe can always be decided.
+* :class:`TreeOracle` — for tree programs with decision points, backed by
+  a pre-computed :class:`~repro.analysis.table.RelationTable` keyed by
+  each transaction's current node label.  This implements the paper's
+  full pre-analysis machinery, including the *conditionally* flavors the
+  paper leaves to future work.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.analysis.relations import Conflict, Safety
+from repro.analysis.table import RelationTable
+from repro.rtdb.transaction import Transaction
+
+
+class ConflictOracle(abc.ABC):
+    """Interface between the scheduler and the pre-analysis."""
+
+    @abc.abstractmethod
+    def safety(self, subject: Transaction, runner: Transaction) -> Safety:
+        """Safety of (partially executed) ``subject`` wrt ``runner``."""
+
+    @abc.abstractmethod
+    def conflict(self, a: Transaction, b: Transaction) -> Conflict:
+        """Conflict relation between two live transactions."""
+
+
+class SetOracle(ConflictOracle):
+    """Exact relations for flat programs, read/write aware.
+
+    For a flat program the "might access" sets are the full declared
+    read/write sets at every point, and "has accessed" is what was
+    actually locked so far, so the relations reduce to set algebra:
+
+    * two transactions **conflict** iff some access pair collides in
+      incompatible modes: ``W_a ∩ D_b ≠ ∅`` or ``D_a ∩ W_b ≠ ∅`` (with
+      ``D = R ∪ W``) — read/read sharing never conflicts;
+    * the *subject* is **UNSAFE** wrt the *runner* iff the runner's
+      execution would invalidate a lock the subject already holds:
+      the subject wrote an item the runner accesses, or read an item the
+      runner writes — otherwise SAFE (blocking suffices).
+
+    With write-only workloads (the paper's setting) both collapse to the
+    paper's formulas: conflict iff write sets intersect; unsafe iff the
+    subject accessed an item in the runner's write set.  No conditional
+    flavors arise (there are no decision points).
+    """
+
+    def safety(self, subject: Transaction, runner: Transaction) -> Safety:
+        if subject.accessed_writes & runner.data_set:
+            return Safety.UNSAFE
+        if subject.accessed & runner.write_set:
+            # Items the subject only read that the runner will write.
+            return Safety.UNSAFE
+        return Safety.SAFE
+
+    def conflict(self, a: Transaction, b: Transaction) -> Conflict:
+        if a.write_set & b.data_set or a.data_set & b.write_set:
+            return Conflict.CERTAIN
+        return Conflict.NONE
+
+
+class OptimisticConflictOracle(ConflictOracle):
+    """Wrapper that downgrades CONDITIONAL conflicts to NONE.
+
+    Used by the IOwait-schedule ablation: the paper's secondary selection
+    excludes transactions that *conditionally* conflict with the P-list;
+    the optimistic variant admits them (betting the decision points will
+    resolve favourably) at the risk of noncontributing executions.
+    Safety answers are passed through unchanged, so wounds and penalties
+    stay exact.
+    """
+
+    def __init__(self, inner: ConflictOracle) -> None:
+        self.inner = inner
+
+    def safety(self, subject: Transaction, runner: Transaction) -> Safety:
+        return self.inner.safety(subject, runner)
+
+    def conflict(self, a: Transaction, b: Transaction) -> Conflict:
+        relation = self.inner.conflict(a, b)
+        if relation is Conflict.CONDITIONAL:
+            return Conflict.NONE
+        return relation
+
+
+class TreeOracle(ConflictOracle):
+    """Relations for tree programs via a pre-computed relation table.
+
+    Each transaction's knowable state is its current tree node
+    (``tx.node_label``); the table gives the relation between any two
+    (program, node) states.  This is exactly the space-for-time trade the
+    paper proposes: all analysis happens before the system runs.
+    """
+
+    def __init__(self, table: RelationTable) -> None:
+        self.table = table
+
+    def safety(self, subject: Transaction, runner: Transaction) -> Safety:
+        return self.table.safety(
+            subject.spec.program_name,
+            subject.node_label,
+            runner.spec.program_name,
+            runner.node_label,
+        )
+
+    def conflict(self, a: Transaction, b: Transaction) -> Conflict:
+        return self.table.conflict(
+            a.spec.program_name,
+            a.node_label,
+            b.spec.program_name,
+            b.node_label,
+        )

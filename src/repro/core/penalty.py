@@ -1,0 +1,63 @@
+"""The penalty of conflict (paper Section 3.3.1).
+
+If transaction ``Ta`` is selected to run next and conflicts with ``m``
+partially executed transactions that are unsafe or conditionally unsafe
+with it, the system loses::
+
+    T_lost = sum over t in M of (rollback_t + exec_t)
+
+where ``M`` is the set of partially executed transactions that are unsafe
+or conditionally unsafe wrt ``Ta``, ``exec_t`` is the *effective service
+time* of ``t`` (the CPU work it has received since its last restart, all
+of which is wasted on abort) and ``rollback_t`` the time required to roll
+``t`` back.
+
+The paper's prose formula includes both terms; the pseudo-code
+(``Procedure penaltyofconflict``) adds effective service time only.  We
+implement both and expose the choice as ``include_rollback`` — the
+difference is ablated in ``benchmarks/test_ablation.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.oracle import ConflictOracle
+from repro.rtdb.recovery import RecoveryModel
+from repro.rtdb.transaction import Transaction
+
+
+def penalty_of_conflict(
+    candidate: Transaction,
+    partially_executed: Iterable[Transaction],
+    oracle: ConflictOracle,
+    recovery: Optional[RecoveryModel] = None,
+    include_rollback: bool = True,
+    effective_service: Optional[Callable[[Transaction], float]] = None,
+) -> float:
+    """Time lost if ``candidate`` runs to commit without interruption.
+
+    Sums effective service time (plus rollback time when
+    ``include_rollback`` and a recovery model are given) over every
+    partially executed transaction that would have to be rolled back —
+    i.e. is unsafe or conditionally unsafe with respect to ``candidate``.
+
+    ``effective_service`` lets the simulator report service *including*
+    the currently in-flight CPU phase (``service_received`` alone only
+    updates at phase boundaries).  Continuous evaluation needs that:
+    otherwise a priority computed just before a preemption and one
+    computed just after disagree, and the scheduler's choices go
+    time-inconsistent.
+
+    The candidate itself never contributes to its own penalty.
+    """
+    service_of = effective_service or (lambda tx: tx.service_received)
+    total = 0.0
+    for tx in partially_executed:
+        if tx.tid == candidate.tid:
+            continue
+        if oracle.safety(tx, candidate).needs_rollback:
+            total += service_of(tx)
+            if include_rollback and recovery is not None:
+                total += recovery.rollback_time(tx)
+    return total

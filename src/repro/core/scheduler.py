@@ -1,0 +1,90 @@
+"""The paper's scheduling procedures as pure, testable functions.
+
+The paper gives three procedures (Section 3.3.3):
+
+* ``tr-arrival-schedule`` — on arrival, compare the newcomer's priority
+  with the current highest-priority transaction ``TH`` and switch if the
+  newcomer wins;
+* ``tr-finish-schedule`` — on completion, re-assign priorities to every
+  ready transaction and pick the highest as the new ``TH``;
+* ``IOwait-schedule`` — while ``TH`` waits for IO, pick the
+  highest-priority ready transaction that does not conflict (or
+  conditionally conflict) with any partially executed transaction, or
+  idle if none exists.
+
+The first two collapse to one operation — *select the maximum-priority
+candidate under the current priority assignment* — which
+:func:`choose_primary` implements; :func:`choose_secondary` implements
+the third.  The simulator calls these at every scheduling point, which
+subsumes both arrival and finish events (and re-evaluating everyone at
+each point is exactly the paper's "dynamic priority assignment with
+continuous evaluation").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.oracle import ConflictOracle
+from repro.rtdb.transaction import Transaction
+
+PriorityKey = Callable[[Transaction], tuple]
+"""Total order over transactions: higher tuple = dispatched first."""
+
+
+def choose_primary(
+    candidates: Iterable[Transaction],
+    key: PriorityKey,
+) -> Optional[Transaction]:
+    """The highest-priority transaction, or None if there are none.
+
+    Implements the selection common to ``tr-arrival-schedule`` and
+    ``tr-finish-schedule``: priorities have just been (re)assigned via
+    ``key`` and the maximum becomes the primary transaction ``TH``.
+    """
+    best: Optional[Transaction] = None
+    best_key: Optional[tuple] = None
+    for tx in candidates:
+        tx_key = key(tx)
+        if best_key is None or tx_key > best_key:
+            best = tx
+            best_key = tx_key
+    return best
+
+
+def is_compatible(
+    tx: Transaction,
+    partially_executed: Sequence[Transaction],
+    oracle: ConflictOracle,
+) -> bool:
+    """True when ``tx`` may run as a *secondary* transaction.
+
+    A secondary must not conflict **or conditionally conflict** with any
+    partially executed transaction (other than itself — a preempted
+    transaction trivially "overlaps" its own data set but resuming it is
+    conflict-free by definition).
+    """
+    for other in partially_executed:
+        if other.tid == tx.tid:
+            continue
+        if oracle.conflict(tx, other).possible:
+            return False
+    return True
+
+
+def choose_secondary(
+    ready: Iterable[Transaction],
+    partially_executed: Sequence[Transaction],
+    oracle: ConflictOracle,
+    key: PriorityKey,
+) -> Optional[Transaction]:
+    """``IOwait-schedule``: highest-priority compatible ready transaction.
+
+    Returns None (the paper's NIL) when no ready transaction is
+    compatible — the CPU then idles rather than perform a
+    *noncontributing execution* that would later be rolled back.
+    """
+    compatible = (
+        tx for tx in ready if is_compatible(tx, partially_executed, oracle)
+    )
+    return choose_primary(compatible, key)

@@ -1,0 +1,46 @@
+"""Experiment harness: one entry per paper table/figure.
+
+* :mod:`repro.experiments.config` — the Table 1 / Table 2 base parameter
+  sets, the seed lists, and run-scale selection (quick / default / full);
+* :mod:`repro.experiments.runner` — multi-seed paired runs and sweeps;
+* :mod:`repro.experiments.figures` — ``fig4a`` .. ``fig5f`` plus the two
+  parameter tables, each returning a :class:`FigureResult`;
+* :mod:`repro.experiments.report` — ASCII rendering and CSV export.
+
+Regenerate any figure from the command line::
+
+    python -m repro fig4a            # default scale
+    REPRO_SCALE=full python -m repro fig4c
+    python -m repro all --csv out/
+"""
+
+from repro.experiments.config import (
+    DISK_BASE,
+    DISK_SEEDS,
+    MAIN_MEMORY_BASE,
+    MAIN_MEMORY_SEEDS,
+    ExperimentScale,
+)
+from repro.experiments.figures import (
+    ALL_EXPERIMENTS,
+    FigureResult,
+    run_experiment,
+)
+from repro.experiments.runner import compare_policies, run_policy, sweep
+from repro.experiments.report import render_figure, write_csv
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DISK_BASE",
+    "DISK_SEEDS",
+    "ExperimentScale",
+    "FigureResult",
+    "MAIN_MEMORY_BASE",
+    "MAIN_MEMORY_SEEDS",
+    "compare_policies",
+    "render_figure",
+    "run_experiment",
+    "run_policy",
+    "sweep",
+    "write_csv",
+]

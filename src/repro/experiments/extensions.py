@@ -1,0 +1,269 @@
+"""Extension experiments: future-work studies as first-class artifacts.
+
+Beyond the paper's own tables and figures, the repository reproduces the
+studies its Section 6 proposes (and two from its related work).  Each
+function here returns a :class:`~repro.experiments.figures.FigureResult`
+so the CLI can print and export them exactly like the paper figures:
+
+    python -m repro ext-shared-locks --csv results/
+    python -m repro ext-occ --scale full
+
+The corresponding benchmarks (``benchmarks/test_extension_*.py``) carry
+the assertions; these experiments carry the data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import SimulationConfig
+from repro.core.policy import CCAPolicy, EDFPolicy, EDFWaitPolicy, EDFWPPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.experiments.config import DISK_BASE, MAIN_MEMORY_BASE, ExperimentScale
+from repro.experiments.figures import FigureResult, Series
+from repro.experiments.runner import compare_policies
+from repro.metrics.summary import summarize
+from repro.mp.simulator import MultiprocessorSimulator
+from repro.occ.simulator import OCCSimulator
+from repro.workload.generator import generate_workload
+
+
+def ext_shared_locks(scale: ExperimentScale) -> FigureResult:
+    """Restarts per transaction vs read fraction (shared-lock extension)."""
+    base = scale.scale_config(
+        MAIN_MEMORY_BASE.replace(arrival_rate=8.0, db_size=100)
+    )
+    seeds = scale.seeds_for(base)
+    series: dict[str, Series] = {"EDF-HP": [], "CCA": []}
+    for fraction in (0.0, 0.25, 0.5, 0.75, 0.9):
+        summaries = compare_policies(base.replace(read_fraction=fraction), seeds)
+        for name in series:
+            series[name].append(
+                (fraction * 100, summaries[name].restarts_per_transaction.mean)
+            )
+    return FigureResult(
+        figure_id="ext-shared-locks",
+        title="Shared locks: restarts per transaction vs read fraction "
+        "(8 tr/s, DB 100)",
+        x_label="Read fraction (%)",
+        y_label="Restarts per transaction",
+        series=series,
+        paper_expectation=(
+            "Paper future work #1. Read sharing thins conflicts: restarts "
+            "fall with the read fraction; CCA stays at or below EDF-HP."
+        ),
+    )
+
+
+def ext_multiprocessor(scale: ExperimentScale) -> FigureResult:
+    """Miss percent vs CPU count at 8 tr/s per CPU (CCA-MP vs EDF-HP-MP)."""
+    series: dict[str, Series] = {"EDF-HP-MP": [], "CCA-MP": []}
+    for n_cpus in (1, 2, 4):
+        config = scale.scale_config(
+            MAIN_MEMORY_BASE.replace(arrival_rate=8.0 * n_cpus, db_size=1000)
+        )
+        seeds = scale.seeds_for(config)[:5]
+        per_policy: dict[str, list] = {"EDF-HP-MP": [], "CCA-MP": []}
+        for seed in seeds:
+            workload = generate_workload(config, seed)
+            per_policy["EDF-HP-MP"].append(
+                MultiprocessorSimulator(
+                    config, workload, EDFPolicy(), n_cpus=n_cpus
+                ).run()
+            )
+            per_policy["CCA-MP"].append(
+                MultiprocessorSimulator(
+                    config, workload, CCAPolicy(1.0), n_cpus=n_cpus
+                ).run()
+            )
+        for name, results in per_policy.items():
+            series[name].append((float(n_cpus), summarize(results).miss_percent.mean))
+    return FigureResult(
+        figure_id="ext-multiprocessor",
+        title="Multiprocessor scaling: miss percent at 8 tr/s per CPU "
+        "(DB 1000)",
+        x_label="CPUs",
+        y_label="Miss percent",
+        series=series,
+        paper_expectation=(
+            "Paper future work: EDF-HP 'looks almost impossible to get "
+            "better performance on multiprocessors'; CCA-MP's compatible "
+            "co-scheduling avoids the wide-machine thrash."
+        ),
+    )
+
+
+def ext_occ(scale: ExperimentScale) -> FigureResult:
+    """Failure rate of EDF-HP / CCA / OCC under soft and firm deadlines."""
+    base = scale.scale_config(MAIN_MEMORY_BASE.replace(arrival_rate=9.0))
+    seeds = scale.seeds_for(base)
+    series: dict[str, Series] = {"EDF-HP": [], "CCA": [], "OCC": []}
+    for x, config in ((0.0, base), (1.0, base.replace(firm_deadlines=True))):
+        runs: dict[str, list] = {name: [] for name in series}
+        for seed in seeds:
+            workload = generate_workload(config, seed)
+            runs["EDF-HP"].append(RTDBSimulator(config, workload, EDFPolicy()).run())
+            runs["CCA"].append(RTDBSimulator(config, workload, CCAPolicy(1.0)).run())
+            runs["OCC"].append(OCCSimulator(config, workload, EDFPolicy()).run())
+        for name, results in runs.items():
+            failure = sum(r.miss_or_drop_percent for r in results) / len(results)
+            series[name].append((x, failure))
+    return FigureResult(
+        figure_id="ext-occ",
+        title="OCC vs locking: failure percent, soft (x=0) vs firm (x=1) "
+        "deadlines (9 tr/s)",
+        x_label="Deadline semantics (0=soft, 1=firm)",
+        y_label="Miss-or-drop percent",
+        series=series,
+        paper_expectation=(
+            "Related work re-test: the 1991 claim was 'OCC wins only for "
+            "firm deadlines'; against an eager-wound locking baseline the "
+            "two schemes track within a couple of points under both "
+            "semantics, and CCA beats both."
+        ),
+    )
+
+
+def ext_bursty(scale: ExperimentScale) -> FigureResult:
+    """Miss percent under Poisson vs bursty arrivals at the same mean rate."""
+    base = scale.scale_config(MAIN_MEMORY_BASE.replace(arrival_rate=7.0))
+    seeds = scale.seeds_for(base)
+    series: dict[str, Series] = {"EDF-HP": [], "CCA": []}
+    for x, config in (
+        (0.0, base),
+        (1.0, base.replace(arrival_model="bursty", burst_factor=3.0)),
+    ):
+        summaries = compare_policies(config, seeds)
+        for name in series:
+            series[name].append((x, summaries[name].miss_percent.mean))
+    return FigureResult(
+        figure_id="ext-bursty",
+        title="Bursty arrivals: miss percent, Poisson (x=0) vs 3x bursts "
+        "(x=1), 7 tr/s mean",
+        x_label="Arrival model (0=Poisson, 1=bursty)",
+        y_label="Miss percent",
+        series=series,
+        paper_expectation=(
+            "Load transients stress both schedulers; CCA keeps an edge "
+            "through the bursts (its continuous evaluation is the paper's "
+            "fourth claimed property)."
+        ),
+    )
+
+
+def ext_disk_scheduling(scale: ExperimentScale) -> FigureResult:
+    """Mean lateness under FCFS vs priority disk queues (congested disk)."""
+    base = scale.scale_config(
+        DISK_BASE.replace(arrival_rate=5.0, disk_access_prob=0.3)
+    )
+    seeds = scale.seeds_for(base)
+    series: dict[str, Series] = {"EDF-HP": [], "CCA": []}
+    for x, config in (
+        (0.0, base),
+        (1.0, base.replace(disk_scheduling="priority")),
+    ):
+        summaries = compare_policies(config, seeds)
+        for name in series:
+            series[name].append((x, summaries[name].mean_lateness.mean))
+    return FigureResult(
+        figure_id="ext-disk-sched",
+        title="Disk queue discipline: mean lateness, FCFS (x=0) vs "
+        "priority (x=1), 5 tr/s with 30% IO",
+        x_label="Disk discipline (0=FCFS, 1=priority)",
+        y_label="Mean lateness (ms)",
+        series=series,
+        paper_expectation=(
+            "Real-time IO scheduling (cited in §3.3.2) complements CPU "
+            "scheduling; urgency-ordered IO should not hurt either policy."
+        ),
+    )
+
+
+def ext_slack(scale: ExperimentScale) -> FigureResult:
+    """Sensitivity to deadline tightness (the Min/Max-slack parameters).
+
+    The paper fixes slack at U[20 %, 800 %]; this sweep scales that
+    window down to a quarter (much tighter deadlines) and up to double,
+    at fixed load.  Tight deadlines leave EDF-HP no room to recover from
+    a wasted wound, which is where cost-consciousness pays most.
+    """
+    base = scale.scale_config(MAIN_MEMORY_BASE.replace(arrival_rate=8.0))
+    seeds = scale.seeds_for(base)
+    series: dict[str, Series] = {"EDF-HP": [], "CCA": []}
+    for factor in (0.25, 0.5, 1.0, 1.5, 2.0):
+        config = base.replace(
+            min_slack=base.min_slack * factor,
+            max_slack=base.max_slack * factor,
+        )
+        summaries = compare_policies(config, seeds)
+        for name in series:
+            series[name].append((factor, summaries[name].miss_percent.mean))
+    return FigureResult(
+        figure_id="ext-slack",
+        title="Deadline tightness: miss percent vs slack-window scale "
+        "(8 tr/s; 1.0 = the paper's U[20%, 800%])",
+        x_label="Slack window scale",
+        y_label="Miss percent",
+        series=series,
+        paper_expectation=(
+            "Misses fall as deadlines loosen; CCA's edge is largest when "
+            "deadlines are tight and a wasted wound cannot be absorbed."
+        ),
+    )
+
+
+def ext_abort_wait_spectrum(scale: ExperimentScale) -> FigureResult:
+    """Miss percent across the abort/wait spectrum vs arrival rate.
+
+    The paper frames EDF-HP and the wait-based protocols as the two
+    extremes CCA interpolates between (Sections 3.2, 6).  This sweep
+    runs all four — EDF-HP (abort), EDF-WP (wait + priority
+    inheritance), EDF-Wait (CCA's w→∞ limit) and CCA — over the loaded
+    half of the arrival-rate axis.
+    """
+    base = scale.scale_config(MAIN_MEMORY_BASE)
+    seeds = scale.seeds_for(base)
+    factories = {
+        "EDF-HP": EDFPolicy,
+        "EDF-WP": EDFWPPolicy,
+        "EDF-Wait": EDFWaitPolicy,
+        "CCA": lambda: CCAPolicy(1.0),
+    }
+    series: dict[str, Series] = {name: [] for name in factories}
+    for rate in (6.0, 8.0, 10.0):
+        config = base.replace(arrival_rate=rate)
+        runs: dict[str, list] = {name: [] for name in factories}
+        for seed in seeds:
+            workload = generate_workload(config, seed)
+            for name, factory in factories.items():
+                runs[name].append(
+                    RTDBSimulator(config, workload, factory()).run()
+                )
+        for name, results in runs.items():
+            series[name].append((rate, summarize(results).miss_percent.mean))
+    return FigureResult(
+        figure_id="ext-wp",
+        title="The abort/wait spectrum: miss percent vs arrival rate",
+        x_label="Arrival Rate (trs/sec)",
+        y_label="Miss percent",
+        series=series,
+        paper_expectation=(
+            "EDF-HP aborts the most; EDF-WP waits instead and suffers "
+            "broken deadlocks; CCA interpolates and wins on misses under "
+            "load."
+        ),
+    )
+
+
+#: Registry merged into the CLI next to the paper figures.
+EXTENSION_EXPERIMENTS: dict[
+    str, Callable[[ExperimentScale], FigureResult]
+] = {
+    "ext-shared-locks": ext_shared_locks,
+    "ext-multiprocessor": ext_multiprocessor,
+    "ext-occ": ext_occ,
+    "ext-bursty": ext_bursty,
+    "ext-disk-sched": ext_disk_scheduling,
+    "ext-slack": ext_slack,
+    "ext-wp": ext_abort_wait_spectrum,
+}

@@ -1,0 +1,65 @@
+"""Rendering experiment results: ASCII tables and CSV export.
+
+The paper presents line plots; a terminal harness prints the underlying
+series as aligned columns (one row per x value, one column per series)
+so the reader can compare the same numbers.  CSV export feeds external
+plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.figures import FigureResult
+
+
+def render_figure(result: FigureResult) -> str:
+    """A human-readable block for one experiment's data."""
+    lines = [f"== {result.figure_id}: {result.title} =="]
+    if result.paper_expectation:
+        lines.append(f"paper expectation: {result.paper_expectation}")
+    if result.notes:
+        lines.append(result.notes)
+    if result.series:
+        xs = sorted({x for series in result.series.values() for x, _ in series})
+        names = list(result.series)
+        header = [result.x_label or "x"] + names
+        by_series = {
+            name: dict(points) for name, points in result.series.items()
+        }
+        rows = [header]
+        for x in xs:
+            row = [f"{x:g}"]
+            for name in names:
+                value = by_series[name].get(x)
+                row.append("-" if value is None else f"{value:.3f}")
+            rows.append(row)
+        widths = [
+            max(len(row[col]) for row in rows) for col in range(len(header))
+        ]
+        for index, row in enumerate(rows):
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def write_csv(result: FigureResult, directory: Path) -> Path:
+    """Write one experiment's series to ``<directory>/<figure_id>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.figure_id}.csv"
+    xs = sorted({x for series in result.series.values() for x, _ in series})
+    names = list(result.series)
+    by_series = {name: dict(points) for name, points in result.series.items()}
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([result.x_label or "x"] + names)
+        for x in xs:
+            writer.writerow(
+                [x] + [by_series[name].get(x, "") for name in names]
+            )
+    return path

@@ -1,0 +1,88 @@
+"""Multi-seed paired runs and parameter sweeps.
+
+The paper's methodology is *paired comparison*: for each seed, generate
+one workload and replay it under every policy, then average each policy's
+metrics across seeds.  :func:`compare_policies` does that for one
+configuration; :func:`sweep` repeats it along a parameter axis (arrival
+rate, database size, penalty weight, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.core.policy import PriorityPolicy, make_policy
+from repro.core.simulator import RTDBSimulator, SimulationResult
+from repro.metrics.summary import RunSummary, summarize
+from repro.workload.generator import generate_workload
+
+PolicyFactory = Callable[[SimulationConfig], PriorityPolicy]
+"""Builds a fresh policy for a configuration (CCA reads the penalty
+weight from it)."""
+
+
+def policy_factory(name: str) -> PolicyFactory:
+    """A :data:`PolicyFactory` from a paper policy name.
+
+    CCA-family policies take their penalty weight from the configuration
+    they are instantiated for, so weight sweeps need no special casing.
+    """
+
+    def build(config: SimulationConfig) -> PriorityPolicy:
+        return make_policy(name, penalty_weight=config.penalty_weight)
+
+    return build
+
+
+def run_policy(
+    config: SimulationConfig,
+    policy: PolicyFactory | str,
+    seeds: Sequence[int],
+) -> list[SimulationResult]:
+    """One result per seed for a single policy."""
+    factory = policy_factory(policy) if isinstance(policy, str) else policy
+    results = []
+    for seed in seeds:
+        workload = generate_workload(config, seed)
+        simulator = RTDBSimulator(config, workload, factory(config))
+        results.append(simulator.run())
+    return results
+
+
+def compare_policies(
+    config: SimulationConfig,
+    seeds: Sequence[int],
+    policies: Sequence[str] = ("EDF-HP", "CCA"),
+) -> dict[str, RunSummary]:
+    """Seed-averaged summaries for several policies on paired workloads.
+
+    Workloads are generated once per seed and replayed under every
+    policy, so the comparison isolates the scheduling decision.
+    """
+    per_policy: dict[str, list[SimulationResult]] = {name: [] for name in policies}
+    for seed in seeds:
+        workload = generate_workload(config, seed)
+        for name in policies:
+            policy = make_policy(name, penalty_weight=config.penalty_weight)
+            per_policy[name].append(RTDBSimulator(config, workload, policy).run())
+    return {name: summarize(results) for name, results in per_policy.items()}
+
+
+def sweep(
+    configs: Mapping[float, SimulationConfig],
+    seeds: Sequence[int],
+    policies: Sequence[str] = ("EDF-HP", "CCA"),
+    progress: Optional[Callable[[float], None]] = None,
+) -> dict[float, dict[str, RunSummary]]:
+    """Paired comparison at each point of a parameter axis.
+
+    ``configs`` maps x-axis value -> configuration; the result maps
+    x -> policy name -> :class:`RunSummary`.
+    """
+    out: dict[float, dict[str, RunSummary]] = {}
+    for x, config in configs.items():
+        out[x] = compare_policies(config, seeds, policies)
+        if progress is not None:
+            progress(x)
+    return out

@@ -1,0 +1,214 @@
+"""Reproduction self-check: verify every figure's paper shape.
+
+``python -m repro validate`` runs all sweeps at the chosen scale and
+checks, per figure, the qualitative claims the paper makes (who wins,
+where the curve peaks, what stays flat).  The same predicates guard the
+test suite; this module packages them as a user-facing report so a
+fresh install can confirm the reproduction in one command.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping, Sequence
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import (
+    FigureResult,
+    fig4a,
+    fig4b,
+    fig4c,
+    fig4d,
+    fig4e,
+    fig4f,
+    fig5a,
+    fig5b,
+    fig5c,
+    fig5d,
+    fig5e,
+    fig5f,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckResult:
+    """One verified (or refuted) paper claim."""
+
+    figure_id: str
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{mark}] {self.figure_id}: {self.claim}{suffix}"
+
+
+def _series(result: FigureResult, name: str) -> dict[float, float]:
+    return dict(result.series[name])
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def _check(
+    figure_id: str, claim: str, predicate: Callable[[], tuple[bool, str]]
+) -> CheckResult:
+    passed, detail = predicate()
+    return CheckResult(figure_id=figure_id, claim=claim, passed=passed, detail=detail)
+
+
+def _dominance(
+    result: FigureResult, upper: str = "EDF-HP", lower: str = "CCA"
+) -> tuple[bool, str]:
+    upper_series = _series(result, upper)
+    lower_series = _series(result, lower)
+    upper_mean = _mean(upper_series.values())
+    lower_mean = _mean(lower_series.values())
+    return (
+        lower_mean <= upper_mean,
+        f"mean {lower}={lower_mean:.2f} vs {upper}={upper_mean:.2f}",
+    )
+
+
+def _positive_under_load(
+    result: FigureResult, series_name: str, threshold: float
+) -> tuple[bool, str]:
+    points = _series(result, series_name)
+    heavy = [x for x in points if x >= threshold]
+    value = _mean(points[x] for x in heavy)
+    return value > 0.0, f"mean improvement at load: {value:.1f}%"
+
+
+def _plateau(points: Mapping[float, float], weights: Sequence[float]) -> tuple[bool, str]:
+    values = [points[w] for w in weights]
+    spread = max(values) - min(values)
+    return spread <= 10.0, f"plateau spread {spread:.2f} points"
+
+
+def validate_all(scale: ExperimentScale) -> list[CheckResult]:
+    """Run every figure sweep and evaluate its paper claims."""
+    checks: list[CheckResult] = []
+
+    a = fig4a(scale)
+    checks.append(_check("fig4a", "CCA at or below EDF-HP (miss %)",
+                         lambda: _dominance(a)))
+    checks.append(_check(
+        "fig4a",
+        "miss percent rises with load",
+        lambda: (
+            _mean(_series(a, "EDF-HP")[x] for x in (8.0, 9.0, 10.0))
+            > _mean(_series(a, "EDF-HP")[x] for x in (1.0, 2.0, 3.0)),
+            "",
+        ),
+    ))
+
+    b = fig4b(scale)
+    checks.append(_check("fig4b", "positive miss improvement under load",
+                         lambda: _positive_under_load(b, "Miss Percent", 6.0)))
+    checks.append(_check("fig4b", "positive lateness improvement under load",
+                         lambda: _positive_under_load(b, "Mean Lateness", 6.0)))
+
+    c = fig4c(scale)
+
+    def restart_peak() -> tuple[bool, str]:
+        edf = _series(c, "EDF-HP")
+        peak = max(edf, key=edf.get)
+        declines = edf[10.0] < edf[peak]
+        return (
+            5.0 <= peak <= 9.0 and declines,
+            f"peak at {peak:g} tr/s, value {edf[peak]:.3f}",
+        )
+
+    checks.append(_check(
+        "fig4c", "restarts peak near 8 tr/s then decline", restart_peak
+    ))
+    checks.append(_check("fig4c", "CCA restarts below EDF-HP",
+                         lambda: _dominance(c)))
+
+    d = fig4d(scale)
+    checks.append(_check("fig4d", "CCA at or below EDF-HP (high variance)",
+                         lambda: _dominance(d)))
+
+    e = fig4e(scale)
+    checks.append(_check("fig4e", "positive improvement (high variance)",
+                         lambda: _positive_under_load(e, "Mean Lateness", 1.0)))
+
+    f = fig4f(scale)
+
+    def contention_relief() -> tuple[bool, str]:
+        edf = _series(f, "EDF-HP")
+        cca = _series(f, "CCA")
+        return (
+            edf[100.0] > edf[1000.0] and cca[100.0] <= edf[100.0],
+            f"EDF-HP {edf[100.0]:.1f}->{edf[1000.0]:.1f} over 100..1000",
+        )
+
+    checks.append(_check(
+        "fig4f", "contention falls with DB size; CCA below EDF-HP",
+        contention_relief,
+    ))
+
+    a5 = fig5a(scale)
+    for name in a5.series:
+        points = dict(a5.series[name])
+        checks.append(_check(
+            "fig5a",
+            f"penalty-weight plateau at {name}",
+            lambda points=points: _plateau(
+                points, (1.0, 2.0, 5.0, 10.0, 15.0, 20.0)
+            ),
+        ))
+
+    b5 = fig5b(scale)
+    checks.append(_check("fig5b", "CCA at or below EDF-HP (disk miss %)",
+                         lambda: _dominance(b5)))
+
+    c5 = fig5c(scale)
+
+    def monotone_disk_restarts() -> tuple[bool, str]:
+        edf = _series(c5, "EDF-HP")
+        cca = _series(c5, "CCA")
+        light = _mean(edf[x] for x in (1.0, 2.0, 3.0))
+        heavy = _mean(edf[x] for x in (5.0, 6.0, 7.0))
+        cca_heavy = _mean(cca[x] for x in (5.0, 6.0, 7.0))
+        return (
+            heavy > 2.0 * light and cca_heavy < heavy,
+            f"EDF-HP {light:.2f}->{heavy:.2f}, CCA stays {cca_heavy:.2f}",
+        )
+
+    checks.append(_check(
+        "fig5c",
+        "EDF-HP disk restarts grow monotonically; CCA stays flat",
+        monotone_disk_restarts,
+    ))
+
+    d5 = fig5d(scale)
+    checks.append(_check("fig5d", "positive disk improvement under load",
+                         lambda: _positive_under_load(d5, "Mean Lateness", 4.0)))
+
+    e5 = fig5e(scale)
+    checks.append(_check("fig5e", "CCA at or below EDF-HP across DB sizes",
+                         lambda: _dominance(e5)))
+
+    f5 = fig5f(scale)
+    checks.append(_check(
+        "fig5f",
+        "penalty-weight plateau (disk)",
+        lambda: _plateau(dict(f5.series["4 TPS"]), (1.0, 2.0, 5.0, 10.0, 15.0, 20.0)),
+    ))
+
+    return checks
+
+
+def render_report(checks: Sequence[CheckResult]) -> str:
+    """Human-readable validation report."""
+    lines = ["Reproduction self-check", "=" * 23]
+    lines.extend(str(check) for check in checks)
+    n_passed = sum(1 for check in checks if check.passed)
+    lines.append("-" * 23)
+    lines.append(f"{n_passed}/{len(checks)} claims verified")
+    return "\n".join(lines)

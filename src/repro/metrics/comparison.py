@@ -1,0 +1,65 @@
+"""Paired policy comparisons.
+
+The paper's improvement metric (Section 4.1)::
+
+    improvement = (EDF - CCA) / EDF * 100
+
+Positive improvement means the challenger (CCA) beat the baseline
+(EDF-HP).  The comparison is *paired*: both policies replay the exact
+same per-seed workloads, so differences are attributable to scheduling
+alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.metrics.summary import RunSummary
+
+
+def improvement_percent(baseline: float, challenger: float) -> float:
+    """(baseline - challenger) / baseline * 100.
+
+    Degenerate baselines: if both values are (near) zero there is nothing
+    to improve (0 %); if only the baseline is zero, any positive
+    challenger value is an infinite regression, reported as -100 %.
+    """
+    if abs(baseline) < 1e-12:
+        return 0.0 if abs(challenger) < 1e-12 else -100.0
+    return (baseline - challenger) / baseline * 100.0
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyComparison:
+    """Baseline-vs-challenger summary on identical workloads."""
+
+    baseline: RunSummary
+    challenger: RunSummary
+
+    def __post_init__(self) -> None:
+        if self.baseline.n_runs != self.challenger.n_runs:
+            raise ValueError(
+                "comparison requires the same number of runs per policy "
+                f"({self.baseline.n_runs} vs {self.challenger.n_runs})"
+            )
+
+    @property
+    def miss_percent_improvement(self) -> float:
+        """The paper's "Miss Percent" improvement curve."""
+        return improvement_percent(
+            self.baseline.miss_percent.mean, self.challenger.miss_percent.mean
+        )
+
+    @property
+    def mean_lateness_improvement(self) -> float:
+        """The paper's "Mean Lateness" improvement curve."""
+        return improvement_percent(
+            self.baseline.mean_lateness.mean, self.challenger.mean_lateness.mean
+        )
+
+    @property
+    def restart_improvement(self) -> float:
+        return improvement_percent(
+            self.baseline.restarts_per_transaction.mean,
+            self.challenger.restarts_per_transaction.mean,
+        )

@@ -1,0 +1,117 @@
+"""Statistical rigor for seed-averaged comparisons.
+
+The paper reports bare means over 10/30 seeds.  For a modern reproduction
+we also want interval estimates and significance: a t-based confidence
+interval for each mean, and a *paired* t-test for policy comparisons —
+paired, because both policies replay the identical per-seed workloads,
+which removes workload variance from the comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+# scipy is imported lazily inside the functions that need it, so the
+# core library keeps its no-runtime-dependencies promise; only callers
+# of the statistical helpers need scipy installed.
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided t confidence interval for a mean."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.upper - self.lower) / 2.0
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4g} "
+            f"[{self.lower:.4g}, {self.upper:.4g}] "
+            f"@{self.confidence:.0%}"
+        )
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """t-based confidence interval for the mean of ``values``.
+
+    With a single observation the interval is degenerate (the point
+    itself) — there is no variance estimate to widen it with.
+    """
+    from scipy import stats as scipy_stats
+
+    if not values:
+        raise ValueError("cannot build an interval from zero values")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return ConfidenceInterval(mean, mean, mean, confidence)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    t_crit = float(scipy_stats.t.ppf((1.0 + confidence) / 2.0, df=n - 1))
+    return ConfidenceInterval(
+        mean=mean,
+        lower=mean - t_crit * sem,
+        upper=mean + t_crit * sem,
+        confidence=confidence,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class PairedTestResult:
+    """Outcome of a paired t-test between two policies' per-seed metrics."""
+
+    mean_difference: float
+    """mean(baseline - challenger): positive = challenger is smaller
+    (better, for miss/lateness/restart metrics)."""
+    t_statistic: float
+    p_value: float
+    n_pairs: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def paired_t_test(
+    baseline: Sequence[float], challenger: Sequence[float]
+) -> PairedTestResult:
+    """Paired t-test on per-seed metric values.
+
+    ``baseline[i]`` and ``challenger[i]`` must come from the same seed's
+    workload.  Identical sequences (zero variance of differences) return
+    ``p = 1``: no evidence of any difference.
+    """
+    from scipy import stats as scipy_stats
+
+    if len(baseline) != len(challenger):
+        raise ValueError(
+            f"paired test needs equal lengths, got {len(baseline)} "
+            f"and {len(challenger)}"
+        )
+    if len(baseline) < 2:
+        raise ValueError("paired test needs at least two pairs")
+    differences = [b - c for b, c in zip(baseline, challenger)]
+    mean_diff = sum(differences) / len(differences)
+    if all(abs(d - mean_diff) < 1e-15 for d in differences) and abs(mean_diff) < 1e-15:
+        return PairedTestResult(0.0, 0.0, 1.0, len(differences))
+    t_stat, p_value = scipy_stats.ttest_rel(baseline, challenger)
+    return PairedTestResult(
+        mean_difference=mean_diff,
+        t_statistic=float(t_stat),
+        p_value=float(p_value),
+        n_pairs=len(differences),
+    )

@@ -1,0 +1,37 @@
+"""Real-time database substrate: the passive pieces of the RTDBS model.
+
+This package holds everything below the scheduler:
+
+* :mod:`repro.rtdb.database` — the data items;
+* :mod:`repro.rtdb.locks` — the exclusive (write) lock manager with
+  priority-based wound-wait resolution hooks;
+* :mod:`repro.rtdb.transaction` — the runtime transaction state machine;
+* :mod:`repro.rtdb.cpu` — CPU busy-time accounting;
+* :mod:`repro.rtdb.disk` — the single FCFS disk of the disk-resident
+  configuration;
+* :mod:`repro.rtdb.recovery` — rollback cost models (fixed, as in the
+  paper, and proportional-to-progress, the paper's future-work variant).
+
+The scheduling policy itself lives in :mod:`repro.core`.
+"""
+
+from repro.rtdb.cpu import Cpu
+from repro.rtdb.database import Database
+from repro.rtdb.disk import Disk
+from repro.rtdb.locks import LockManager
+from repro.rtdb.recovery import FixedRecovery, ProportionalRecovery, RecoveryModel
+from repro.rtdb.transaction import Operation, Transaction, TransactionSpec, TxState
+
+__all__ = [
+    "Cpu",
+    "Database",
+    "Disk",
+    "FixedRecovery",
+    "LockManager",
+    "Operation",
+    "ProportionalRecovery",
+    "RecoveryModel",
+    "Transaction",
+    "TransactionSpec",
+    "TxState",
+]

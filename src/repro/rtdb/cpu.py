@@ -1,0 +1,44 @@
+"""CPU busy-time accounting.
+
+The single CPU of the paper's model.  The simulator drives it; this class
+only tracks utilization so the metrics module can report CPU load and the
+experiments can verify the capacity calculations of Sections 4 and 5.
+"""
+
+from __future__ import annotations
+
+
+class Cpu:
+    """Busy/idle bookkeeping for the single CPU."""
+
+    def __init__(self) -> None:
+        self.busy_time = 0.0
+        self._busy_since: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self._busy_since is not None
+
+    def start(self, now: float) -> None:
+        """Mark the CPU busy from ``now``."""
+        if self._busy_since is not None:
+            raise RuntimeError("CPU already busy")
+        self._busy_since = now
+
+    def stop(self, now: float) -> None:
+        """Mark the CPU idle, accumulating the elapsed busy time."""
+        if self._busy_since is None:
+            raise RuntimeError("CPU already idle")
+        if now < self._busy_since:
+            raise ValueError("time moved backwards")
+        self.busy_time += now - self._busy_since
+        self._busy_since = None
+
+    def utilization(self, total_time: float) -> float:
+        """Fraction of ``total_time`` the CPU was busy."""
+        if total_time <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += total_time - self._busy_since
+        return min(1.0, busy / total_time)

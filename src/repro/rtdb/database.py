@@ -1,0 +1,42 @@
+"""The database: a set of uniquely identified data items.
+
+In the paper's model the database is purely passive — items carry no
+values, only identity; what matters is which transactions access which
+items.  The class still earns its keep by centralizing item validation
+and by owning the item id space used everywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class Database:
+    """A main-memory or disk-resident database of ``size`` items.
+
+    Items are the integers ``0 .. size-1``.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"database size must be >= 1, got {size}")
+        self.size = size
+
+    def __contains__(self, item: int) -> bool:
+        return 0 <= item < self.size
+
+    def __len__(self) -> int:
+        return self.size
+
+    def validate_item(self, item: int) -> int:
+        """Return ``item`` if it exists, else raise ``KeyError``."""
+        if item not in self:
+            raise KeyError(f"item {item} not in database of size {self.size}")
+        return item
+
+    def validate_items(self, items: Iterable[int]) -> list[int]:
+        """Validate a collection of items, returning them as a list."""
+        return [self.validate_item(item) for item in items]
+
+    def __repr__(self) -> str:
+        return f"Database(size={self.size})"

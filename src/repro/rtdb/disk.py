@@ -1,0 +1,143 @@
+"""The single disk of the disk-resident configuration.
+
+The paper (Section 5) models one disk with first-come-first-served
+scheduling and a fixed access time; it also cites real-time IO
+scheduling work ([AG89, CBB+89], Section 3.3.2) as a way to reduce IO
+waits.  Both disciplines are available here: FCFS (the paper's Table 2
+default) and priority order via an ``order_key`` callable — typically
+the scheduler's transaction priority, giving an EDF/CCA-ordered disk
+queue.  The in-progress access is never preempted under either
+discipline.
+
+Two paper-specified behaviours on abort:
+
+* a transaction aborted while **waiting** in the disk queue is removed
+  from the queue immediately;
+* a transaction aborted while its access is **in progress** keeps the
+  disk until that access completes (the hardware transfer cannot be
+  recalled), but the completion is then discarded.
+
+The second behaviour falls out naturally here: the simulator tags each
+request with the transaction's epoch and ignores completions whose epoch
+is stale.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.rtdb.transaction import Transaction
+
+CompletionCallback = Callable[[Transaction, int], None]
+"""Called with (transaction, epoch-at-request-time) when an access ends."""
+
+
+class DiskRequest:
+    """One queued disk access."""
+
+    __slots__ = ("tx", "epoch", "duration", "enqueue_time")
+
+    def __init__(self, tx: Transaction, duration: float, enqueue_time: float) -> None:
+        self.tx = tx
+        self.epoch = tx.epoch
+        self.duration = duration
+        self.enqueue_time = enqueue_time
+
+
+OrderKey = Callable[[Transaction], object]
+"""Priority order for the queue: the request whose transaction maximizes
+the key is served next.  None selects FCFS."""
+
+
+class Disk:
+    """Single disk, FCFS or priority service, non-preemptible accesses."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        on_complete: CompletionCallback,
+        order_key: Optional[OrderKey] = None,
+    ) -> None:
+        self._sim = sim
+        self._on_complete = on_complete
+        self._order_key = order_key
+        self._queue: deque[DiskRequest] = deque()
+        self._active: Optional[DiskRequest] = None
+        self.busy_time = 0.0
+        self.accesses_served = 0
+
+    @property
+    def busy(self) -> bool:
+        return self._active is not None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def active_transaction(self) -> Optional[Transaction]:
+        return self._active.tx if self._active else None
+
+    def request(self, tx: Transaction, duration: float) -> None:
+        """Enqueue an access for ``tx``; serves immediately if idle."""
+        if duration <= 0:
+            raise ValueError(f"disk access duration must be positive, got {duration}")
+        self._queue.append(DiskRequest(tx, duration, self._sim.now))
+        if self._active is None:
+            self._start_next()
+
+    def remove_queued(self, tx: Transaction) -> bool:
+        """Remove ``tx`` from the wait queue (abort while queued).
+
+        Returns True if a queued request was removed.  An in-progress
+        access is deliberately not touched (see module docstring).
+        """
+        before = len(self._queue)
+        self._queue = deque(req for req in self._queue if req.tx.tid != tx.tid)
+        return len(self._queue) != before
+
+    def is_serving(self, tx: Transaction) -> bool:
+        return self._active is not None and self._active.tx.tid == tx.tid
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            return
+        if self._order_key is None:
+            request = self._queue.popleft()
+        else:
+            # Priority service: re-evaluate the key at selection time so
+            # dynamic priorities (CCA's) are honoured.
+            key = self._order_key
+            request = max(self._queue, key=lambda req: key(req.tx))
+            self._queue.remove(request)
+        self._active = request
+        self._sim.schedule(
+            request.duration,
+            self._finish,
+            kind="disk_complete",
+            payload=request,
+        )
+
+    def _finish(self, event) -> None:
+        request: DiskRequest = event.payload
+        if self._active is not request:
+            raise RuntimeError("disk completion for a request that is not active")
+        self._active = None
+        self.busy_time += request.duration
+        self.accesses_served += 1
+        # Start the next access before delivering the completion so the
+        # completion callback sees a consistent (already advanced) disk.
+        self._start_next()
+        self._on_complete(request.tx, request.epoch)
+
+    def utilization(self, total_time: float) -> float:
+        """Fraction of ``total_time`` the disk spent transferring.
+
+        Counts completed accesses only; runs are measured after the
+        system drains, when nothing is in flight.
+        """
+        if total_time <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / total_time)

@@ -1,0 +1,170 @@
+"""Lock manager with exclusive (write) and shared (read) modes.
+
+The paper's analysis allows only write locks; the simulator's default
+workloads use write operations exclusively, in which case this manager
+degenerates to one holder per item.  Shared locks implement the paper's
+first future-work item ("shared locks will make the dynamic cost an even
+more important factor"): any number of readers may hold an item, a
+writer excludes everyone, and a sole reader may upgrade to a write lock.
+
+Conflict *resolution* — wound the holders or wait — is a policy decision
+made by the scheduler (High Priority / wound-wait); the manager only
+reports conflicting holders and maintains FIFO wait queues.
+
+Under CCA the wait queues stay empty (Theorem 1: there is no lock wait
+in CCA); under EDF-HP on a disk-resident database a lower-priority
+transaction may wait for a higher-priority holder that is off doing IO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.rtdb.transaction import Transaction
+
+
+class LockManager:
+    """Shared/exclusive locks over data items with FIFO wait queues."""
+
+    def __init__(self) -> None:
+        self._holders: dict[int, dict[int, Transaction]] = {}
+        self._exclusive: set[int] = set()
+        self._held: dict[int, set[int]] = {}
+        self._waiters: dict[int, deque[Transaction]] = {}
+
+    # -- queries ---------------------------------------------------------
+
+    def holders(self, item: int) -> tuple[Transaction, ...]:
+        """Every transaction holding ``item`` (one if exclusive)."""
+        return tuple(self._holders.get(item, {}).values())
+
+    def holder(self, item: int) -> Transaction | None:
+        """The sole holder of ``item`` — None when free *or* shared by
+        several (use :meth:`holders` for the general case)."""
+        current = self._holders.get(item, {})
+        if len(current) == 1:
+            return next(iter(current.values()))
+        return None
+
+    def holds(self, tx: Transaction, item: int) -> bool:
+        return tx.tid in self._holders.get(item, {})
+
+    def holds_exclusive(self, tx: Transaction, item: int) -> bool:
+        return self.holds(tx, item) and item in self._exclusive
+
+    def held_items(self, tx: Transaction) -> frozenset[int]:
+        """Items currently locked (in either mode) by ``tx``."""
+        return frozenset(self._held.get(tx.tid, ()))
+
+    def conflicting_holders(
+        self, tx: Transaction, item: int, exclusive: bool
+    ) -> tuple[Transaction, ...]:
+        """Holders that prevent ``tx`` from locking ``item``.
+
+        Empty means :meth:`acquire` with the same arguments will succeed.
+        """
+        current = self._holders.get(item, {})
+        others = [holder for tid, holder in current.items() if tid != tx.tid]
+        if not others:
+            return ()
+        if item in self._exclusive:
+            return tuple(others)  # someone else holds it exclusively
+        if exclusive:
+            return tuple(others)  # readers block a writer
+        return ()  # readers coexist
+
+    # -- acquisition -----------------------------------------------------
+
+    def acquire(self, tx: Transaction, item: int, exclusive: bool = True) -> bool:
+        """Grant ``item`` to ``tx`` in the requested mode if compatible.
+
+        Handles re-acquisition and the shared-to-exclusive *upgrade* of a
+        sole reader.  Returns False when other holders conflict (the
+        caller then wounds them or enqueues a wait).
+        """
+        if self.conflicting_holders(tx, item, exclusive):
+            return False
+        current = self._holders.setdefault(item, {})
+        current[tx.tid] = tx
+        self._held.setdefault(tx.tid, set()).add(item)
+        if exclusive:
+            self._exclusive.add(item)
+        return True
+
+    # -- waiting ---------------------------------------------------------
+
+    def enqueue_waiter(self, tx: Transaction, item: int) -> None:
+        """Add ``tx`` to ``item``'s FIFO wait queue."""
+        queue = self._waiters.setdefault(item, deque())
+        if any(waiter.tid == tx.tid for waiter in queue):
+            raise ValueError(f"transaction {tx.tid} already waiting for item {item}")
+        queue.append(tx)
+
+    def remove_waiter(self, tx: Transaction, item: int) -> None:
+        """Drop ``tx`` from ``item``'s wait queue (e.g. it was wounded)."""
+        queue = self._waiters.get(item)
+        if queue is not None:
+            remaining = deque(w for w in queue if w.tid != tx.tid)
+            if remaining:
+                self._waiters[item] = remaining
+            else:
+                del self._waiters[item]
+
+    def waiters(self, item: int) -> tuple[Transaction, ...]:
+        return tuple(self._waiters.get(item, ()))
+
+    # -- release ---------------------------------------------------------
+
+    def release_all(self, tx: Transaction) -> list[Transaction]:
+        """Release every lock ``tx`` holds (commit or abort).
+
+        Returns the distinct transactions waiting on any of the affected
+        items, in FIFO-then-item order; the scheduler wakes them.  A
+        woken waiter re-requests the lock when next dispatched, keeping
+        wound decisions in one place in the scheduler.
+        """
+        items = self._held.pop(tx.tid, set())
+        woken: list[Transaction] = []
+        seen: set[int] = set()
+        for item in sorted(items):
+            current = self._holders[item]
+            del current[tx.tid]
+            if not current:
+                del self._holders[item]
+                self._exclusive.discard(item)
+            queue = self._waiters.get(item)
+            if queue:
+                for waiter in queue:
+                    if waiter.tid not in seen:
+                        seen.add(waiter.tid)
+                        woken.append(waiter)
+                del self._waiters[item]
+        return woken
+
+    # -- diagnostics -----------------------------------------------------
+
+    def locked_items(self) -> frozenset[int]:
+        """All items currently locked (diagnostics / invariant checks)."""
+        return frozenset(self._holders)
+
+    def assert_consistent(self) -> None:
+        """Invariant check used by tests: holder and held maps agree,
+        exclusive items have exactly one holder."""
+        for item, current in self._holders.items():
+            if not current:
+                raise AssertionError(f"item {item} has an empty holder map")
+            if item in self._exclusive and len(current) != 1:
+                raise AssertionError(
+                    f"exclusive item {item} held by {len(current)} transactions"
+                )
+            for tid in current:
+                if item not in self._held.get(tid, set()):
+                    raise AssertionError(
+                        f"item {item} holder {tid} missing from held map"
+                    )
+        for tid, items in self._held.items():
+            for item in items:
+                if tid not in self._holders.get(item, {}):
+                    raise AssertionError(
+                        f"held map says {tid} holds {item}, holder map disagrees"
+                    )

@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+This package replaces the SIMPACK C library used by the paper.  It provides
+the three facilities a SIMPACK-style simulation needs:
+
+* an **event calendar** (:mod:`repro.sim.calendar`) — a stable priority
+  queue of timestamped events supporting O(log n) insert/pop and lazy
+  cancellation;
+* a **simulation engine** (:mod:`repro.sim.engine`) — the clock and the
+  event loop, with helpers to schedule callbacks at absolute or relative
+  simulated times;
+* **random variate streams** (:mod:`repro.sim.random`) — independently
+  seeded streams of the distributions the paper's workload uses
+  (exponential inter-arrival times, normal update counts, uniform slack
+  and item choices).
+
+The scheduling logic itself (the paper's contribution) lives in
+:mod:`repro.core`; this package is deliberately policy-free.
+"""
+
+from repro.sim.calendar import EventCalendar
+from repro.sim.engine import Event, Simulator
+from repro.sim.random import RandomStream, StreamFactory
+
+__all__ = [
+    "Event",
+    "EventCalendar",
+    "RandomStream",
+    "Simulator",
+    "StreamFactory",
+]

@@ -1,0 +1,85 @@
+"""Event calendar: a stable, cancellable priority queue of events.
+
+The calendar orders events by ``(time, sequence)`` where the sequence
+number is assigned at insertion.  Two events scheduled for the same
+simulated time therefore fire in insertion order, which keeps simulations
+deterministic — a property the paper's multi-seed averaging methodology
+relies on.
+
+Cancellation is *lazy*: a cancelled event stays in the heap but is skipped
+when popped.  This keeps cancellation O(1) and is the standard technique
+for simulations with frequent preemption (here: every CPU preemption
+cancels an in-flight service-completion event).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, Optional
+
+from repro.sim.events import Event
+
+
+class EventCalendar:
+    """A priority queue of :class:`~repro.sim.events.Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> Event:
+        """Insert ``event`` and return it.
+
+        The event's sequence number is assigned here; callers must not set
+        it themselves.
+        """
+        if event.cancelled:
+            raise ValueError("cannot schedule a cancelled event")
+        event._sequence = self._sequence
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty.
+
+        Cancelled events encountered on the way are discarded.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                self._live -= 1
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event`` (no-op if already cancelled)."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Discard every event."""
+        self._heap.clear()
+        self._live = 0
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate over live events in no particular order."""
+        return (event for event in self._heap if not event.cancelled)

@@ -1,0 +1,115 @@
+"""The simulation engine: clock plus event loop.
+
+Usage::
+
+    sim = Simulator()
+    sim.schedule(5.0, lambda ev: print("fired at", sim.now))
+    sim.run()
+
+The engine is single-threaded and synchronous; callbacks run inline as
+their events fire and may schedule or cancel further events.  Time never
+moves backwards (scheduling into the past raises).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.calendar import EventCalendar
+from repro.sim.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the engine (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Discrete-event simulation clock and event loop."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self.calendar = EventCalendar()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def events_processed(self) -> int:
+        """Count of events whose callbacks have run."""
+        return self._events_processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[Event], None],
+        kind: str = "event",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay}")
+        return self.schedule_at(self.now + delay, callback, kind=kind, payload=payload)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[Event], None],
+        kind: str = "event",
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self.now}"
+            )
+        return self.calendar.push(Event(time, callback, kind=kind, payload=payload))
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self.calendar.cancel(event)
+
+    def step(self) -> bool:
+        """Fire the earliest event.  Returns ``False`` when none remain."""
+        event = self.calendar.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError(
+                f"event at t={event.time} is in the past (now={self.now})"
+            )
+        self.now = event.time
+        self._events_processed += 1
+        event.callback(event)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the event loop and return the final clock value.
+
+        ``until`` stops the loop once the next event would fire after that
+        time (the clock is advanced to ``until``).  ``max_events`` bounds
+        the number of callbacks fired, guarding against runaway loops.
+        """
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                next_time = self.calendar.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = max(self.now, until)
+                    break
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a runaway loop"
+                    )
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        return self.now

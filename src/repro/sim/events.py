@@ -1,0 +1,43 @@
+"""The event record used by the calendar and the engine."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A timestamped callback.
+
+    Events compare by ``(time, sequence)`` so the calendar is stable.
+    ``payload`` carries arbitrary user data (typically the transaction the
+    event concerns) and ``kind`` is a short label used for tracing.
+    """
+
+    __slots__ = ("time", "kind", "callback", "payload", "cancelled", "_sequence")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[["Event"], None],
+        kind: str = "event",
+        payload: Any = None,
+    ) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        self.time = time
+        self.kind = kind
+        self.callback = callback
+        self.payload = payload
+        self.cancelled = False
+        self._sequence: Optional[int] = None
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        # Sequence numbers are assigned on push, so they are always set
+        # by the time two events are compared inside the heap.
+        return (self._sequence or 0) < (other._sequence or 0)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "live"
+        return f"Event(t={self.time:.6g}, kind={self.kind!r}, {state})"

@@ -1,0 +1,150 @@
+"""Schedule tracing: structured event logs and ASCII schedule charts.
+
+:class:`EventLog` is a ready-made ``trace`` hook for
+:class:`~repro.core.simulator.RTDBSimulator` (and the multiprocessor
+variant).  It records every scheduler event with transaction objects
+flattened to ids, so the log is plain data:
+
+    log = EventLog()
+    RTDBSimulator(config, workload, policy, trace=log).run()
+    log.to_jsonl("schedule.jsonl")
+    print(log.gantt())
+
+The Gantt view reconstructs CPU occupancy intervals from
+dispatch/preempt/commit/block events — the quickest way to *see* a
+preemption storm, a noncontributing execution, or CCA idling through an
+IO wait.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.rtdb.transaction import Transaction
+
+#: Event kinds that take the CPU away from the running transaction.
+_CPU_RELEASING = ("preempt", "commit", "io_start", "lock_wait", "drop")
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuInterval:
+    """One contiguous stretch of CPU time for one transaction."""
+
+    tid: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class EventLog:
+    """Records simulator trace events as plain dictionaries."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def __call__(self, name: str, **fields) -> None:
+        record: dict = {"event": name}
+        for key, value in fields.items():
+            if isinstance(value, Transaction):
+                record[key] = value.tid
+            elif isinstance(value, (tuple, list)):
+                record[key] = [
+                    item.tid if isinstance(item, Transaction) else item
+                    for item in value
+                ]
+            else:
+                record[key] = value
+        self.events.append(record)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of(self, name: str) -> list[dict]:
+        """All events of one kind, in order."""
+        return [event for event in self.events if event["event"] == name]
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.events)
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON object per line; returns the path."""
+        path = Path(path)
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event) + "\n")
+        return path
+
+    # -- schedule reconstruction -----------------------------------------
+
+    def cpu_intervals(self) -> list[CpuInterval]:
+        """CPU occupancy intervals reconstructed from the event stream.
+
+        Works for the single-CPU simulator, where at most one
+        transaction runs at a time: a ``dispatch`` opens an interval and
+        the next CPU-releasing event of the same transaction (or the
+        next dispatch) closes it.
+        """
+        intervals: list[CpuInterval] = []
+        current: Optional[tuple[int, float]] = None
+        for event in self.events:
+            kind = event["event"]
+            time = event.get("time", 0.0)
+            if kind == "dispatch":
+                if current is not None and current[1] < time:
+                    intervals.append(CpuInterval(current[0], current[1], time))
+                current = (event["tx"], time)
+            elif kind in _CPU_RELEASING and current is not None:
+                if event.get("tx") == current[0]:
+                    if current[1] < time:
+                        intervals.append(CpuInterval(current[0], current[1], time))
+                    current = None
+        return intervals
+
+    def gantt(
+        self,
+        width: int = 72,
+        max_rows: int = 20,
+        until: Optional[float] = None,
+    ) -> str:
+        """An ASCII Gantt chart of CPU occupancy.
+
+        One row per transaction (the ``max_rows`` with the most CPU
+        time), ``#`` marking buckets in which the transaction held the
+        CPU.  Rows are sorted by first dispatch.
+        """
+        intervals = self.cpu_intervals()
+        if not intervals:
+            return "(no CPU activity recorded)"
+        horizon = until if until is not None else max(iv.end for iv in intervals)
+        if horizon <= 0:
+            return "(empty horizon)"
+        per_tid: dict[int, list[CpuInterval]] = {}
+        for interval in intervals:
+            per_tid.setdefault(interval.tid, []).append(interval)
+        busiest = sorted(
+            per_tid,
+            key=lambda tid: sum(iv.duration for iv in per_tid[tid]),
+            reverse=True,
+        )[:max_rows]
+        shown = sorted(busiest, key=lambda tid: per_tid[tid][0].start)
+
+        bucket = horizon / width
+        lines = [f"CPU schedule  0 .. {horizon:.6g} ms  ({bucket:.3g} ms/column)"]
+        for tid in shown:
+            cells = [" "] * width
+            for interval in per_tid[tid]:
+                first = min(width - 1, int(interval.start / bucket))
+                last = min(width - 1, int(max(interval.start, interval.end - 1e-12) / bucket))
+                for column in range(first, last + 1):
+                    cells[column] = "#"
+            lines.append(f"tx{tid:>5d} |{''.join(cells)}|")
+        hidden = len(per_tid) - len(shown)
+        if hidden > 0:
+            lines.append(f"(+{hidden} more transactions not shown)")
+        return "\n".join(lines)

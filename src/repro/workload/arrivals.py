@@ -1,0 +1,115 @@
+"""Arrival processes.
+
+The paper's transactions "enter the system according to a Poisson
+process with arrival rate lambda (i.e., exponentially distributed
+inter-arrival times with mean value 1/lambda), and they are ready to
+execute when they enter the system (release time equals arrival time)".
+
+Real embedded workloads are rarely that smooth, so an **interrupted
+Poisson process** is also provided (:func:`bursty_arrivals`): the source
+alternates between exponentially distributed ON and OFF periods, firing
+at a boosted rate while ON and a depressed rate while OFF, with the
+long-run mean rate preserved.  Burstiness stresses exactly the transient
+overloads CCA's continuous re-evaluation is designed to absorb.
+"""
+
+from __future__ import annotations
+
+from repro.sim.random import RandomStream
+
+
+def poisson_arrivals(
+    stream: RandomStream,
+    rate_per_second: float,
+    count: int,
+    start: float = 0.0,
+) -> list[float]:
+    """``count`` arrival times (ms) of a Poisson process.
+
+    ``rate_per_second`` is the paper's lambda in transactions/second; the
+    returned times are in milliseconds, the simulation clock unit.
+    """
+    if rate_per_second <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate_per_second}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    mean_interarrival_ms = 1000.0 / rate_per_second
+    times: list[float] = []
+    now = start
+    for _ in range(count):
+        now += stream.exponential(mean_interarrival_ms)
+        times.append(now)
+    return times
+
+
+def bursty_arrivals(
+    stream: RandomStream,
+    mean_rate_per_second: float,
+    count: int,
+    burst_factor: float = 4.0,
+    burst_fraction: float = 0.2,
+    mean_burst_ms: float = 2000.0,
+    start: float = 0.0,
+) -> list[float]:
+    """``count`` arrival times (ms) of an interrupted Poisson process.
+
+    The source spends (on average) ``burst_fraction`` of its time in ON
+    periods of mean length ``mean_burst_ms``, arriving at
+    ``burst_factor`` times the mean rate; OFF periods absorb the slack so
+    the long-run rate stays ``mean_rate_per_second``:
+
+        rate_on  = mean_rate * burst_factor
+        rate_off = mean_rate * (1 - burst_fraction * burst_factor)
+                             / (1 - burst_fraction)
+
+    ``burst_factor`` may not exceed ``1 / burst_fraction`` (the OFF rate
+    would go negative).  ``burst_factor = 1`` degenerates to Poisson.
+    """
+    if mean_rate_per_second <= 0:
+        raise ValueError("mean arrival rate must be positive")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if not 0.0 < burst_fraction < 1.0:
+        raise ValueError("burst fraction must be in (0, 1)")
+    if burst_factor < 1.0:
+        raise ValueError("burst factor must be >= 1")
+    if burst_factor * burst_fraction > 1.0:
+        raise ValueError(
+            "burst_factor may not exceed 1/burst_fraction "
+            "(the off-period rate would be negative)"
+        )
+    if mean_burst_ms <= 0:
+        raise ValueError("mean burst duration must be positive")
+
+    rate_on = mean_rate_per_second * burst_factor
+    rate_off = (
+        mean_rate_per_second
+        * (1.0 - burst_fraction * burst_factor)
+        / (1.0 - burst_fraction)
+    )
+    mean_gap_ms = mean_burst_ms * (1.0 - burst_fraction) / burst_fraction
+
+    times: list[float] = []
+    now = start
+    in_burst = False
+    phase_end = now + stream.exponential(mean_gap_ms)
+    while len(times) < count:
+        rate = rate_on if in_burst else rate_off
+        if rate <= 0:
+            now = phase_end
+            in_burst = not in_burst
+            phase_end = now + stream.exponential(
+                mean_burst_ms if in_burst else mean_gap_ms
+            )
+            continue
+        gap = stream.exponential(1000.0 / rate)
+        if now + gap >= phase_end:
+            now = phase_end
+            in_burst = not in_burst
+            phase_end = now + stream.exponential(
+                mean_burst_ms if in_burst else mean_gap_ms
+            )
+            continue
+        now += gap
+        times.append(now)
+    return times

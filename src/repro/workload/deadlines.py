@@ -1,0 +1,30 @@
+"""Slack-based deadline assignment.
+
+Paper formula::
+
+    deadline = arrival_time + resource_time * (1 + slack_percent)
+
+with ``slack_percent`` uniform on [Min-slack, Max-slack] (Table 1: 20 %
+to 800 %, expressed here as fractions 0.2 .. 8.0) and ``resource_time``
+the transaction's isolated execution time — CPU plus disk legs.
+"""
+
+from __future__ import annotations
+
+from repro.sim.random import RandomStream
+
+
+def assign_deadline(
+    arrival_time: float,
+    resource_time: float,
+    stream: RandomStream,
+    min_slack: float,
+    max_slack: float,
+) -> float:
+    """Deadline for a transaction arriving at ``arrival_time``."""
+    if resource_time <= 0:
+        raise ValueError(f"resource time must be positive, got {resource_time}")
+    if min_slack < 0 or max_slack < min_slack:
+        raise ValueError(f"invalid slack range [{min_slack}, {max_slack}]")
+    slack_percent = stream.uniform(min_slack, max_slack)
+    return arrival_time + resource_time * (1.0 + slack_percent)

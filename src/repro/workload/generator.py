@@ -1,0 +1,107 @@
+"""Assemble complete workloads.
+
+A workload is the full, immutable input of one simulated run: every
+transaction's type, arrival time, operations (with their disk legs
+pre-drawn) and deadline.  Generating it *before* simulation — rather than
+drawing variates during the run — means the exact same workload can be
+replayed under every policy, giving the paired EDF-vs-CCA comparisons the
+paper's methodology implies (same seeds, same transactions).
+
+Stream separation (see :class:`repro.sim.random.StreamFactory`) keeps the
+type table, arrival process, type choices, slack draws and disk-access
+coin flips independent, so e.g. changing the arrival rate does not
+perturb the type table of the same seed.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationConfig
+from repro.rtdb.transaction import Operation, TransactionSpec
+from repro.sim.random import StreamFactory
+from repro.workload.deadlines import assign_deadline
+from repro.workload.arrivals import bursty_arrivals, poisson_arrivals
+from repro.workload.types import TransactionType, make_type_table
+
+
+class WorkloadGenerator:
+    """Generates the paper's workload for one (config, seed) pair."""
+
+    def __init__(self, config: SimulationConfig, seed: int) -> None:
+        self.config = config
+        self.seed = seed
+        self._factory = StreamFactory(seed)
+
+    def make_types(self) -> list[TransactionType]:
+        """The per-run transaction type table."""
+        return make_type_table(self.config, self._factory.stream("types"))
+
+    def generate(self) -> list[TransactionSpec]:
+        """The full workload: ``config.n_transactions`` transaction specs,
+        ordered by arrival time."""
+        config = self.config
+        types = self.make_types()
+        arrival_stream = self._factory.stream("arrivals")
+        choice_stream = self._factory.stream("type-choice")
+        slack_stream = self._factory.stream("slack")
+        io_stream = self._factory.stream("disk-io")
+        criticalness_stream = self._factory.stream("criticalness")
+
+        if config.arrival_model == "bursty":
+            arrivals = bursty_arrivals(
+                arrival_stream,
+                config.arrival_rate,
+                config.n_transactions,
+                burst_factor=config.burst_factor,
+                burst_fraction=config.burst_fraction,
+                mean_burst_ms=config.mean_burst_ms,
+            )
+        else:
+            arrivals = poisson_arrivals(
+                arrival_stream, config.arrival_rate, config.n_transactions
+            )
+        specs: list[TransactionSpec] = []
+        for tid, arrival_time in enumerate(arrivals):
+            tx_type = choice_stream.choice(types)
+            operations = tuple(
+                Operation(
+                    item=item,
+                    compute_time=tx_type.compute_per_update,
+                    io_time=(
+                        config.disk_access_time
+                        if config.disk_resident and io_stream.coin(config.disk_access_prob)
+                        else 0.0
+                    ),
+                    is_write=is_write,
+                )
+                for item, is_write in zip(tx_type.items, tx_type.write_flags)
+            )
+            resource_time = sum(op.compute_time + op.io_time for op in operations)
+            deadline = assign_deadline(
+                arrival_time,
+                resource_time,
+                slack_stream,
+                config.min_slack,
+                config.max_slack,
+            )
+            criticalness = (
+                criticalness_stream.randint(0, config.criticalness_levels - 1)
+                if config.criticalness_levels > 1
+                else 0
+            )
+            specs.append(
+                TransactionSpec(
+                    tid=tid,
+                    type_id=tx_type.type_id,
+                    arrival_time=arrival_time,
+                    deadline=deadline,
+                    operations=operations,
+                    program_name=tx_type.program_name,
+                    criticalness=criticalness,
+                )
+            )
+        return specs
+
+
+def generate_workload(config: SimulationConfig, seed: int) -> list[TransactionSpec]:
+    """Convenience wrapper: one call, one workload."""
+    return WorkloadGenerator(config, seed).generate()

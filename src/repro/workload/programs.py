@@ -1,0 +1,217 @@
+"""Tree-program workloads: decision points exercised at runtime.
+
+The paper's simulations use flat programs and leave "the effects of
+conditionally unsafe and conditionally conflict" to future work
+(Section 6).  This module provides that extension: it generates
+transaction *types* that are genuine transaction trees — a root segment
+of accesses followed by decision points that commit the instance to one
+of several branch segments — and instances that resolve those decisions
+at run time.
+
+Each generated :class:`~repro.rtdb.transaction.TransactionSpec` carries a
+``node_schedule`` that tells the simulator at which operation index the
+transaction's knowledge state advances to which tree node; the
+:class:`~repro.core.oracle.TreeOracle` then evaluates conflict/safety
+against the *current node*, so the scheduler sees CONDITIONALLY_UNSAFE
+and CONDITIONALLY_CONFLICT states exactly as the paper defines them.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.program import ProgramNode, TransactionProgram
+from repro.analysis.table import RelationTable
+from repro.analysis.tree import TransactionTree
+from repro.config import SimulationConfig
+from repro.rtdb.transaction import Operation, TransactionSpec
+from repro.sim.random import RandomStream, StreamFactory
+from repro.workload.deadlines import assign_deadline
+from repro.workload.arrivals import poisson_arrivals
+
+
+class TreeWorkloadGenerator:
+    """Workloads whose transaction types contain decision points.
+
+    Parameters beyond the shared :class:`SimulationConfig`:
+
+    ``branch_probability``
+        Chance that a program (sub)segment ends in a decision point
+        rather than a leaf.
+    ``n_branches``
+        Fan-out of each decision point.
+    ``max_depth``
+        Maximum number of nested decision points per program.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        seed: int,
+        branch_probability: float = 0.7,
+        n_branches: int = 2,
+        max_depth: int = 2,
+    ) -> None:
+        if not 0.0 <= branch_probability <= 1.0:
+            raise ValueError("branch probability must be in [0, 1]")
+        if n_branches < 2:
+            raise ValueError("a decision point needs at least 2 branches")
+        if max_depth < 1:
+            raise ValueError("max depth must be >= 1")
+        self.config = config
+        self.seed = seed
+        self.branch_probability = branch_probability
+        self.n_branches = n_branches
+        self.max_depth = max_depth
+        self._factory = StreamFactory(seed)
+
+    # -- program construction -------------------------------------------
+
+    def make_programs(self) -> list[TransactionProgram]:
+        """One tree program per transaction type."""
+        stream = self._factory.stream("tree-types")
+        return [
+            self._make_program(type_id, stream)
+            for type_id in range(self.config.n_transaction_types)
+        ]
+
+    def _make_program(self, type_id: int, stream: RandomStream) -> TransactionProgram:
+        total = stream.positive_int_normal(
+            self.config.updates_mean, self.config.updates_std
+        )
+        total = min(total, max(1, self.config.db_size // 2))
+        name = f"tree{type_id}"
+        root = self._make_node(name, total, depth=0, used=set(), stream=stream)
+        return TransactionProgram(name, root)
+
+    def _make_node(
+        self,
+        label: str,
+        budget: int,
+        depth: int,
+        used: set[int],
+        stream: RandomStream,
+    ) -> ProgramNode:
+        """Build a (sub)tree with roughly ``budget`` accesses per path.
+
+        ``used`` holds the items already accessed on the path from the
+        root, so a single execution path never repeats an item.
+        """
+        may_branch = (
+            depth < self.max_depth
+            and budget >= 2
+            and stream.coin(self.branch_probability)
+        )
+        segment_size = max(1, budget // 2) if may_branch else budget
+        segment = self._fresh_items(segment_size, used, stream)
+        if not may_branch:
+            return ProgramNode(label, accesses=segment)
+        remaining = budget - len(segment)
+        children = []
+        path_used = used | set(segment)
+        for branch in range(self.n_branches):
+            child_label = f"{label}.{branch}"
+            # Each branch samples independently: siblings may overlap each
+            # other (that is what makes conflicts *conditional*).
+            children.append(
+                self._make_node(
+                    child_label,
+                    max(1, remaining),
+                    depth + 1,
+                    set(path_used),
+                    stream,
+                )
+            )
+        return ProgramNode(label, accesses=segment, children=children)
+
+    def _fresh_items(
+        self, count: int, used: set[int], stream: RandomStream
+    ) -> list[int]:
+        available = self.config.db_size - len(used)
+        count = min(count, available)
+        items: list[int] = []
+        while len(items) < count:
+            item = stream.randint(0, self.config.db_size - 1)
+            if item not in used:
+                used.add(item)
+                items.append(item)
+        return items
+
+    # -- workload construction ------------------------------------------
+
+    def generate(self) -> tuple[RelationTable, list[TransactionSpec]]:
+        """The relation table and the instance workload.
+
+        The relation table is what the paper's pre-analysis would hand to
+        the scheduler; pass it to a
+        :class:`~repro.core.oracle.TreeOracle`.
+        """
+        config = self.config
+        programs = self.make_programs()
+        trees = [TransactionTree(program) for program in programs]
+        table = RelationTable(trees)
+
+        arrival_stream = self._factory.stream("arrivals")
+        choice_stream = self._factory.stream("type-choice")
+        slack_stream = self._factory.stream("slack")
+        path_stream = self._factory.stream("decision-path")
+        io_stream = self._factory.stream("disk-io")
+
+        arrivals = poisson_arrivals(
+            arrival_stream, config.arrival_rate, config.n_transactions
+        )
+        specs: list[TransactionSpec] = []
+        for tid, arrival_time in enumerate(arrivals):
+            tree = choice_stream.choice(trees)
+            operations, node_schedule = self._instantiate_path(
+                tree, path_stream, io_stream
+            )
+            resource_time = sum(op.compute_time + op.io_time for op in operations)
+            deadline = assign_deadline(
+                arrival_time,
+                resource_time,
+                slack_stream,
+                config.min_slack,
+                config.max_slack,
+            )
+            specs.append(
+                TransactionSpec(
+                    tid=tid,
+                    type_id=int(tree.name.removeprefix("tree")),
+                    arrival_time=arrival_time,
+                    deadline=deadline,
+                    operations=operations,
+                    program_name=tree.name,
+                    node_schedule=node_schedule,
+                )
+            )
+        return table, specs
+
+    def _instantiate_path(
+        self,
+        tree: TransactionTree,
+        path_stream: RandomStream,
+        io_stream: RandomStream,
+    ) -> tuple[tuple[Operation, ...], tuple[tuple[int, str], ...]]:
+        """Walk the tree choosing one branch per decision point."""
+        config = self.config
+        operations: list[Operation] = []
+        node_schedule: list[tuple[int, str]] = []
+        node = tree.root
+        while True:
+            for item in sorted(node.accesses):
+                operations.append(
+                    Operation(
+                        item=item,
+                        compute_time=config.compute_per_update,
+                        io_time=(
+                            config.disk_access_time
+                            if config.disk_resident
+                            and io_stream.coin(config.disk_access_prob)
+                            else 0.0
+                        ),
+                    )
+                )
+            if node.is_leaf:
+                break
+            node = path_stream.choice(node.children)
+            node_schedule.append((len(operations), node.label))
+        return tuple(operations), tuple(node_schedule)

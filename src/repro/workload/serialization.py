@@ -1,0 +1,93 @@
+"""Workload serialization: save and replay exact workloads.
+
+The paired-comparison methodology depends on replaying *identical*
+workloads; serializing them makes runs shareable across machines and
+lets a failing schedule be archived next to a bug report.  The format is
+JSON Lines — one transaction spec per line — with a header line carrying
+a format version.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.rtdb.transaction import Operation, TransactionSpec
+
+FORMAT_VERSION = 1
+_HEADER_KEY = "repro_workload_version"
+
+
+def spec_to_dict(spec: TransactionSpec) -> dict:
+    """Plain-data representation of one transaction spec."""
+    return {
+        "tid": spec.tid,
+        "type_id": spec.type_id,
+        "arrival_time": spec.arrival_time,
+        "deadline": spec.deadline,
+        "program_name": spec.program_name,
+        "criticalness": spec.criticalness,
+        "node_schedule": [list(pair) for pair in spec.node_schedule],
+        "operations": [
+            {
+                "item": op.item,
+                "compute_time": op.compute_time,
+                "io_time": op.io_time,
+                "is_write": op.is_write,
+            }
+            for op in spec.operations
+        ],
+    }
+
+
+def spec_from_dict(data: dict) -> TransactionSpec:
+    """Inverse of :func:`spec_to_dict` (validates via the constructors)."""
+    return TransactionSpec(
+        tid=int(data["tid"]),
+        type_id=int(data["type_id"]),
+        arrival_time=float(data["arrival_time"]),
+        deadline=float(data["deadline"]),
+        program_name=str(data.get("program_name", "")),
+        criticalness=int(data.get("criticalness", 0)),
+        node_schedule=tuple(
+            (int(index), str(label))
+            for index, label in data.get("node_schedule", [])
+        ),
+        operations=tuple(
+            Operation(
+                item=int(op["item"]),
+                compute_time=float(op["compute_time"]),
+                io_time=float(op.get("io_time", 0.0)),
+                is_write=bool(op.get("is_write", True)),
+            )
+            for op in data["operations"]
+        ),
+    )
+
+
+def save_workload(workload: Sequence[TransactionSpec], path: str | Path) -> Path:
+    """Write a workload as JSON Lines; returns the path."""
+    path = Path(path)
+    with open(path, "w") as handle:
+        handle.write(json.dumps({_HEADER_KEY: FORMAT_VERSION}) + "\n")
+        for spec in workload:
+            handle.write(json.dumps(spec_to_dict(spec)) + "\n")
+    return path
+
+
+def load_workload(path: str | Path) -> list[TransactionSpec]:
+    """Read a workload written by :func:`save_workload`."""
+    path = Path(path)
+    with open(path) as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"{path} is empty")
+    header = json.loads(lines[0])
+    version = header.get(_HEADER_KEY)
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path} has workload format version {version!r}; "
+            f"this library reads version {FORMAT_VERSION}"
+        )
+    return [spec_from_dict(json.loads(line)) for line in lines[1:]]

@@ -1,0 +1,74 @@
+"""Transaction program representation."""
+
+import pytest
+
+from repro.analysis.program import ProgramNode, TransactionProgram, linear_program
+
+
+class TestProgramNode:
+    def test_leaf(self):
+        node = ProgramNode("A", accesses=[1, 2])
+        assert node.is_leaf
+        assert node.accesses == frozenset({1, 2})
+
+    def test_children_get_parent(self):
+        child = ProgramNode("Aa", accesses=[3])
+        root = ProgramNode("A", accesses=[1], children=[child])
+        assert child.parent is root
+        assert not root.is_leaf
+
+    def test_node_cannot_have_two_parents(self):
+        child = ProgramNode("X", accesses=[1])
+        ProgramNode("A", children=[child])
+        with pytest.raises(ValueError, match="already has a parent"):
+            ProgramNode("B", children=[child])
+
+    def test_walk_is_preorder(self):
+        tree = ProgramNode(
+            "A",
+            children=[
+                ProgramNode("Aa", children=[ProgramNode("Aaa")]),
+                ProgramNode("Ab"),
+            ],
+        )
+        assert [n.label for n in tree.walk()] == ["A", "Aa", "Aaa", "Ab"]
+
+
+class TestTransactionProgram:
+    def test_duplicate_labels_rejected(self):
+        root = ProgramNode("A", children=[ProgramNode("B"), ProgramNode("B2")])
+        TransactionProgram("A", root)  # unique labels fine
+        bad = ProgramNode("A", children=[ProgramNode("A2"), ProgramNode("A2")])
+        with pytest.raises(ValueError):
+            # Constructing the duplicate-children node itself is fine; the
+            # program constructor detects the duplicate label.
+            TransactionProgram("A", bad)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionProgram("", ProgramNode("x"))
+
+    def test_node_lookup(self):
+        program = linear_program("P", [1, 2, 3])
+        assert program.node("P").accesses == frozenset({1, 2, 3})
+        with pytest.raises(KeyError):
+            program.node("missing")
+
+    def test_data_set_unions_all_segments(self):
+        root = ProgramNode(
+            "A",
+            accesses=[0],
+            children=[
+                ProgramNode("Aa", accesses=[1, 2, 3]),
+                ProgramNode("Ab", accesses=[4, 5, 6]),
+            ],
+        )
+        program = TransactionProgram("A", root)
+        assert program.data_set == frozenset(range(7))
+        assert program.has_decision_points
+
+    def test_linear_program_is_single_node(self):
+        program = linear_program("B", [1, 2, 3])
+        assert not program.has_decision_points
+        assert program.data_set == frozenset({1, 2, 3})
+        assert program.root.is_leaf

@@ -1,0 +1,182 @@
+"""Conflict and safety relations, including the paper's worked claims.
+
+Paper, Section 3.2.2 on programs A and B of Figures 1/2:
+"TA1 [conditionally] conflicts with TB1, TAa conflicts with TB1, but
+TAb doesn't conflict with TB1."
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.program import ProgramNode, TransactionProgram, linear_program
+from repro.analysis.relations import (
+    Conflict,
+    Safety,
+    conflict_between,
+    safety_of,
+)
+from repro.analysis.tree import TransactionTree
+
+from tests.analysis.test_tree import figure3_tree, paper_program_a, paper_program_b
+
+
+def trees():
+    return TransactionTree(paper_program_a()), TransactionTree(paper_program_b())
+
+
+class TestPaperConflicts:
+    def test_a_at_root_conditionally_conflicts_with_b(self):
+        tree_a, tree_b = trees()
+        assert conflict_between(tree_a, "A", tree_b, "B") is Conflict.CONDITIONAL
+
+    def test_a_at_aa_conflicts_with_b(self):
+        tree_a, tree_b = trees()
+        assert conflict_between(tree_a, "Aa", tree_b, "B") is Conflict.CERTAIN
+
+    def test_a_at_ab_does_not_conflict_with_b(self):
+        tree_a, tree_b = trees()
+        assert conflict_between(tree_a, "Ab", tree_b, "B") is Conflict.NONE
+
+    def test_conflict_is_symmetric(self):
+        tree_a, tree_b = trees()
+        for label in ("A", "Aa", "Ab"):
+            assert conflict_between(tree_a, label, tree_b, "B") is conflict_between(
+                tree_b, "B", tree_a, label
+            )
+
+    def test_possible_flag(self):
+        assert Conflict.CERTAIN.possible
+        assert Conflict.CONDITIONAL.possible
+        assert not Conflict.NONE.possible
+
+
+class TestPaperSafety:
+    def test_b_unsafe_wrt_a_at_aa(self):
+        """B (flat, has accessed 1,2,3) must be rolled back if A runs
+        after committing to the Aa branch."""
+        tree_a, tree_b = trees()
+        assert safety_of(tree_b, "B", tree_a, "Aa") is Safety.UNSAFE
+
+    def test_b_conditionally_unsafe_wrt_a_at_root(self):
+        """Before A's decision point, B's rollback depends on the branch."""
+        tree_a, tree_b = trees()
+        assert safety_of(tree_b, "B", tree_a, "A") is Safety.CONDITIONALLY_UNSAFE
+
+    def test_b_safe_wrt_a_at_ab(self):
+        tree_a, tree_b = trees()
+        assert safety_of(tree_b, "B", tree_a, "Ab") is Safety.SAFE
+
+    def test_a_at_root_safe_wrt_b_when_nothing_accessed(self):
+        """A at its root has accessed only item 0 (w), which B never
+        touches, so A is safe wrt B."""
+        tree_a, tree_b = trees()
+        assert safety_of(tree_a, "A", tree_b, "B") is Safety.SAFE
+
+    def test_a_at_aa_unsafe_wrt_b(self):
+        tree_a, tree_b = trees()
+        assert safety_of(tree_a, "Aa", tree_b, "B") is Safety.UNSAFE
+
+    def test_needs_rollback_flag(self):
+        assert Safety.UNSAFE.needs_rollback
+        assert Safety.CONDITIONALLY_UNSAFE.needs_rollback
+        assert not Safety.SAFE.needs_rollback
+
+
+class TestFigure3Safety:
+    def test_conditionally_unsafe_across_branches(self):
+        """A flat transaction that accessed C is conditionally unsafe wrt
+        T2 at node T22: the T24 continuation touches C, T25 does not."""
+        tree2 = figure3_tree()
+        flat_c = TransactionTree(linear_program("FC", [12]))  # item C
+        assert safety_of(flat_c, "FC", tree2, "T22") is Safety.CONDITIONALLY_UNSAFE
+
+    def test_unsafe_when_every_leaf_touches(self):
+        """A flat transaction that accessed A is unsafe wrt T2 at T22:
+        both leaves' mightaccess include A (it is on the path)."""
+        tree2 = figure3_tree()
+        flat_a = TransactionTree(linear_program("FA", [10]))  # item A
+        assert safety_of(flat_a, "FA", tree2, "T22") is Safety.UNSAFE
+
+    def test_safe_when_disjoint(self):
+        tree2 = figure3_tree()
+        flat_z = TransactionTree(linear_program("FZ", [99]))
+        assert safety_of(flat_z, "FZ", tree2, "T21") is Safety.SAFE
+
+
+# ---------------------------------------------------------------------------
+# Property-based invariants over random trees
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_tree(draw, max_depth=3):
+    """A random transaction tree over items 0..19."""
+    prefix = draw(st.integers(0, 10**6))
+    next_id = iter(range(10**6))
+
+    def build(depth: int) -> ProgramNode:
+        label = f"n{prefix}.{next(next_id)}"
+        items = draw(st.lists(st.integers(0, 19), max_size=4))
+        if depth >= max_depth or not draw(st.booleans()):
+            return ProgramNode(label, accesses=items)
+        n_children = draw(st.integers(2, 3))
+        return ProgramNode(
+            label,
+            accesses=items,
+            children=[build(depth + 1) for _ in range(n_children)],
+        )
+
+    root = build(0)
+    return TransactionTree(TransactionProgram(root.label, root))
+
+
+class TestRelationProperties:
+    @given(random_tree(), random_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_conflict_symmetric(self, tree_a, tree_b):
+        for label_a in list(tree_a.labels()):
+            for label_b in list(tree_b.labels()):
+                forward = conflict_between(tree_a, label_a, tree_b, label_b)
+                backward = conflict_between(tree_b, label_b, tree_a, label_a)
+                assert forward is backward
+
+    @given(random_tree(), random_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_disjoint_data_sets_never_conflict(self, tree_a, tree_b):
+        if tree_a.mightaccess(tree_a.root.label) & tree_b.mightaccess(
+            tree_b.root.label
+        ):
+            return
+        assert (
+            conflict_between(tree_a, tree_a.root.label, tree_b, tree_b.root.label)
+            is Conflict.NONE
+        )
+
+    @given(random_tree(), random_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_certain_conflict_implies_root_overlap(self, tree_a, tree_b):
+        relation = conflict_between(
+            tree_a, tree_a.root.label, tree_b, tree_b.root.label
+        )
+        if relation is Conflict.CERTAIN:
+            assert tree_a.mightaccess(tree_a.root.label) & tree_b.mightaccess(
+                tree_b.root.label
+            )
+
+    @given(random_tree(), random_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_safety_consistent_with_set_overlap(self, tree_a, tree_b):
+        """SAFE iff hasaccessed(subject) disjoint from mightaccess(runner)."""
+        for label_a in list(tree_a.labels()):
+            for label_b in list(tree_b.labels()):
+                relation = safety_of(tree_a, label_a, tree_b, label_b)
+                overlap = tree_a.hasaccessed(label_a) & tree_b.mightaccess(label_b)
+                assert (relation is Safety.SAFE) == (not overlap)
+
+    @given(random_tree(), random_tree())
+    @settings(max_examples=60, deadline=None)
+    def test_leaf_runner_safety_is_binary(self, tree_a, tree_b):
+        """Against a leaf runner there is no 'conditionally': every leaf
+        has exactly one continuation."""
+        for leaf in tree_b.leaves(tree_b.root.label):
+            relation = safety_of(tree_a, tree_a.root.label, tree_b, leaf.label)
+            assert relation is not Safety.CONDITIONALLY_UNSAFE

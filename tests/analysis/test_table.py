@@ -1,0 +1,73 @@
+"""Relation tables: memoization and consistency with direct computation."""
+
+import pytest
+
+from repro.analysis.relations import conflict_between, safety_of
+from repro.analysis.table import RelationTable
+from repro.analysis.tree import TransactionTree
+
+from tests.analysis.test_tree import figure3_tree, paper_program_a, paper_program_b
+
+
+@pytest.fixture
+def table():
+    return RelationTable(
+        [
+            TransactionTree(paper_program_a()),
+            TransactionTree(paper_program_b()),
+            figure3_tree(),
+        ]
+    )
+
+
+class TestLookups:
+    def test_conflict_matches_direct_computation(self, table):
+        tree_a = table.tree("A")
+        tree_b = table.tree("B")
+        for label in ("A", "Aa", "Ab"):
+            assert table.conflict("A", label, "B", "B") is conflict_between(
+                tree_a, label, tree_b, "B"
+            )
+
+    def test_safety_matches_direct_computation(self, table):
+        tree_a = table.tree("A")
+        tree_b = table.tree("B")
+        assert table.safety("B", "B", "A", "Aa") is safety_of(
+            tree_b, "B", tree_a, "Aa"
+        )
+
+    def test_symmetric_cache(self, table):
+        forward = table.conflict("A", "A", "T21", "T21")
+        backward = table.conflict("T21", "T21", "A", "A")
+        assert forward is backward
+
+    def test_unknown_program_raises(self, table):
+        with pytest.raises(KeyError):
+            table.conflict("nope", "x", "A", "A")
+
+    def test_duplicate_program_names_rejected(self):
+        tree = TransactionTree(paper_program_b())
+        tree_dup = TransactionTree(paper_program_b())
+        with pytest.raises(ValueError):
+            RelationTable([tree, tree_dup])
+
+    def test_programs_listing(self, table):
+        assert set(table.programs) == {"A", "B", "T21"}
+
+
+class TestPrecompute:
+    def test_precompute_fills_every_pair(self, table):
+        table.precompute()
+        states = [
+            (name, node.label)
+            for name in table.programs
+            for node in table.tree(name).program.root.walk()
+        ]
+        # After precompute, lookups must all hit the cache; verify by
+        # comparing against fresh direct computation for every pair.
+        for name_a, label_a in states:
+            for name_b, label_b in states:
+                expected = conflict_between(
+                    table.tree(name_a), label_a, table.tree(name_b), label_b
+                )
+                assert table.conflict(name_a, label_a, name_b, label_b) is expected

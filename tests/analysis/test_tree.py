@@ -1,0 +1,141 @@
+"""Analyzed transaction trees: hasaccessed / mightaccess / leaves.
+
+Includes the paper's worked examples: the Figure 1/2 programs A and B
+(item 0 standing for ``w``, items 1..6 for I1..I6) and the Figure 3
+auxiliary tree (items 10..13 standing for A..D).
+"""
+
+import pytest
+
+from repro.analysis.program import ProgramNode, TransactionProgram, linear_program
+from repro.analysis.tree import TransactionTree
+
+# Items for the Figure 3 tree.
+A, B, C, D = 10, 11, 12, 13
+
+
+def paper_program_a() -> TransactionProgram:
+    """Figure 1/2 program A: access w, then branch on w > 100."""
+    return TransactionProgram(
+        "A",
+        ProgramNode(
+            "A",
+            accesses=[0],  # w
+            children=[
+                ProgramNode("Aa", accesses=[1, 2, 3]),  # w > 100
+                ProgramNode("Ab", accesses=[4, 5, 6]),  # w <= 100
+            ],
+        ),
+    )
+
+
+def paper_program_b() -> TransactionProgram:
+    """Figure 1/2 program B: unconditionally access I1, I2, I3."""
+    return linear_program("B", [1, 2, 3])
+
+
+def figure3_tree() -> TransactionTree:
+    """The Figure 3 auxiliary transaction tree.
+
+    Root T21 branches to T22 (accesses A) and T23 (accesses B); each of
+    those branches to leaves accessing C or D.
+    """
+    root = ProgramNode(
+        "T21",
+        accesses=[],
+        children=[
+            ProgramNode(
+                "T22",
+                accesses=[A],
+                children=[
+                    ProgramNode("T24", accesses=[C]),
+                    ProgramNode("T25", accesses=[D]),
+                ],
+            ),
+            ProgramNode(
+                "T23",
+                accesses=[B],
+                children=[
+                    ProgramNode("T26", accesses=[C]),
+                    ProgramNode("T27", accesses=[D]),
+                ],
+            ),
+        ],
+    )
+    return TransactionTree(TransactionProgram("T21", root))
+
+
+class TestPaperProgramA:
+    def test_hasaccessed_accumulates_root_to_node(self):
+        tree = TransactionTree(paper_program_a())
+        assert tree.hasaccessed("A") == frozenset({0})
+        assert tree.hasaccessed("Aa") == frozenset({0, 1, 2, 3})
+        assert tree.hasaccessed("Ab") == frozenset({0, 4, 5, 6})
+
+    def test_mightaccess_at_root_is_full_data_set(self):
+        tree = TransactionTree(paper_program_a())
+        assert tree.mightaccess("A") == frozenset(range(7))
+
+    def test_mightaccess_at_leaf_equals_hasaccessed(self):
+        tree = TransactionTree(paper_program_a())
+        assert tree.mightaccess("Aa") == tree.hasaccessed("Aa")
+        assert tree.mightaccess("Ab") == tree.hasaccessed("Ab")
+
+    def test_leaves(self):
+        tree = TransactionTree(paper_program_a())
+        assert {leaf.label for leaf in tree.leaves("A")} == {"Aa", "Ab"}
+        assert {leaf.label for leaf in tree.leaves("Aa")} == {"Aa"}
+
+
+class TestPaperProgramB:
+    def test_flat_program_sets(self):
+        tree = TransactionTree(paper_program_b())
+        assert tree.hasaccessed("B") == frozenset({1, 2, 3})
+        assert tree.mightaccess("B") == frozenset({1, 2, 3})
+        assert [leaf.label for leaf in tree.leaves("B")] == ["B"]
+
+
+class TestFigure3:
+    def test_hasaccessed_matches_figure(self):
+        tree = figure3_tree()
+        assert tree.hasaccessed("T21") == frozenset()
+        assert tree.hasaccessed("T22") == frozenset({A})
+        assert tree.hasaccessed("T23") == frozenset({B})
+        assert tree.hasaccessed("T24") == frozenset({A, C})
+        assert tree.hasaccessed("T25") == frozenset({A, D})
+        assert tree.hasaccessed("T26") == frozenset({B, C})
+        assert tree.hasaccessed("T27") == frozenset({B, D})
+
+    def test_mightaccess_matches_figure(self):
+        tree = figure3_tree()
+        assert tree.mightaccess("T21") == frozenset({A, B, C, D})
+        assert tree.mightaccess("T22") == frozenset({A, C, D})
+        assert tree.mightaccess("T23") == frozenset({B, C, D})
+        assert tree.mightaccess("T24") == frozenset({A, C})
+
+    def test_leaf_count(self):
+        tree = figure3_tree()
+        assert len(tree.leaves("T21")) == 4
+        assert len(tree.leaves("T22")) == 2
+
+
+class TestInvariants:
+    def test_hasaccessed_subset_of_mightaccess_everywhere(self):
+        tree = figure3_tree()
+        for label in tree.labels():
+            assert tree.hasaccessed(label) <= tree.mightaccess(label)
+
+    def test_child_mightaccess_subset_of_parent(self):
+        tree = figure3_tree()
+        for label, child_labels in [
+            ("T21", ["T22", "T23"]),
+            ("T22", ["T24", "T25"]),
+        ]:
+            parent_might = tree.mightaccess(label)
+            for child in child_labels:
+                assert tree.mightaccess(child) <= parent_might
+
+    def test_unknown_label_raises(self):
+        tree = figure3_tree()
+        with pytest.raises(KeyError):
+            tree.hasaccessed("nope")

@@ -1,0 +1,81 @@
+"""Shared fixtures: small configurations and workloads.
+
+The test suite runs hundreds of simulations, so fixtures default to small
+transaction counts; correctness does not depend on scale (the experiment
+shape tests use moderately larger runs and live under tests/experiments).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.rtdb.transaction import Operation, TransactionSpec
+from repro.workload.generator import generate_workload
+
+
+@pytest.fixture
+def mm_config() -> SimulationConfig:
+    """A small main-memory configuration derived from Table 1."""
+    return SimulationConfig(
+        n_transaction_types=10,
+        updates_mean=6.0,
+        updates_std=3.0,
+        db_size=60,
+        compute_per_update=4.0,
+        abort_cost=4.0,
+        n_transactions=60,
+        arrival_rate=8.0,
+    )
+
+
+@pytest.fixture
+def disk_config(mm_config: SimulationConfig) -> SimulationConfig:
+    """A small disk-resident configuration derived from Table 2."""
+    return mm_config.replace(
+        disk_resident=True,
+        abort_cost=5.0,
+        disk_access_time=25.0,
+        disk_access_prob=0.2,
+        n_transactions=40,
+        arrival_rate=5.0,
+    )
+
+
+@pytest.fixture
+def mm_workload(mm_config: SimulationConfig):
+    return generate_workload(mm_config, seed=7)
+
+
+@pytest.fixture
+def disk_workload(disk_config: SimulationConfig):
+    return generate_workload(disk_config, seed=7)
+
+
+def make_spec(
+    tid: int,
+    items: list[int],
+    arrival: float = 0.0,
+    deadline: float = 1000.0,
+    compute: float = 4.0,
+    io_items: frozenset[int] = frozenset(),
+    io_time: float = 25.0,
+    type_id: int = 0,
+    criticalness: int = 0,
+) -> TransactionSpec:
+    """Hand-built transaction spec for targeted scheduler tests."""
+    return TransactionSpec(
+        tid=tid,
+        type_id=type_id,
+        arrival_time=arrival,
+        deadline=deadline,
+        criticalness=criticalness,
+        operations=tuple(
+            Operation(
+                item=item,
+                compute_time=compute,
+                io_time=io_time if item in io_items else 0.0,
+            )
+            for item in items
+        ),
+    )

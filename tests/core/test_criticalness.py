@@ -1,0 +1,118 @@
+"""Multiple criticalness classes (paper future work) end to end."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.policy import CriticalnessCCAPolicy
+from repro.core.simulator import RTDBSimulator
+
+from tests.conftest import make_spec
+
+
+def config():
+    return SimulationConfig(
+        n_transaction_types=3,
+        updates_mean=2.0,
+        updates_std=1.0,
+        db_size=30,
+        abort_cost=4.0,
+        n_transactions=3,
+        arrival_rate=1.0,
+    )
+
+
+class TestCriticalnessScheduling:
+    def test_critical_transaction_preempts_urgent_ordinary_one(self):
+        ordinary = make_spec(
+            1, [1, 2], arrival=0.0, deadline=50.0, compute=10.0, criticalness=0
+        )
+        critical = make_spec(
+            2, [8, 9], arrival=5.0, deadline=5000.0, compute=10.0, criticalness=1
+        )
+        result = RTDBSimulator(
+            config(), [ordinary, critical], CriticalnessCCAPolicy(1.0)
+        ).run()
+        commits = {r.tid: r.commit_time for r in result.records}
+        # Despite its huge deadline, the critical transaction runs first
+        # (5..25); the ordinary one (5 of 20 ms served) finishes at 40.
+        assert commits[2] == pytest.approx(25.0)
+        assert commits[1] == pytest.approx(40.0)
+
+    def test_critical_transaction_wounds_ordinary_holder(self):
+        holder = make_spec(
+            1, [1, 2, 3], arrival=0.0, deadline=100.0, compute=10.0, criticalness=0
+        )
+        critical = make_spec(
+            2, [1], arrival=5.0, deadline=9000.0, compute=10.0, criticalness=2
+        )
+        result = RTDBSimulator(
+            config(), [holder, critical], CriticalnessCCAPolicy(1.0)
+        ).run()
+        restarts = {r.tid: r.restarts for r in result.records}
+        assert restarts[1] == 1
+        assert restarts[2] == 0
+
+    def test_cca_ordering_within_a_class(self):
+        a = make_spec(
+            1, [1], arrival=0.0, deadline=500.0, compute=10.0, criticalness=1
+        )
+        b = make_spec(
+            2, [2], arrival=0.0, deadline=100.0, compute=10.0, criticalness=1
+        )
+        result = RTDBSimulator(config(), [a, b], CriticalnessCCAPolicy(1.0)).run()
+        commits = {r.tid: r.commit_time for r in result.records}
+        assert commits[2] < commits[1]
+
+
+class TestGeneratedCriticalnessWorkloads:
+    def test_levels_assigned_uniformly(self):
+        from repro.workload.generator import generate_workload
+
+        cfg = config().replace(
+            criticalness_levels=3, n_transactions=300, arrival_rate=5.0
+        )
+        workload = generate_workload(cfg, seed=1)
+        levels = {spec.criticalness for spec in workload}
+        assert levels == {0, 1, 2}
+
+    def test_single_level_default(self):
+        from repro.workload.generator import generate_workload
+
+        cfg = config().replace(n_transactions=50, arrival_rate=5.0)
+        workload = generate_workload(cfg, seed=1)
+        assert {spec.criticalness for spec in workload} == {0}
+
+    def test_critical_class_misses_less_under_load(self):
+        """End to end: with CriticalnessCCA, the top class's miss rate is
+        no worse than the bottom class's on an overloaded system."""
+        from repro.core.simulator import RTDBSimulator
+        from repro.workload.generator import generate_workload
+
+        cfg = config().replace(
+            criticalness_levels=2,
+            n_transactions=250,
+            arrival_rate=11.0,
+            db_size=30,
+            n_transaction_types=20,
+            updates_mean=20.0,
+            updates_std=10.0,
+        )
+        miss = {0: [0, 0], 1: [0, 0]}  # level -> [missed, total]
+        for seed in (1, 2, 3):
+            workload = generate_workload(cfg, seed)
+            by_tid = {spec.tid: spec.criticalness for spec in workload}
+            result = RTDBSimulator(
+                cfg, workload, CriticalnessCCAPolicy(1.0)
+            ).run()
+            for record in result.records:
+                level = by_tid[record.tid]
+                miss[level][1] += 1
+                if record.missed:
+                    miss[level][0] += 1
+        low_rate = miss[0][0] / miss[0][1]
+        high_rate = miss[1][0] / miss[1][1]
+        assert high_rate <= low_rate + 0.02
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            config().replace(criticalness_levels=0)

@@ -1,0 +1,141 @@
+"""Edge cases at the seams of the simulator's state machine."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.policy import CCAPolicy, EDFPolicy
+from repro.core.simulator import RTDBSimulator
+
+from tests.conftest import make_spec
+
+
+def config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        n_transaction_types=5,
+        updates_mean=3.0,
+        updates_std=1.0,
+        db_size=50,
+        abort_cost=4.0,
+        n_transactions=5,
+        arrival_rate=1.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def run(workload, policy=None, trace=None, **overrides):
+    return RTDBSimulator(
+        config(**overrides), workload, policy or EDFPolicy(), trace=trace
+    ).run()
+
+
+class TestExactTimeBoundaries:
+    def test_preemption_at_exact_phase_completion(self):
+        """An arrival landing exactly when the running transaction's
+        compute finishes: the preemption path must account the operation
+        as completed (no double counting, no lost work)."""
+        first = make_spec(1, [1], arrival=0.0, deadline=100.0, compute=10.0)
+        urgent = make_spec(2, [9], arrival=10.0, deadline=40.0, compute=10.0)
+        result = run([first, urgent])
+        commits = {r.tid: r.commit_time for r in result.records}
+        assert result.total_restarts == 0
+        assert commits[2] == pytest.approx(20.0)
+        # The first transaction's work was done by t=10; it only needed
+        # the commit bookkeeping when re-dispatched.
+        assert commits[1] == pytest.approx(20.0)
+        total_busy = result.cpu_utilization * result.makespan
+        assert total_busy == pytest.approx(20.0, rel=1e-6)
+
+    def test_simultaneous_arrivals_ordered_by_priority(self):
+        a = make_spec(1, [1], arrival=5.0, deadline=500.0, compute=10.0)
+        b = make_spec(2, [2], arrival=5.0, deadline=100.0, compute=10.0)
+        result = run([a, b])
+        commits = {r.tid: r.commit_time for r in result.records}
+        assert commits[2] == pytest.approx(15.0)
+        assert commits[1] == pytest.approx(25.0)
+
+
+class TestFirmDeadlineEdges:
+    def test_kill_during_rollback_phase(self):
+        """A transaction can die while working off rollback debt; the
+        debt dies with it."""
+        holder = make_spec(1, [1, 2], arrival=0.0, deadline=1000.0, compute=10.0)
+        # Urgent wounds at t=5, then pays 4 ms rollback; its firm
+        # deadline lands inside that rollback window (t=7).
+        urgent = make_spec(2, [1, 9], arrival=5.0, deadline=7.0, compute=10.0)
+        bystander = make_spec(3, [8], arrival=6.0, deadline=200.0, compute=10.0)
+        result = run([holder, urgent, bystander], firm_deadlines=True)
+        assert result.n_dropped == 1
+        assert result.n_committed == 2
+        commits = {r.tid: r.commit_time for r in result.records}
+        # After the kill at t=7 the bystander takes over immediately.
+        assert commits[3] == pytest.approx(17.0)
+
+    def test_kill_while_disk_serving_discards_completion(self):
+        events = []
+        doomed = make_spec(
+            1, [1, 2], arrival=0.0, deadline=10.0, compute=10.0,
+            io_items=frozenset({1}), io_time=25.0,
+        )
+        result = run(
+            [doomed],
+            disk_resident=True,
+            firm_deadlines=True,
+            trace=lambda name, **kw: events.append(name),
+        )
+        assert result.n_dropped == 1
+        # The in-flight transfer completed after the kill and was
+        # discarded via the epoch/state check.
+        assert "io_stale" in events
+
+    def test_kill_frees_locks_for_waiters(self):
+        cfg_overrides = dict(disk_resident=True, firm_deadlines=True)
+        # Holder locks item 1, goes to disk (25 ms), dies at t=12.
+        holder = make_spec(
+            1, [1], arrival=0.0, deadline=12.0, compute=10.0,
+            io_items=frozenset({1}),
+        )
+        # Lower-priority waiter blocks on item 1 at t=1.
+        waiter = make_spec(2, [1], arrival=1.0, deadline=300.0, compute=10.0)
+        result = run([holder, waiter], **cfg_overrides)
+        assert result.n_dropped == 1
+        assert result.n_committed == 1
+        record = result.records[0]
+        assert record.tid == 2
+        # Woken by the kill at t=12, re-requests, runs 10 ms.
+        assert record.commit_time == pytest.approx(22.0)
+
+
+class TestCcaDiskPrimaryWound:
+    def test_top_priority_arrival_wounds_io_active_primary(self):
+        """Under CCA a new globally-top-priority transaction becomes the
+        primary immediately — even if the old primary is mid-transfer;
+        the old primary is wounded and its completion discarded."""
+        events = []
+        old_primary = make_spec(
+            1, [1, 2], arrival=0.0, deadline=400.0, compute=10.0,
+            io_items=frozenset({1}), io_time=25.0,
+        )
+        usurper = make_spec(2, [1, 9], arrival=5.0, deadline=60.0, compute=10.0)
+        result = run(
+            [old_primary, usurper],
+            CCAPolicy(1.0),
+            disk_resident=True,
+            trace=lambda name, **kw: events.append(name),
+        )
+        assert "abort" in events
+        assert "io_stale" in events
+        restarts = {r.tid: r.restarts for r in result.records}
+        assert restarts[1] >= 1
+        assert restarts[2] == 0
+        assert result.n_committed == 2
+
+
+class TestPlistAccounting:
+    def test_mean_plist_reflects_concurrent_holders(self):
+        """Two overlapping partially executed transactions -> the time
+        average sits between 1 and 2 for most of the run."""
+        a = make_spec(1, [1, 2, 3, 4], arrival=0.0, deadline=1000.0, compute=10.0)
+        b = make_spec(2, [8, 9], arrival=5.0, deadline=60.0, compute=10.0)
+        result = run([a, b])
+        assert 0.5 < result.mean_plist_size <= 2.0

@@ -1,0 +1,164 @@
+"""Schedule-level invariants: the paper's Theorems 1 and 2 as runtime
+checks over generated workloads.
+
+* Theorem 1 (no deadlock / no lock wait in CCA): a CCA schedule never
+  produces a ``lock_wait`` event, and every simulation terminates with
+  all transactions committed (termination is asserted inside
+  ``RTDBSimulator.run``).
+* Lemma 1 / HP: under deadline-static priorities the wounded transaction
+  always has a strictly later deadline than the wounding one.
+* Theorem 2 (no circular abort): no pair of transactions wounds each
+  other without either making progress in between.
+* Conservation: every lock is released by the end; restart counters on
+  records sum to the global counter; the CPU never runs two phases at
+  once (single-CPU property).
+"""
+
+import pytest
+
+from repro.core.policy import CCAPolicy, EDFPolicy, EDFWaitPolicy, LSFPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.workload.generator import generate_workload
+
+
+class TraceRecorder:
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, name, **fields):
+        self.events.append((name, fields))
+
+    def of(self, name):
+        return [fields for event_name, fields in self.events if event_name == name]
+
+
+def run_traced(config, seed, policy):
+    workload = generate_workload(config, seed)
+    recorder = TraceRecorder()
+    result = RTDBSimulator(config, workload, policy, trace=recorder).run()
+    return result, recorder
+
+
+SEEDS = [1, 2, 3]
+
+
+class TestTheorem1NoLockWaitUnderCCA:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_main_memory(self, mm_config, seed):
+        _, recorder = run_traced(mm_config, seed, CCAPolicy(1.0))
+        assert recorder.of("lock_wait") == []
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_disk_resident(self, disk_config, seed):
+        _, recorder = run_traced(disk_config, seed, CCAPolicy(1.0))
+        assert recorder.of("lock_wait") == []
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_edf_wait_never_aborts_flat_workloads(self, mm_config, seed):
+        """EDF-Wait (w = inf) defers penalized transactions, so on flat
+        main-memory workloads no wound ever becomes necessary."""
+        result, recorder = run_traced(mm_config, seed, EDFWaitPolicy())
+        assert result.total_restarts == 0
+        assert recorder.of("abort") == []
+
+
+class TestHighPriorityWounding:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_edf_victim_always_has_later_deadline(self, mm_config, seed):
+        _, recorder = run_traced(mm_config, seed, EDFPolicy())
+        for abort in recorder.of("abort"):
+            victim, wounder = abort["tx"], abort["by"]
+            assert victim.deadline > wounder.deadline
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_edf_victim_always_has_later_deadline_disk(self, disk_config, seed):
+        _, recorder = run_traced(disk_config, seed, EDFPolicy())
+        for abort in recorder.of("abort"):
+            assert abort["tx"].deadline > abort["by"].deadline
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_running_transaction_is_never_the_victim(self, mm_config, seed):
+        """Only the running transaction wounds; it cannot wound itself."""
+        _, recorder = run_traced(mm_config, seed, CCAPolicy(1.0))
+        for abort in recorder.of("abort"):
+            assert abort["tx"].tid != abort["by"].tid
+
+
+class TestTheorem2NoCircularAbort:
+    @pytest.mark.parametrize("policy_factory", [
+        lambda: CCAPolicy(1.0),
+        lambda: EDFPolicy(),
+    ])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_no_mutual_wounding_at_same_instant(self, mm_config, seed, policy_factory):
+        """A circular abort would show as A wounding B and B wounding A
+        at the same simulated time (neither able to progress)."""
+        _, recorder = run_traced(mm_config, seed, policy_factory())
+        by_time: dict[float, set[tuple[int, int]]] = {}
+        for abort in recorder.of("abort"):
+            pair = (abort["by"].tid, abort["tx"].tid)
+            by_time.setdefault(abort["time"], set()).add(pair)
+        for time, pairs in by_time.items():
+            for wounder, victim in pairs:
+                assert (victim, wounder) not in pairs, (
+                    f"mutual wound between {wounder} and {victim} at t={time}"
+                )
+
+
+class TestConservation:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [lambda: EDFPolicy(), lambda: CCAPolicy(1.0), lambda: LSFPolicy()],
+    )
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_restart_counters_agree(self, mm_config, seed, policy_factory):
+        workload = generate_workload(mm_config, seed)
+        result = RTDBSimulator(mm_config, workload, policy_factory()).run()
+        assert sum(r.restarts for r in result.records) == result.total_restarts
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_commit_after_arrival_plus_own_work(self, mm_config, seed):
+        workload = generate_workload(mm_config, seed)
+        by_tid = {spec.tid: spec for spec in workload}
+        result = RTDBSimulator(mm_config, workload, CCAPolicy(1.0)).run()
+        for record in result.records:
+            spec = by_tid[record.tid]
+            assert record.commit_time >= spec.arrival_time + spec.cpu_time - 1e-9
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_disk_commit_includes_io_legs(self, disk_config, seed):
+        workload = generate_workload(disk_config, seed)
+        by_tid = {spec.tid: spec for spec in workload}
+        result = RTDBSimulator(disk_config, workload, CCAPolicy(1.0)).run()
+        for record in result.records:
+            spec = by_tid[record.tid]
+            assert (
+                record.commit_time
+                >= spec.arrival_time + spec.resource_time - 1e-9
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_single_cpu_serial_dispatch(self, mm_config, seed):
+        """Between two dispatches of different transactions there must be
+        a preemption, block, commit or abort of the previous one — the
+        CPU never runs two transactions at once."""
+        _, recorder = run_traced(mm_config, seed, CCAPolicy(1.0))
+        current = None
+        for name, fields in recorder.events:
+            if name == "dispatch":
+                assert current is None or current != fields["tx"].tid
+                current = fields["tx"].tid
+            elif name in ("preempt", "commit", "io_start", "lock_wait"):
+                if current is not None and fields["tx"].tid == current:
+                    current = None
+
+
+class TestStarvationFreedom:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_transaction_eventually_commits_under_load(self, seed, mm_config):
+        """The paper's fifth property: deadlines dominate eventually, so
+        even heavily penalized transactions commit."""
+        config = mm_config.replace(arrival_rate=20.0, n_transactions=80)
+        workload = generate_workload(config, seed)
+        result = RTDBSimulator(config, workload, CCAPolicy(5.0)).run()
+        assert result.n_committed == config.n_transactions

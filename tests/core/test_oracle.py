@@ -1,0 +1,116 @@
+"""Conflict/safety oracles."""
+
+import pytest
+
+from repro.analysis.relations import Conflict, Safety
+from repro.analysis.table import RelationTable
+from repro.analysis.tree import TransactionTree
+from repro.core.oracle import OptimisticConflictOracle, SetOracle, TreeOracle
+from repro.rtdb.transaction import Transaction
+
+from tests.analysis.test_tree import paper_program_a, paper_program_b
+from tests.conftest import make_spec
+
+
+def tx(tid, items, accessed=(), program_name="", node_label=None):
+    spec = make_spec(tid, items)
+    if program_name:
+        spec = spec.__class__(
+            tid=tid,
+            type_id=0,
+            arrival_time=spec.arrival_time,
+            deadline=spec.deadline,
+            operations=spec.operations,
+            program_name=program_name,
+        )
+    transaction = Transaction(spec)
+    for item in accessed:
+        transaction.record_access(item)
+    if node_label is not None:
+        transaction.node_label = node_label
+    return transaction
+
+
+class TestSetOracle:
+    def test_conflict_iff_write_sets_intersect(self):
+        oracle = SetOracle()
+        assert oracle.conflict(tx(1, [1, 2]), tx(2, [2, 3])) is Conflict.CERTAIN
+        assert oracle.conflict(tx(1, [1, 2]), tx(2, [3, 4])) is Conflict.NONE
+
+    def test_no_conditional_flavors_for_flat_programs(self):
+        oracle = SetOracle()
+        relation = oracle.conflict(tx(1, [1]), tx(2, [1]))
+        assert relation is not Conflict.CONDITIONAL
+
+    def test_unsafe_iff_accessed_overlaps_runner_writes(self):
+        oracle = SetOracle()
+        subject = tx(1, [1, 9], accessed=[1])
+        runner = tx(2, [1, 2])
+        assert oracle.safety(subject, runner) is Safety.UNSAFE
+
+    def test_safe_when_accessed_disjoint_from_runner(self):
+        oracle = SetOracle()
+        subject = tx(1, [9, 1], accessed=[9])  # will access 1, hasn't yet
+        runner = tx(2, [1, 2])
+        assert oracle.safety(subject, runner) is Safety.SAFE
+
+    def test_fresh_transaction_always_safe(self):
+        oracle = SetOracle()
+        assert oracle.safety(tx(1, [1]), tx(2, [1])) is Safety.SAFE
+
+
+class TestTreeOracle:
+    @pytest.fixture
+    def oracle(self):
+        table = RelationTable(
+            [
+                TransactionTree(paper_program_a()),
+                TransactionTree(paper_program_b()),
+            ]
+        )
+        return TreeOracle(table)
+
+    def test_conflict_uses_current_nodes(self, oracle):
+        a_root = tx(1, [0], program_name="A")  # node defaults to root "A"
+        b = tx(2, [1, 2, 3], program_name="B")
+        assert oracle.conflict(a_root, b) is Conflict.CONDITIONAL
+
+        a_committed = tx(1, [0, 1, 2, 3], program_name="A", node_label="Aa")
+        assert oracle.conflict(a_committed, b) is Conflict.CERTAIN
+
+        a_other = tx(1, [0, 4, 5, 6], program_name="A", node_label="Ab")
+        assert oracle.conflict(a_other, b) is Conflict.NONE
+
+    def test_safety_uses_current_nodes(self, oracle):
+        b = tx(2, [1, 2, 3], program_name="B")
+        a_root = tx(1, [0], program_name="A")
+        assert oracle.safety(b, a_root) is Safety.CONDITIONALLY_UNSAFE
+        a_safe = tx(1, [0, 4, 5, 6], program_name="A", node_label="Ab")
+        assert oracle.safety(b, a_safe) is Safety.SAFE
+
+
+class TestOptimisticWrapper:
+    @pytest.fixture
+    def oracle(self):
+        table = RelationTable(
+            [
+                TransactionTree(paper_program_a()),
+                TransactionTree(paper_program_b()),
+            ]
+        )
+        return OptimisticConflictOracle(TreeOracle(table))
+
+    def test_conditional_downgraded_to_none(self, oracle):
+        a_root = tx(1, [0], program_name="A")
+        b = tx(2, [1, 2, 3], program_name="B")
+        assert oracle.conflict(a_root, b) is Conflict.NONE
+
+    def test_certain_conflict_preserved(self, oracle):
+        a_committed = tx(1, [0, 1], program_name="A", node_label="Aa")
+        b = tx(2, [1, 2, 3], program_name="B")
+        assert oracle.conflict(a_committed, b) is Conflict.CERTAIN
+
+    def test_safety_passthrough(self, oracle):
+        b = tx(2, [1, 2, 3], program_name="B", accessed=[1])
+        a_root = tx(1, [0], program_name="A")
+        assert oracle.safety(b, a_root) is Safety.CONDITIONALLY_UNSAFE

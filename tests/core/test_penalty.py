@@ -1,0 +1,92 @@
+"""Penalty of conflict."""
+
+import pytest
+
+from repro.core.oracle import SetOracle
+from repro.core.penalty import penalty_of_conflict
+from repro.rtdb.recovery import FixedRecovery, ProportionalRecovery
+from repro.rtdb.transaction import Transaction
+
+from tests.conftest import make_spec
+
+
+def running_tx(tid, items, accessed, service):
+    tx = Transaction(make_spec(tid, items))
+    for item in accessed:
+        tx.record_access(item)
+    tx.service_received = service
+    return tx
+
+
+@pytest.fixture
+def oracle():
+    return SetOracle()
+
+
+class TestPenalty:
+    def test_no_partially_executed_no_penalty(self, oracle):
+        candidate = Transaction(make_spec(1, [1, 2]))
+        assert penalty_of_conflict(candidate, [], oracle) == 0.0
+
+    def test_unsafe_transaction_contributes_service_time(self, oracle):
+        candidate = Transaction(make_spec(1, [1, 2]))
+        victim = running_tx(2, [1, 9], accessed=[1], service=30.0)
+        penalty = penalty_of_conflict(
+            candidate, [victim], oracle, recovery=FixedRecovery(4.0)
+        )
+        assert penalty == pytest.approx(34.0)
+
+    def test_safe_transaction_contributes_nothing(self, oracle):
+        candidate = Transaction(make_spec(1, [1, 2]))
+        bystander = running_tx(2, [8, 9], accessed=[8], service=30.0)
+        assert penalty_of_conflict(candidate, [bystander], oracle) == 0.0
+
+    def test_holder_of_unrelated_item_is_safe(self, oracle):
+        """A transaction whose *future* accesses overlap the candidate but
+        which has not yet touched shared items only blocks, so it adds no
+        penalty (it will not be rolled back)."""
+        candidate = Transaction(make_spec(1, [1, 2]))
+        not_yet = running_tx(2, [9, 1], accessed=[9], service=30.0)
+        assert penalty_of_conflict(candidate, [not_yet], oracle) == 0.0
+
+    def test_multiple_victims_sum(self, oracle):
+        candidate = Transaction(make_spec(1, [1, 2, 3]))
+        v1 = running_tx(2, [1, 8], accessed=[1], service=10.0)
+        v2 = running_tx(3, [2, 9], accessed=[2], service=20.0)
+        penalty = penalty_of_conflict(
+            candidate, [v1, v2], oracle, recovery=FixedRecovery(5.0)
+        )
+        assert penalty == pytest.approx(10.0 + 5.0 + 20.0 + 5.0)
+
+    def test_candidate_excluded_from_own_penalty(self, oracle):
+        candidate = running_tx(1, [1, 2], accessed=[1], service=50.0)
+        assert penalty_of_conflict(candidate, [candidate], oracle) == 0.0
+
+    def test_include_rollback_false_drops_recovery_term(self, oracle):
+        """The pseudo-code variant: effective service time only."""
+        candidate = Transaction(make_spec(1, [1]))
+        victim = running_tx(2, [1], accessed=[1], service=30.0)
+        penalty = penalty_of_conflict(
+            candidate,
+            [victim],
+            oracle,
+            recovery=FixedRecovery(4.0),
+            include_rollback=False,
+        )
+        assert penalty == pytest.approx(30.0)
+
+    def test_no_recovery_model_means_service_only(self, oracle):
+        candidate = Transaction(make_spec(1, [1]))
+        victim = running_tx(2, [1], accessed=[1], service=30.0)
+        assert penalty_of_conflict(candidate, [victim], oracle) == pytest.approx(30.0)
+
+    def test_proportional_recovery_in_penalty(self, oracle):
+        candidate = Transaction(make_spec(1, [1]))
+        victim = running_tx(2, [1], accessed=[1], service=100.0)
+        penalty = penalty_of_conflict(
+            candidate,
+            [victim],
+            oracle,
+            recovery=ProportionalRecovery(factor=0.5),
+        )
+        assert penalty == pytest.approx(100.0 + 50.0)

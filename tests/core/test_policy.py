@@ -1,0 +1,215 @@
+"""Priority policies."""
+
+import math
+
+import pytest
+
+from repro.core.policy import (
+    CCAPolicy,
+    EDFWPPolicy,
+    CriticalnessCCAPolicy,
+    EDFPolicy,
+    EDFWaitPolicy,
+    FCFSPolicy,
+    LSFPolicy,
+    StaticEvaluationPolicy,
+    make_policy,
+)
+from repro.rtdb.transaction import Transaction
+
+from tests.conftest import make_spec
+
+
+class FakeSystem:
+    """Minimal SystemView with scripted penalties."""
+
+    def __init__(self, now=0.0, penalties=None):
+        self.now = now
+        self._penalties = penalties or {}
+
+    def penalty_of_conflict(self, tx):
+        return self._penalties.get(tx.tid, 0.0)
+
+
+def tx(tid, deadline=100.0, arrival=0.0, criticalness=0):
+    return Transaction(
+        make_spec(tid, [1, 2], deadline=deadline, arrival=arrival,
+                  criticalness=criticalness)
+    )
+
+
+class TestEDF:
+    def test_earlier_deadline_higher_priority(self):
+        system = FakeSystem()
+        policy = EDFPolicy()
+        early = policy.priority(tx(1, deadline=50.0), system)
+        late = policy.priority(tx(2, deadline=100.0), system)
+        assert early > late
+
+    def test_flags(self):
+        policy = EDFPolicy()
+        assert not policy.continuous
+        assert not policy.uses_pre_analysis
+        assert policy.name == "EDF-HP"
+
+
+class TestFCFS:
+    def test_earlier_arrival_higher_priority(self):
+        system = FakeSystem()
+        policy = FCFSPolicy()
+        assert policy.priority(tx(1, arrival=0.0), system) > policy.priority(
+            tx(2, arrival=10.0), system
+        )
+
+
+class TestLSF:
+    def test_less_slack_higher_priority(self):
+        system = FakeSystem(now=0.0)
+        policy = LSFPolicy()
+        tight = tx(1, deadline=20.0)   # slack = 20 - 0 - 8
+        loose = tx(2, deadline=200.0)
+        assert policy.priority(tight, system) > policy.priority(loose, system)
+
+    def test_priority_changes_with_time(self):
+        """Continuous evaluation: the same transaction's priority rises
+        as its slack shrinks."""
+        policy = LSFPolicy()
+        transaction = tx(1, deadline=100.0)
+        early = policy.priority(transaction, FakeSystem(now=0.0))
+        late = policy.priority(transaction, FakeSystem(now=80.0))
+        assert late > early
+        assert policy.continuous
+
+
+class TestCCA:
+    def test_zero_weight_matches_edf_ordering(self):
+        system = FakeSystem(penalties={1: 100.0, 2: 0.0})
+        cca = CCAPolicy(0.0)
+        edf = EDFPolicy()
+        a, b = tx(1, deadline=50.0), tx(2, deadline=100.0)
+        assert (cca.priority(a, system) > cca.priority(b, system)) == (
+            edf.priority(a, system) > edf.priority(b, system)
+        )
+
+    def test_penalty_lowers_priority(self):
+        system = FakeSystem(penalties={1: 60.0, 2: 0.0})
+        policy = CCAPolicy(1.0)
+        # Same deadline: the penalized transaction sorts lower.
+        assert policy.priority(tx(2, deadline=100.0), system) > policy.priority(
+            tx(1, deadline=100.0), system
+        )
+
+    def test_penalty_can_be_outweighed_by_deadline_urgency(self):
+        """The paper's starvation argument: deadline urgency eventually
+        compensates any penalty."""
+        system = FakeSystem(penalties={1: 50.0})
+        policy = CCAPolicy(1.0)
+        urgent_but_penalized = tx(1, deadline=10.0)
+        relaxed = tx(2, deadline=1000.0)
+        assert policy.priority(urgent_but_penalized, system) > policy.priority(
+            relaxed, system
+        )
+
+    def test_weight_scales_penalty_contribution(self):
+        system = FakeSystem(penalties={1: 10.0})
+        heavy = CCAPolicy(100.0).priority(tx(1, deadline=100.0), system)
+        light = CCAPolicy(0.1).priority(tx(1, deadline=100.0), system)
+        assert light > heavy
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CCAPolicy(-1.0)
+
+    def test_flags(self):
+        policy = CCAPolicy(1.0)
+        assert policy.continuous
+        assert policy.uses_pre_analysis
+
+
+class TestEDFWait:
+    def test_any_penalty_sorts_below_all_conflict_free(self):
+        system = FakeSystem(penalties={1: 0.001, 2: 0.0})
+        policy = EDFWaitPolicy()
+        tiny_penalty_urgent = tx(1, deadline=1.0)
+        no_penalty_relaxed = tx(2, deadline=10_000.0)
+        assert policy.priority(no_penalty_relaxed, system) > policy.priority(
+            tiny_penalty_urgent, system
+        )
+
+    def test_edf_order_within_conflict_free_band(self):
+        system = FakeSystem()
+        policy = EDFWaitPolicy()
+        assert policy.priority(tx(1, deadline=10.0), system) > policy.priority(
+            tx(2, deadline=20.0), system
+        )
+
+    def test_is_infinite_weight_cca(self):
+        assert math.isinf(EDFWaitPolicy().penalty_weight)
+
+
+class TestCriticalness:
+    def test_higher_class_dominates(self):
+        system = FakeSystem(penalties={1: 1000.0})
+        policy = CriticalnessCCAPolicy(1.0)
+        critical = tx(1, deadline=10_000.0, criticalness=2)
+        ordinary = tx(2, deadline=1.0, criticalness=0)
+        assert policy.priority(critical, system) > policy.priority(ordinary, system)
+
+    def test_cca_order_within_class(self):
+        system = FakeSystem()
+        policy = CriticalnessCCAPolicy(1.0)
+        assert policy.priority(
+            tx(1, deadline=10.0, criticalness=1), system
+        ) > policy.priority(tx(2, deadline=20.0, criticalness=1), system)
+
+
+class TestStaticEvaluation:
+    def test_priority_frozen_after_first_evaluation(self):
+        policy = StaticEvaluationPolicy(CCAPolicy(1.0))
+        transaction = tx(1, deadline=100.0)
+        first = policy.priority(transaction, FakeSystem(penalties={1: 0.0}))
+        # The penalty has changed, but the frozen policy ignores it.
+        second = policy.priority(transaction, FakeSystem(penalties={1: 500.0}))
+        assert first == second
+
+    def test_restart_re_evaluates(self):
+        policy = StaticEvaluationPolicy(CCAPolicy(1.0))
+        transaction = tx(1, deadline=100.0)
+        before = policy.priority(transaction, FakeSystem(penalties={1: 500.0}))
+        transaction.restart()
+        after = policy.priority(transaction, FakeSystem(penalties={1: 0.0}))
+        assert after > before
+
+    def test_inherits_pre_analysis_flag(self):
+        assert StaticEvaluationPolicy(CCAPolicy(1.0)).uses_pre_analysis
+        assert not StaticEvaluationPolicy(EDFPolicy()).uses_pre_analysis
+        assert not StaticEvaluationPolicy(CCAPolicy(1.0)).continuous
+
+    def test_name(self):
+        assert StaticEvaluationPolicy(CCAPolicy(1.0)).name == "CCA-static"
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("edf", EDFPolicy),
+            ("edf-wp", EDFWPPolicy),
+            ("EDF-HP", EDFPolicy),
+            ("cca", CCAPolicy),
+            ("edf-wait", EDFWaitPolicy),
+            ("lsf", LSFPolicy),
+            ("LSF-HP", LSFPolicy),
+            ("fcfs", FCFSPolicy),
+            ("criticalness-cca", CriticalnessCCAPolicy),
+        ],
+    )
+    def test_names(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_cca_weight_passed_through(self):
+        assert make_policy("cca", penalty_weight=5.0).penalty_weight == 5.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("round-robin")

@@ -1,0 +1,90 @@
+"""The scheduling procedures as pure functions."""
+
+from repro.core.oracle import SetOracle
+from repro.core.scheduler import choose_primary, choose_secondary, is_compatible
+from repro.rtdb.transaction import Transaction
+
+from tests.conftest import make_spec
+
+
+def tx(tid, items, deadline=100.0, accessed=()):
+    transaction = Transaction(make_spec(tid, items, deadline=deadline))
+    for item in accessed:
+        transaction.record_access(item)
+    return transaction
+
+
+def edf_key(transaction):
+    return (-transaction.deadline, -transaction.tid)
+
+
+class TestChoosePrimary:
+    def test_empty_returns_none(self):
+        assert choose_primary([], edf_key) is None
+
+    def test_highest_priority_wins(self):
+        a = tx(1, [1], deadline=100.0)
+        b = tx(2, [2], deadline=50.0)
+        c = tx(3, [3], deadline=75.0)
+        assert choose_primary([a, b, c], edf_key) is b
+
+    def test_tie_broken_by_key(self):
+        a = tx(1, [1], deadline=100.0)
+        b = tx(2, [2], deadline=100.0)
+        # Identical deadlines: the -tid component prefers the smaller tid.
+        assert choose_primary([a, b], edf_key) is a
+
+    def test_first_max_wins_on_exact_key_tie(self):
+        a = tx(1, [1])
+        assert choose_primary([a], edf_key) is a
+
+
+class TestIsCompatible:
+    def test_compatible_when_disjoint_from_all(self):
+        oracle = SetOracle()
+        candidate = tx(1, [1, 2])
+        plist = [tx(2, [3, 4], accessed=[3]), tx(3, [5], accessed=[5])]
+        assert is_compatible(candidate, plist, oracle)
+
+    def test_incompatible_on_any_conflict(self):
+        oracle = SetOracle()
+        candidate = tx(1, [1, 2])
+        plist = [tx(2, [9], accessed=[9]), tx(3, [2, 5], accessed=[5])]
+        assert not is_compatible(candidate, plist, oracle)
+
+    def test_self_is_ignored(self):
+        """A partially executed transaction is compatible with itself —
+        resuming it conflicts with nobody new."""
+        oracle = SetOracle()
+        candidate = tx(1, [1, 2], accessed=[1])
+        assert is_compatible(candidate, [candidate], oracle)
+
+    def test_empty_plist_always_compatible(self):
+        assert is_compatible(tx(1, [1]), [], SetOracle())
+
+
+class TestChooseSecondary:
+    def test_highest_priority_compatible_wins(self):
+        oracle = SetOracle()
+        plist = [tx(10, [1], accessed=[1])]
+        urgent_conflicting = tx(1, [1, 2], deadline=10.0)
+        relaxed_compatible = tx(2, [5, 6], deadline=500.0)
+        moderate_compatible = tx(3, [7, 8], deadline=100.0)
+        chosen = choose_secondary(
+            [urgent_conflicting, relaxed_compatible, moderate_compatible],
+            plist,
+            oracle,
+            edf_key,
+        )
+        assert chosen is moderate_compatible
+
+    def test_returns_none_when_nothing_compatible(self):
+        """The paper's NIL: better to idle than run a noncontributing
+        execution."""
+        oracle = SetOracle()
+        plist = [tx(10, [1, 5], accessed=[1])]
+        ready = [tx(1, [1]), tx(2, [5])]
+        assert choose_secondary(ready, plist, oracle, edf_key) is None
+
+    def test_empty_ready_queue_returns_none(self):
+        assert choose_secondary([], [], SetOracle(), edf_key) is None

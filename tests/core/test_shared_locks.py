@@ -1,0 +1,172 @@
+"""Shared-lock extension end to end (paper future work #1).
+
+The paper's conclusion: "The effect of shared locks in transactions ...
+will affect the performance of RTDBS" and "shared locks will make the
+dynamic cost an even more important factor".  These tests exercise
+read/write workloads through the oracle and the full simulator.
+"""
+
+import pytest
+
+from repro.analysis.relations import Conflict, Safety
+from repro.config import SimulationConfig
+from repro.core.oracle import SetOracle
+from repro.core.policy import CCAPolicy, EDFPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.rtdb.transaction import Operation, Transaction, TransactionSpec
+from repro.workload.generator import generate_workload
+
+
+def rw_spec(tid, accesses, arrival=0.0, deadline=1000.0, compute=10.0):
+    """accesses: list of (item, is_write)."""
+    return TransactionSpec(
+        tid=tid,
+        type_id=0,
+        arrival_time=arrival,
+        deadline=deadline,
+        operations=tuple(
+            Operation(item=item, compute_time=compute, is_write=write)
+            for item, write in accesses
+        ),
+    )
+
+
+def config(**overrides):
+    defaults = dict(
+        n_transaction_types=5,
+        updates_mean=3.0,
+        updates_std=1.0,
+        db_size=50,
+        abort_cost=4.0,
+        n_transactions=5,
+        arrival_rate=1.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestRwSets:
+    def test_spec_sets(self):
+        spec = rw_spec(1, [(1, True), (2, False), (3, False)])
+        assert spec.write_set == frozenset({1})
+        assert spec.read_set == frozenset({2, 3})
+        assert spec.data_set == frozenset({1, 2, 3})
+
+    def test_item_both_read_and_written_counts_as_write(self):
+        spec = rw_spec(1, [(1, False), (1, True)])
+        assert spec.write_set == frozenset({1})
+        assert spec.read_set == frozenset()
+
+
+class TestRwOracle:
+    def test_read_read_never_conflicts(self):
+        oracle = SetOracle()
+        a = Transaction(rw_spec(1, [(1, False), (2, False)]))
+        b = Transaction(rw_spec(2, [(1, False), (3, False)]))
+        assert oracle.conflict(a, b) is Conflict.NONE
+
+    def test_read_write_conflicts(self):
+        oracle = SetOracle()
+        reader = Transaction(rw_spec(1, [(1, False)]))
+        writer = Transaction(rw_spec(2, [(1, True)]))
+        assert oracle.conflict(reader, writer) is Conflict.CERTAIN
+        assert oracle.conflict(writer, reader) is Conflict.CERTAIN
+
+    def test_reader_safe_until_writer_threatens(self):
+        oracle = SetOracle()
+        reader = Transaction(rw_spec(1, [(1, False), (5, False)]))
+        writer = Transaction(rw_spec(2, [(1, True)]))
+        assert oracle.safety(reader, writer) is Safety.SAFE  # nothing read yet
+        reader.record_access(1, write=False)
+        assert oracle.safety(reader, writer) is Safety.UNSAFE
+
+    def test_reader_safe_wrt_other_reader(self):
+        oracle = SetOracle()
+        a = Transaction(rw_spec(1, [(1, False)]))
+        a.record_access(1, write=False)
+        b = Transaction(rw_spec(2, [(1, False), (2, True)]))
+        assert oracle.safety(a, b) is Safety.SAFE
+
+    def test_writer_unsafe_wrt_reader(self):
+        oracle = SetOracle()
+        writer = Transaction(rw_spec(1, [(1, True)]))
+        writer.record_access(1, write=True)
+        reader = Transaction(rw_spec(2, [(1, False)]))
+        assert oracle.safety(writer, reader) is Safety.UNSAFE
+
+
+class TestRwSimulation:
+    def test_readers_share_without_wounding(self):
+        """Two overlapping pure readers never wound each other."""
+        a = rw_spec(1, [(1, False), (2, False)], arrival=0.0, deadline=200.0)
+        b = rw_spec(2, [(1, False), (3, False)], arrival=5.0, deadline=100.0)
+        result = RTDBSimulator(config(), [a, b], EDFPolicy()).run()
+        assert result.total_restarts == 0
+        assert result.n_committed == 2
+
+    def test_urgent_writer_wounds_reader(self):
+        reader = rw_spec(1, [(1, False), (2, False)], arrival=0.0, deadline=1000.0)
+        writer = rw_spec(2, [(1, True)], arrival=5.0, deadline=50.0)
+        result = RTDBSimulator(config(), [reader, writer], EDFPolicy()).run()
+        restarts = {r.tid: r.restarts for r in result.records}
+        assert restarts[1] == 1
+        assert restarts[2] == 0
+
+    def test_urgent_reader_wounds_writer(self):
+        writer = rw_spec(1, [(1, True), (2, True)], arrival=0.0, deadline=1000.0)
+        reader = rw_spec(2, [(1, False)], arrival=5.0, deadline=50.0)
+        result = RTDBSimulator(config(), [writer, reader], EDFPolicy()).run()
+        restarts = {r.tid: r.restarts for r in result.records}
+        assert restarts[1] == 1
+
+    def test_writer_wounds_every_lower_priority_reader(self):
+        """Lazy mode: a writer arriving at a read-shared item wounds all
+        its readers in one operation."""
+        r1 = rw_spec(1, [(1, False), (7, False)], arrival=0.0, deadline=1000.0)
+        r2 = rw_spec(2, [(1, False), (8, False)], arrival=1.0, deadline=900.0)
+        writer = rw_spec(3, [(1, True)], arrival=12.0, deadline=50.0)
+        result = RTDBSimulator(
+            config(), [r1, r2, writer], EDFPolicy(), eager_wounds=False
+        ).run()
+        restarts = {r.tid: r.restarts for r in result.records}
+        assert restarts[3] == 0
+        assert restarts[1] + restarts[2] >= 2
+
+    def test_read_heavy_workload_restarts_less(self):
+        """More shared access -> fewer conflicts -> fewer restarts, at
+        matched load."""
+        heavy = config(
+            n_transaction_types=10,
+            updates_mean=6.0,
+            db_size=20,
+            n_transactions=120,
+            arrival_rate=12.0,
+        )
+        write_only = generate_workload(heavy.replace(read_fraction=0.0), seed=3)
+        read_heavy = generate_workload(heavy.replace(read_fraction=0.8), seed=3)
+        result_w = RTDBSimulator(heavy, write_only, CCAPolicy(1.0)).run()
+        result_r = RTDBSimulator(heavy, read_heavy, CCAPolicy(1.0)).run()
+        assert (
+            result_r.restarts_per_transaction <= result_w.restarts_per_transaction
+        )
+        assert result_r.miss_percent <= result_w.miss_percent + 1.0
+
+    def test_theorem1_still_holds_with_shared_locks(self):
+        cfg = config(
+            n_transaction_types=8,
+            updates_mean=5.0,
+            db_size=25,
+            n_transactions=80,
+            arrival_rate=10.0,
+            read_fraction=0.5,
+        )
+        events = []
+        workload = generate_workload(cfg, seed=5)
+        result = RTDBSimulator(
+            cfg,
+            workload,
+            CCAPolicy(1.0),
+            trace=lambda name, **kw: events.append(name),
+        ).run()
+        assert result.n_committed == cfg.n_transactions
+        assert "lock_wait" not in events

@@ -1,0 +1,183 @@
+"""Disk-resident simulator: IO waits, IOwait-schedule, noncontributing
+executions, and abort-during-IO semantics."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.policy import CCAPolicy, EDFPolicy
+from repro.core.simulator import RTDBSimulator
+
+from tests.conftest import make_spec
+
+
+def config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        n_transaction_types=5,
+        updates_mean=3.0,
+        updates_std=1.0,
+        db_size=50,
+        abort_cost=5.0,
+        disk_resident=True,
+        disk_access_time=25.0,
+        disk_access_prob=0.1,
+        n_transactions=5,
+        arrival_rate=1.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def run(workload, policy, trace=None, **overrides):
+    return RTDBSimulator(
+        config(**overrides), workload, policy, trace=trace
+    ).run()
+
+
+class TestBasicIO:
+    def test_io_leg_before_compute(self):
+        spec = make_spec(
+            1, [1, 2], arrival=0.0, deadline=200.0, compute=10.0,
+            io_items=frozenset({1}), io_time=25.0,
+        )
+        result = run([spec], EDFPolicy())
+        # op1: io 25 then compute 10; op2: compute 10.
+        assert result.records[0].commit_time == pytest.approx(45.0)
+        assert result.disk_utilization > 0
+
+    def test_multiple_io_legs_serialize_on_disk(self):
+        a = make_spec(1, [1], arrival=0.0, deadline=500.0, compute=10.0,
+                      io_items=frozenset({1}))
+        b = make_spec(2, [9], arrival=0.0, deadline=600.0, compute=10.0,
+                      io_items=frozenset({9}))
+        result = run([a, b], EDFPolicy())
+        commits = {r.tid: r.commit_time for r in result.records}
+        # A's access 0..25; B queues behind it 25..50.
+        assert commits[1] == pytest.approx(35.0)
+        assert commits[2] == pytest.approx(60.0)
+
+
+class TestIOWaitSchedule:
+    def scenario(self):
+        """Primary does IO; a conflicting and a compatible transaction
+        are ready."""
+        primary = make_spec(
+            1, [1, 2], arrival=0.0, deadline=200.0, compute=10.0,
+            io_items=frozenset({1}),
+        )
+        conflicting = make_spec(
+            2, [2, 5, 6, 7], arrival=1.0, deadline=500.0, compute=10.0
+        )
+        compatible = make_spec(3, [8, 9], arrival=1.0, deadline=800.0, compute=10.0)
+        return [primary, conflicting, compatible]
+
+    def test_cca_runs_only_the_compatible_secondary(self):
+        events = []
+        result = run(
+            self.scenario(),
+            CCAPolicy(1.0),
+            trace=lambda name, **kw: events.append((name, kw)),
+        )
+        assert result.total_restarts == 0
+        commits = {r.tid: r.commit_time for r in result.records}
+        # Compatible secondary runs 1..21 during the primary's IO wait;
+        # CPU idles 21..25; primary computes 25..45; conflicting runs
+        # 45..85.
+        assert commits[3] == pytest.approx(21.0)
+        assert commits[1] == pytest.approx(45.0)
+        assert commits[2] == pytest.approx(85.0)
+        # The conflicting transaction must never have been dispatched
+        # while the primary was on the disk (no noncontributing run).
+        dispatches_before_io_done = [
+            kw["tx"].tid
+            for name, kw in events
+            if name == "dispatch" and kw["time"] < 25.0
+        ]
+        assert 2 not in dispatches_before_io_done
+
+    def test_edf_hp_noncontributing_execution_gets_wounded(self):
+        result = run(self.scenario(), EDFPolicy())
+        assert result.total_restarts == 1
+        commits = {r.tid: r.commit_time for r in result.records}
+        # EDF-HP runs the conflicting transaction during the IO wait
+        # (1..25); the primary returns, wounds it at item 2 (5 ms
+        # rollback), computes 25..35 (op 1) and 40..50 (op 2).
+        assert commits[1] == pytest.approx(50.0)
+        # Victim restarts from scratch after the primary: 4 ops x 10.
+        assert commits[2] == pytest.approx(90.0)
+        assert commits[3] == pytest.approx(110.0)
+
+    def test_cca_idles_when_nothing_compatible(self):
+        primary = make_spec(
+            1, [1, 2], arrival=0.0, deadline=200.0, compute=10.0,
+            io_items=frozenset({1}),
+        )
+        conflicting = make_spec(2, [2, 5], arrival=1.0, deadline=500.0, compute=10.0)
+        result = run([primary, conflicting], CCAPolicy(1.0))
+        assert result.total_restarts == 0
+        commits = {r.tid: r.commit_time for r in result.records}
+        assert commits[1] == pytest.approx(45.0)
+        assert commits[2] == pytest.approx(65.0)
+        # CPU idle during the whole IO wait: utilization reflects it.
+        busy = result.cpu_utilization * result.makespan
+        assert busy == pytest.approx(40.0, rel=1e-6)
+
+
+class TestAbortDuringIO:
+    def test_victim_in_disk_queue_is_removed(self):
+        """A queued (not yet served) transaction wounded by the primary
+        leaves the disk queue immediately."""
+        first_io = make_spec(
+            1, [9], arrival=0.0, deadline=500.0, compute=10.0,
+            io_items=frozenset({9}),
+        )
+        victim = make_spec(
+            2, [1, 5], arrival=1.0, deadline=600.0, compute=10.0,
+            io_items=frozenset({5}),
+        )
+        # At t=12 the victim has locked item 5 (t=11) and sits in the
+        # disk queue behind tid 1's transfer (0..25).
+        urgent = make_spec(3, [5, 6], arrival=12.0, deadline=100.0, compute=10.0)
+        events = []
+        result = run(
+            [first_io, victim, urgent],
+            EDFPolicy(),
+            trace=lambda name, **kw: events.append((name, kw)),
+        )
+        assert result.n_committed == 3
+        # The victim restarted at least once (wounded by the urgent one
+        # while queued behind tid 1's disk access).
+        restarts = {r.tid: r.restarts for r in result.records}
+        assert restarts[2] >= 1
+
+    def test_stale_io_completion_is_discarded(self):
+        """Wounded during its disk access: the transfer completes but the
+        result is ignored; the victim restarts cleanly."""
+        victim = make_spec(
+            1, [1, 5], arrival=0.0, deadline=600.0, compute=10.0,
+            io_items=frozenset({1}),
+        )
+        urgent = make_spec(2, [1, 6], arrival=5.0, deadline=100.0, compute=10.0)
+        events = []
+        result = run(
+            [victim, urgent],
+            EDFPolicy(),
+            trace=lambda name, **kw: events.append((name, kw)),
+        )
+        assert result.n_committed == 2
+        stale = [kw for name, kw in events if name == "io_stale"]
+        assert stale, "expected the victim's in-flight access to be discarded"
+        restarts = {r.tid: r.restarts for r in result.records}
+        assert restarts[1] >= 1
+
+
+class TestDiskMetrics:
+    def test_disk_utilization_counts_transfers(self, disk_config, disk_workload):
+        result = RTDBSimulator(disk_config, disk_workload, CCAPolicy(1.0)).run()
+        assert 0.0 <= result.disk_utilization <= 1.0
+        expected_busy = result.disk_utilization * result.makespan
+        io_time_lower_bound = sum(
+            op.io_time for s in disk_workload for op in s.operations
+        )
+        # Restarted transactions repeat their IO, so measured busy time is
+        # at least the workload's nominal IO demand.
+        assert expected_busy >= io_time_lower_bound - 1e-6

@@ -1,0 +1,157 @@
+"""Property-based simulator tests over random hand-rolled workloads.
+
+Hypothesis generates adversarial workload shapes (bursty arrivals, heavy
+item contention, tight deadlines) and we assert the structural
+invariants that must hold for *every* schedule, under every policy:
+termination with all commits, consistent metrics, restart accounting, and
+CCA's no-lock-wait theorem.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig
+from repro.core.policy import CCAPolicy, EDFPolicy, EDFWaitPolicy, LSFPolicy, FCFSPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.rtdb.transaction import Operation, TransactionSpec
+
+BASE_CONFIG = SimulationConfig(
+    n_transaction_types=5,
+    updates_mean=3.0,
+    updates_std=1.0,
+    db_size=8,  # tiny: heavy contention on purpose
+    abort_cost=4.0,
+    n_transactions=10,
+    arrival_rate=10.0,
+)
+
+DISK_CONFIG = BASE_CONFIG.replace(
+    disk_resident=True, disk_access_time=20.0, disk_access_prob=0.3
+)
+
+
+@st.composite
+def workloads(draw, disk=False):
+    """A list of 1..10 hand-rolled transaction specs on 8 items."""
+    n = draw(st.integers(1, 10))
+    specs = []
+    for tid in range(n):
+        arrival = draw(st.floats(0.0, 100.0))
+        n_ops = draw(st.integers(1, 5))
+        items = draw(
+            st.lists(
+                st.integers(0, 7), min_size=n_ops, max_size=n_ops, unique=True
+            )
+        )
+        compute = draw(st.floats(0.5, 20.0))
+        operations = tuple(
+            Operation(
+                item=item,
+                compute_time=compute,
+                io_time=20.0 if disk and draw(st.booleans()) else 0.0,
+            )
+            for item in items
+        )
+        resource = sum(op.compute_time + op.io_time for op in operations)
+        slack = draw(st.floats(0.0, 8.0))
+        specs.append(
+            TransactionSpec(
+                tid=tid,
+                type_id=tid % 5,
+                arrival_time=arrival,
+                deadline=arrival + resource * (1.0 + slack),
+                operations=operations,
+            )
+        )
+    return specs
+
+
+POLICIES = [
+    lambda: EDFPolicy(),
+    lambda: CCAPolicy(1.0),
+    lambda: CCAPolicy(0.0),
+    lambda: EDFWaitPolicy(),
+    lambda: LSFPolicy(),
+    lambda: FCFSPolicy(),
+]
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestMainMemoryProperties:
+    @pytest.mark.parametrize("policy_factory", POLICIES)
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_every_schedule_terminates_and_commits_all(
+        self, policy_factory, workload
+    ):
+        result = RTDBSimulator(BASE_CONFIG, workload, policy_factory()).run()
+        assert result.n_committed == len(workload)
+        assert 0.0 <= result.miss_percent <= 100.0
+        assert result.mean_lateness >= 0.0
+        assert 0.0 <= result.cpu_utilization <= 1.0
+        assert sum(r.restarts for r in result.records) == result.total_restarts
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_cpu_busy_at_least_total_work(self, workload):
+        result = RTDBSimulator(BASE_CONFIG, workload, EDFPolicy()).run()
+        busy = result.cpu_utilization * result.makespan
+        total_work = sum(spec.cpu_time for spec in workload)
+        assert busy >= total_work - 1e-6
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_cca_never_lock_waits(self, workload):
+        events = []
+        RTDBSimulator(
+            BASE_CONFIG,
+            workload,
+            CCAPolicy(1.0),
+            trace=lambda name, **kw: events.append(name),
+        ).run()
+        assert "lock_wait" not in events
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_determinism(self, workload):
+        a = RTDBSimulator(BASE_CONFIG, workload, CCAPolicy(1.0)).run()
+        b = RTDBSimulator(BASE_CONFIG, workload, CCAPolicy(1.0)).run()
+        assert a.records == b.records
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_commit_never_before_own_cpu_demand(self, workload):
+        by_tid = {spec.tid: spec for spec in workload}
+        result = RTDBSimulator(BASE_CONFIG, workload, CCAPolicy(1.0)).run()
+        for record in result.records:
+            spec = by_tid[record.tid]
+            assert record.commit_time >= spec.arrival_time + spec.cpu_time - 1e-9
+
+
+class TestDiskProperties:
+    @pytest.mark.parametrize(
+        "policy_factory", [lambda: EDFPolicy(), lambda: CCAPolicy(1.0)]
+    )
+    @given(workload=workloads(disk=True))
+    @COMMON_SETTINGS
+    def test_every_disk_schedule_terminates(self, policy_factory, workload):
+        result = RTDBSimulator(DISK_CONFIG, workload, policy_factory()).run()
+        assert result.n_committed == len(workload)
+        assert 0.0 <= result.disk_utilization <= 1.0
+
+    @given(workload=workloads(disk=True))
+    @COMMON_SETTINGS
+    def test_commit_never_before_own_resource_demand(self, workload):
+        by_tid = {spec.tid: spec for spec in workload}
+        result = RTDBSimulator(DISK_CONFIG, workload, EDFPolicy()).run()
+        for record in result.records:
+            spec = by_tid[record.tid]
+            assert (
+                record.commit_time >= spec.arrival_time + spec.resource_time - 1e-9
+            )

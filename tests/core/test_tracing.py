@@ -1,0 +1,136 @@
+"""Event log and schedule reconstruction."""
+
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.policy import CCAPolicy, EDFPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.tracing import EventLog
+from repro.workload.generator import generate_workload
+
+from tests.conftest import make_spec
+
+
+def config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        n_transaction_types=5,
+        updates_mean=3.0,
+        updates_std=1.0,
+        db_size=50,
+        abort_cost=4.0,
+        n_transactions=5,
+        arrival_rate=1.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestEventLog:
+    def test_records_flattened_events(self):
+        log = EventLog()
+        spec = make_spec(1, [1, 2], deadline=100.0, compute=10.0)
+        RTDBSimulator(config(), [spec], EDFPolicy(), trace=log).run()
+        assert len(log) > 0
+        kinds = {event["event"] for event in log}
+        assert {"arrival", "dispatch", "commit"} <= kinds
+        # Transactions are stored as ids, never objects.
+        for event in log:
+            for value in event.values():
+                assert not hasattr(value, "tid")
+
+    def test_of_filters_by_kind(self):
+        log = EventLog()
+        specs = [
+            make_spec(1, [1], deadline=50.0, compute=10.0),
+            make_spec(2, [9], arrival=1.0, deadline=100.0, compute=10.0),
+        ]
+        RTDBSimulator(config(), specs, EDFPolicy(), trace=log).run()
+        assert len(log.of("commit")) == 2
+        assert len(log.of("arrival")) == 2
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        log = EventLog()
+        spec = make_spec(1, [1], deadline=50.0, compute=10.0)
+        RTDBSimulator(config(), [spec], EDFPolicy(), trace=log).run()
+        path = log.to_jsonl(tmp_path / "schedule.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(log)
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["event"] == "arrival"
+
+
+class TestCpuIntervals:
+    def test_single_transaction_single_interval(self):
+        log = EventLog()
+        spec = make_spec(1, [1, 2], arrival=5.0, deadline=100.0, compute=10.0)
+        RTDBSimulator(config(), [spec], EDFPolicy(), trace=log).run()
+        intervals = log.cpu_intervals()
+        assert len(intervals) == 1
+        assert intervals[0].tid == 1
+        assert intervals[0].start == pytest.approx(5.0)
+        assert intervals[0].end == pytest.approx(25.0)
+        assert intervals[0].duration == pytest.approx(20.0)
+
+    def test_preemption_splits_intervals(self):
+        log = EventLog()
+        long_tx = make_spec(1, [1, 2], arrival=0.0, deadline=500.0, compute=20.0)
+        urgent = make_spec(2, [8, 9], arrival=5.0, deadline=60.0, compute=10.0)
+        RTDBSimulator(config(), [long_tx, urgent], EDFPolicy(), trace=log).run()
+        intervals = log.cpu_intervals()
+        by_tid = {}
+        for interval in intervals:
+            by_tid.setdefault(interval.tid, []).append(interval)
+        assert len(by_tid[1]) == 2  # before and after the preemption
+        assert len(by_tid[2]) == 1
+        # Total CPU time is conserved.
+        assert sum(iv.duration for iv in by_tid[1]) == pytest.approx(40.0)
+        assert sum(iv.duration for iv in by_tid[2]) == pytest.approx(20.0)
+
+    def test_intervals_never_overlap(self):
+        cfg = config(
+            n_transaction_types=8,
+            updates_mean=5.0,
+            db_size=25,
+            n_transactions=60,
+            arrival_rate=12.0,
+        )
+        log = EventLog()
+        workload = generate_workload(cfg, seed=3)
+        RTDBSimulator(cfg, workload, CCAPolicy(1.0), trace=log).run()
+        intervals = sorted(log.cpu_intervals(), key=lambda iv: iv.start)
+        for earlier, later in zip(intervals, intervals[1:]):
+            assert earlier.end <= later.start + 1e-9
+
+
+class TestGantt:
+    def test_renders_rows(self):
+        log = EventLog()
+        specs = [
+            make_spec(1, [1], deadline=50.0, compute=10.0),
+            make_spec(2, [9], arrival=1.0, deadline=100.0, compute=10.0),
+        ]
+        RTDBSimulator(config(), specs, EDFPolicy(), trace=log).run()
+        chart = log.gantt(width=40)
+        assert "tx    1" in chart
+        assert "tx    2" in chart
+        assert "#" in chart
+
+    def test_empty_log(self):
+        assert "no CPU activity" in EventLog().gantt()
+
+    def test_max_rows_caps_output(self):
+        cfg = config(
+            n_transaction_types=8,
+            updates_mean=4.0,
+            db_size=40,
+            n_transactions=30,
+            arrival_rate=15.0,
+        )
+        log = EventLog()
+        RTDBSimulator(cfg, generate_workload(cfg, seed=2), EDFPolicy(), trace=log).run()
+        chart = log.gantt(width=40, max_rows=5)
+        rows = [line for line in chart.splitlines() if line.startswith("tx")]
+        assert len(rows) == 5
+        assert "more transactions not shown" in chart

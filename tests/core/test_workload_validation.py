@@ -1,0 +1,41 @@
+"""Workload validation shared by all three simulators."""
+
+import pytest
+
+from repro.core.policy import EDFPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.mp.simulator import MultiprocessorSimulator
+from repro.occ.simulator import OCCSimulator
+
+from tests.conftest import make_spec
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda cfg, wl: RTDBSimulator(cfg, wl, EDFPolicy()),
+        lambda cfg, wl: MultiprocessorSimulator(cfg, wl, EDFPolicy(), n_cpus=2),
+        lambda cfg, wl: OCCSimulator(cfg, wl, EDFPolicy()),
+    ],
+    ids=["single-cpu", "multiprocessor", "occ"],
+)
+class TestSharedValidation:
+    def test_duplicate_tids_rejected(self, factory, mm_config):
+        workload = [make_spec(1, [1]), make_spec(1, [2])]
+        with pytest.raises(ValueError, match="duplicate"):
+            factory(mm_config, workload)
+
+    def test_out_of_database_item_rejected(self, factory, mm_config):
+        workload = [make_spec(1, [mm_config.db_size + 1])]
+        with pytest.raises(KeyError):
+            factory(mm_config, workload)
+
+    def test_empty_workload_rejected(self, factory, mm_config):
+        with pytest.raises(ValueError):
+            factory(mm_config, [])
+
+    def test_run_once_only(self, factory, mm_config):
+        simulator = factory(mm_config, [make_spec(1, [1])])
+        simulator.run()
+        with pytest.raises(RuntimeError):
+            simulator.run()

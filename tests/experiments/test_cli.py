@@ -1,0 +1,51 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.figures import clear_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestParser:
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["fig4a", "--scale", "quick"])
+        assert args.scale == "quick"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4a", "--scale", "huge"])
+
+
+class TestMain:
+    def test_table_experiment_prints(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "done in" in out
+
+    def test_csv_export(self, tmp_path, capsys, monkeypatch):
+        # Use a tiny scale via env to keep the run fast; fig5f is one of
+        # the cheapest sweeps (single policy, disk, 75 transactions).
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert main(["fig5f", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "fig5f.csv").exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_scale_flag_overrides_env(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert main(["table2", "--scale", "quick"]) == 0
+        assert "scale=quick" in capsys.readouterr().out

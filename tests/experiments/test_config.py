@@ -1,0 +1,83 @@
+"""Base parameter sets and run scaling."""
+
+import pytest
+
+from repro.experiments.config import (
+    DISK_BASE,
+    DISK_SEEDS,
+    MAIN_MEMORY_BASE,
+    MAIN_MEMORY_SEEDS,
+    ExperimentScale,
+)
+
+
+class TestBaseParameters:
+    def test_table1_values(self):
+        cfg = MAIN_MEMORY_BASE
+        assert cfg.n_transaction_types == 50
+        assert cfg.updates_mean == 20.0
+        assert cfg.updates_std == 10.0
+        assert cfg.compute_per_update == 4.0
+        assert cfg.min_slack == 0.2
+        assert cfg.max_slack == 8.0
+        assert cfg.abort_cost == 4.0
+        assert cfg.penalty_weight == 1.0
+        assert not cfg.disk_resident
+        assert cfg.n_transactions == 1000
+
+    def test_table2_values(self):
+        cfg = DISK_BASE
+        assert cfg.disk_resident
+        assert cfg.abort_cost == 5.0
+        assert cfg.disk_access_time == 25.0
+        assert cfg.disk_access_prob == 0.1
+        assert cfg.n_transactions == 300
+
+    def test_capacity_calculation(self):
+        """Paper Section 4.1: 4 ms x 20 updates = 80 ms/transaction ->
+        capacity 12.5 trs/sec."""
+        cfg = MAIN_MEMORY_BASE
+        per_tx = cfg.updates_mean * cfg.compute_per_update
+        assert 1000.0 / per_tx == pytest.approx(12.5)
+
+    def test_seed_counts_match_paper(self):
+        assert len(MAIN_MEMORY_SEEDS) == 10
+        assert len(DISK_SEEDS) == 30
+
+
+class TestScale:
+    def test_full_is_paper_exact(self):
+        scale = ExperimentScale.full()
+        assert scale.seeds_for(MAIN_MEMORY_BASE) == MAIN_MEMORY_SEEDS
+        assert scale.seeds_for(DISK_BASE) == DISK_SEEDS
+        assert scale.scale_config(MAIN_MEMORY_BASE).n_transactions == 1000
+
+    def test_quick_shrinks(self):
+        scale = ExperimentScale.quick()
+        assert len(scale.seeds_for(MAIN_MEMORY_BASE)) == 3
+        assert scale.scale_config(MAIN_MEMORY_BASE).n_transactions == 250
+
+    def test_scale_never_below_floor(self):
+        scale = ExperimentScale.quick()
+        tiny = MAIN_MEMORY_BASE.replace(n_transactions=60)
+        assert scale.scale_config(tiny).n_transactions == 50
+
+    def test_from_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert ExperimentScale.from_env().name == "default"
+
+    def test_from_env_named(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert ExperimentScale.from_env().name == "quick"
+
+    def test_repro_full_alias(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert ExperimentScale.from_env().name == "full"
+
+    def test_from_env_invalid(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.setenv("REPRO_SCALE", "gigantic")
+        with pytest.raises(ValueError):
+            ExperimentScale.from_env()

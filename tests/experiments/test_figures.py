@@ -1,0 +1,93 @@
+"""Structural tests of the per-figure experiments (tiny scale)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import (
+    ALL_EXPERIMENTS,
+    DISK_ARRIVAL_RATES,
+    MM_ARRIVAL_RATES,
+    PENALTY_WEIGHTS,
+    clear_cache,
+    fig4a,
+    fig4c,
+    fig5a,
+    fig5b,
+    run_experiment,
+    table1,
+    table2,
+)
+
+TINY = ExperimentScale("tiny", 2, 2, 0.05)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        expected = {
+            "table1", "table2",
+            "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
+            "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("table1", TINY)
+        assert result.figure_id == "table1"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig9z", TINY)
+
+
+class TestTables:
+    def test_table1_documents_parameters(self):
+        result = table1()
+        assert "50" in result.notes
+        assert "12.5" in result.notes
+
+    def test_table2_documents_disk(self):
+        result = table2()
+        assert "25" in result.notes
+        assert "62.5" in result.notes
+
+
+class TestFigureStructure:
+    def test_fig4a_series(self):
+        result = fig4a(TINY)
+        assert set(result.series) == {"EDF-HP", "CCA"}
+        for points in result.series.values():
+            assert [x for x, _ in points] == list(MM_ARRIVAL_RATES)
+            assert all(0.0 <= y <= 100.0 for _, y in points)
+
+    def test_fig4c_reuses_fig4a_sweep(self):
+        fig4a(TINY)
+        result = fig4c(TINY)  # must come from the cache: same sweep
+        assert set(result.series) == {"EDF-HP", "CCA"}
+        assert all(y >= 0.0 for pts in result.series.values() for _, y in pts)
+
+    def test_fig5a_two_rates(self):
+        result = fig5a(TINY)
+        assert set(result.series) == {"5 TPS", "8 TPS"}
+        for points in result.series.values():
+            assert [x for x, _ in points] == sorted(PENALTY_WEIGHTS)
+
+    def test_fig5b_disk_axis(self):
+        result = fig5b(TINY)
+        for points in result.series.values():
+            assert [x for x, _ in points] == list(DISK_ARRIVAL_RATES)
+
+    def test_improvement_figures_have_both_metrics(self):
+        result = run_experiment("fig4b", TINY)
+        assert set(result.series) == {"Miss Percent", "Mean Lateness"}
+
+    def test_dbsize_figures(self):
+        result = run_experiment("fig4f", TINY)
+        xs = [x for x, _ in result.series["CCA"]]
+        assert xs == [float(s) for s in range(100, 1001, 100)]

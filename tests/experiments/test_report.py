@@ -1,0 +1,68 @@
+"""ASCII rendering and CSV export."""
+
+import csv
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.report import render_figure, write_csv
+
+
+def sample_result():
+    return FigureResult(
+        figure_id="figX",
+        title="Sample",
+        x_label="Rate",
+        y_label="Miss",
+        series={
+            "EDF-HP": [(1.0, 5.0), (2.0, 10.0)],
+            "CCA": [(1.0, 4.0), (2.0, 7.5)],
+        },
+        paper_expectation="CCA below EDF-HP.",
+    )
+
+
+class TestRender:
+    def test_contains_header_and_rows(self):
+        text = render_figure(sample_result())
+        assert "figX: Sample" in text
+        assert "EDF-HP" in text and "CCA" in text
+        assert "10.000" in text and "7.500" in text
+        assert "paper expectation" in text
+
+    def test_handles_missing_points(self):
+        result = FigureResult(
+            figure_id="f",
+            title="t",
+            x_label="x",
+            y_label="y",
+            series={"A": [(1.0, 2.0)], "B": [(3.0, 4.0)]},
+        )
+        text = render_figure(result)
+        assert "-" in text  # placeholder for the missing cross points
+
+    def test_table_only_result(self):
+        result = FigureResult(
+            figure_id="table1",
+            title="params",
+            x_label="",
+            y_label="",
+            series={},
+            notes="db size 300",
+        )
+        text = render_figure(result)
+        assert "db size 300" in text
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(sample_result(), tmp_path)
+        assert path.name == "figX.csv"
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["Rate", "EDF-HP", "CCA"]
+        assert rows[1] == ["1.0", "5.0", "4.0"]
+        assert rows[2] == ["2.0", "10.0", "7.5"]
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "out"
+        path = write_csv(sample_result(), target)
+        assert path.exists()

@@ -1,0 +1,141 @@
+"""Shape reproduction: the paper's qualitative claims, checked end to end.
+
+These run at quick scale (3-4 seeds, quarter-size runs) and assert the
+*shapes* the paper reports — who wins, roughly where, and in which
+direction curves move.  Absolute values are compared against the paper in
+EXPERIMENTS.md, not here (our substrate is a re-built simulator).
+
+The module shares one sweep cache so the whole file costs a handful of
+simulations.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import (
+    clear_cache,
+    fig4a,
+    fig4b,
+    fig4c,
+    fig4f,
+    fig5a,
+    fig5b,
+    fig5c,
+    fig5d,
+)
+
+QUICK = ExperimentScale.quick()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def series_dict(result, name):
+    return dict(result.series[name])
+
+
+def mean(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+class TestFig4MainMemory:
+    def test_miss_percent_rises_with_load(self):
+        result = fig4a(QUICK)
+        for name in ("EDF-HP", "CCA"):
+            points = series_dict(result, name)
+            assert mean(points[x] for x in (8.0, 9.0, 10.0)) > mean(
+                points[x] for x in (1.0, 2.0, 3.0)
+            )
+
+    def test_cca_at_or_below_edf_hp_overall(self):
+        result = fig4a(QUICK)
+        edf = series_dict(result, "EDF-HP")
+        cca = series_dict(result, "CCA")
+        assert mean(cca.values()) <= mean(edf.values())
+        # Under the heavy-load half CCA should win clearly.
+        heavy = [x for x in edf if x >= 6.0]
+        assert mean(cca[x] for x in heavy) < mean(edf[x] for x in heavy)
+
+    def test_improvement_positive_under_load(self):
+        result = fig4b(QUICK)
+        miss = series_dict(result, "Miss Percent")
+        lateness = series_dict(result, "Mean Lateness")
+        heavy = [x for x in miss if x >= 6.0]
+        assert mean(miss[x] for x in heavy) > 0.0
+        assert mean(lateness[x] for x in heavy) > 0.0
+
+    def test_restarts_rise_then_fall(self):
+        """Figure 4c: the restart curve peaks in the 6..9 tr/s region and
+        declines past the peak (paper Section 4.1's explanation)."""
+        result = fig4c(QUICK)
+        for name in ("EDF-HP", "CCA"):
+            points = series_dict(result, name)
+            peak_rate = max(points, key=points.get)
+            assert 5.0 <= peak_rate <= 9.0
+            assert points[10.0] < points[peak_rate]
+            assert points[1.0] < points[peak_rate]
+
+    def test_cca_restarts_below_edf_before_peak(self):
+        result = fig4c(QUICK)
+        edf = series_dict(result, "EDF-HP")
+        cca = series_dict(result, "CCA")
+        mid = [x for x in edf if 3.0 <= x <= 8.0]
+        assert mean(cca[x] for x in mid) < mean(edf[x] for x in mid)
+
+    def test_dbsize_contention_effect(self):
+        """Figure 4f: small databases (heavy contention) hurt both
+        algorithms; CCA's edge is largest there."""
+        result = fig4f(QUICK)
+        edf = series_dict(result, "EDF-HP")
+        cca = series_dict(result, "CCA")
+        assert edf[100.0] > edf[1000.0]
+        assert cca[100.0] <= edf[100.0]
+
+
+class TestFig5PenaltyWeightAndDisk:
+    def test_penalty_weight_stability(self):
+        """Figure 5a: miss percent is insensitive to w over 1..20."""
+        result = fig5a(QUICK)
+        for name, points in result.series.items():
+            by_weight = dict(points)
+            nonzero = [by_weight[w] for w in (1.0, 2.0, 5.0, 10.0, 15.0, 20.0)]
+            spread = max(nonzero) - min(nonzero)
+            # Stability: the w >= 1 plateau varies far less than the full
+            # possible range; a loose bound that still catches regressions
+            # where the weight dominates the deadline.
+            assert spread <= 10.0, f"{name}: plateau spread {spread}"
+
+    def test_disk_miss_percent_cca_wins_under_load(self):
+        result = fig5b(QUICK)
+        edf = series_dict(result, "EDF-HP")
+        cca = series_dict(result, "CCA")
+        heavy = [x for x in edf if x >= 4.0]
+        assert mean(cca[x] for x in heavy) <= mean(edf[x] for x in heavy)
+
+    def test_disk_restarts_edf_monotone_cca_flat(self):
+        """Figure 5c: the headline disk result — EDF-HP restarts grow
+        monotonically with load (noncontributing executions); CCA's stay
+        low, resembling the main-memory curve."""
+        result = fig5c(QUICK)
+        edf = series_dict(result, "EDF-HP")
+        cca = series_dict(result, "CCA")
+        # Trend check via halves (single-seed noise makes strict
+        # point-wise monotonicity too brittle).
+        light = mean(edf[x] for x in (1.0, 2.0, 3.0))
+        heavy = mean(edf[x] for x in (5.0, 6.0, 7.0))
+        assert heavy > 2.0 * light
+        # CCA clearly below EDF-HP at load.
+        assert mean(cca[x] for x in (5.0, 6.0, 7.0)) < heavy
+        # CCA everywhere at or below EDF-HP.
+        assert all(cca[x] <= edf[x] + 1e-9 for x in edf)
+
+    def test_disk_improvement_positive_at_load(self):
+        result = fig5d(QUICK)
+        lateness = series_dict(result, "Mean Lateness")
+        heavy = [x for x in lateness if x >= 4.0]
+        assert mean(lateness[x] for x in heavy) > 0.0

@@ -1,0 +1,64 @@
+"""Improvement metric and paired comparisons."""
+
+import pytest
+
+from repro.metrics.comparison import PolicyComparison, improvement_percent
+
+from tests.metrics.test_summary import record, result
+from repro.metrics.summary import summarize
+
+
+class TestImprovementPercent:
+    def test_paper_formula(self):
+        # (EDF - CCA) / EDF * 100
+        assert improvement_percent(10.0, 7.0) == pytest.approx(30.0)
+
+    def test_regression_is_negative(self):
+        assert improvement_percent(10.0, 12.0) == pytest.approx(-20.0)
+
+    def test_equal_values_zero(self):
+        assert improvement_percent(5.0, 5.0) == pytest.approx(0.0)
+
+    def test_both_zero(self):
+        assert improvement_percent(0.0, 0.0) == 0.0
+
+    def test_zero_baseline_nonzero_challenger(self):
+        assert improvement_percent(0.0, 3.0) == -100.0
+
+
+class TestPolicyComparison:
+    def make(self, edf_miss, cca_miss):
+        edf = summarize(
+            [
+                result(
+                    policy="EDF-HP",
+                    records=[record(1, 150 if edf_miss else 50, 100)],
+                )
+            ]
+        )
+        cca = summarize(
+            [
+                result(
+                    policy="CCA",
+                    records=[record(1, 150 if cca_miss else 50, 100)],
+                )
+            ]
+        )
+        return PolicyComparison(baseline=edf, challenger=cca)
+
+    def test_improvement_when_cca_meets_deadline(self):
+        comparison = self.make(edf_miss=True, cca_miss=False)
+        assert comparison.miss_percent_improvement == pytest.approx(100.0)
+        assert comparison.mean_lateness_improvement == pytest.approx(100.0)
+
+    def test_no_improvement_when_identical(self):
+        comparison = self.make(edf_miss=True, cca_miss=True)
+        assert comparison.miss_percent_improvement == pytest.approx(0.0)
+
+    def test_unbalanced_run_counts_rejected(self):
+        edf = summarize(
+            [result(policy="EDF-HP"), result(policy="EDF-HP")]
+        )
+        cca = summarize([result(policy="CCA")])
+        with pytest.raises(ValueError):
+            PolicyComparison(baseline=edf, challenger=cca)

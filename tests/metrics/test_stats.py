@@ -1,0 +1,124 @@
+"""Confidence intervals and paired significance tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    paired_t_test,
+)
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        interval = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert interval.mean == pytest.approx(2.5)
+        assert 2.5 in interval
+        assert interval.lower < 2.5 < interval.upper
+
+    def test_wider_at_higher_confidence(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = mean_confidence_interval(values, confidence=0.80)
+        wide = mean_confidence_interval(values, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_shrinks_with_more_data(self):
+        few = mean_confidence_interval([1.0, 3.0] * 3)
+        many = mean_confidence_interval([1.0, 3.0] * 30)
+        assert many.half_width < few.half_width
+
+    def test_single_value_degenerate(self):
+        interval = mean_confidence_interval([7.0])
+        assert interval.lower == interval.upper == interval.mean == 7.0
+
+    def test_zero_variance(self):
+        interval = mean_confidence_interval([5.0, 5.0, 5.0])
+        assert interval.half_width == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0], confidence=1.5)
+
+    def test_str(self):
+        text = str(mean_confidence_interval([1.0, 2.0, 3.0]))
+        assert "@95%" in text
+
+    @given(
+        values=st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=40),
+        confidence=st.floats(0.5, 0.999),
+    )
+    @settings(max_examples=60)
+    def test_interval_always_brackets_mean(self, values, confidence):
+        interval = mean_confidence_interval(values, confidence)
+        assert interval.lower <= interval.mean <= interval.upper
+
+
+class TestPairedTTest:
+    def test_clear_difference_is_significant(self):
+        baseline = [10.0, 11.2, 12.0, 10.5, 11.5, 12.4]
+        challenger = [7.1, 8.0, 9.2, 7.5, 8.4, 9.5]
+        result = paired_t_test(baseline, challenger)
+        assert result.mean_difference == pytest.approx(2.98, abs=0.1)
+        assert result.significant()
+        assert result.n_pairs == 6
+
+    def test_identical_sequences_not_significant(self):
+        values = [1.0, 2.0, 3.0]
+        result = paired_t_test(values, values)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_noise_not_significant(self):
+        baseline = [10.0, 12.0, 9.0, 11.0]
+        challenger = [11.0, 9.5, 11.5, 10.0]
+        result = paired_t_test(baseline, challenger)
+        assert not result.significant(alpha=0.01)
+
+    def test_pairing_beats_unpaired_on_correlated_seeds(self):
+        """The reason paired comparison matters: per-seed workload noise
+        dwarfs the policy effect, but the paired differences are clean."""
+        seed_noise = [0.0, 20.0, 40.0, 60.0, 80.0]
+        jitter = [0.01, -0.02, 0.03, -0.01, 0.02]
+        baseline = [10.0 + noise for noise in seed_noise]
+        challenger = [
+            9.0 + noise + j for noise, j in zip(seed_noise, jitter)
+        ]  # always ~1 better
+        result = paired_t_test(baseline, challenger)
+        assert result.significant(alpha=0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [2.0])
+        with pytest.raises(ValueError):
+            paired_t_test([1.0, 2.0], [1.0])
+
+
+class TestEndToEndSignificance:
+    def test_cca_improvement_is_statistically_significant(self, mm_config):
+        """On paired workloads at high contention the CCA-vs-EDF restart
+        difference is significant even with few seeds."""
+        from repro.core.policy import CCAPolicy, EDFPolicy
+        from repro.core.simulator import RTDBSimulator
+        from repro.workload.generator import generate_workload
+
+        config = mm_config.replace(db_size=20, arrival_rate=12.0, n_transactions=150)
+        edf_values, cca_values = [], []
+        for seed in range(1, 9):
+            workload = generate_workload(config, seed)
+            edf_values.append(
+                RTDBSimulator(config, workload, EDFPolicy())
+                .run()
+                .restarts_per_transaction
+            )
+            cca_values.append(
+                RTDBSimulator(config, workload, CCAPolicy(1.0))
+                .run()
+                .restarts_per_transaction
+            )
+        result = paired_t_test(edf_values, cca_values)
+        assert result.mean_difference > 0  # CCA restarts less
+        assert result.significant(alpha=0.05)

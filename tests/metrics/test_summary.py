@@ -1,0 +1,96 @@
+"""Summary statistics."""
+
+import pytest
+
+from repro.core.simulator import SimulationResult, TransactionRecord
+from repro.metrics.summary import Statistic, summarize
+
+
+def record(tid, commit, deadline, restarts=0):
+    return TransactionRecord(
+        tid=tid,
+        type_id=0,
+        arrival_time=0.0,
+        deadline=deadline,
+        commit_time=commit,
+        restarts=restarts,
+    )
+
+
+def result(policy="CCA", records=(), restarts=0, makespan=1000.0):
+    records = tuple(records)
+    return SimulationResult(
+        policy_name=policy,
+        n_committed=len(records),
+        n_missed=sum(1 for r in records if r.missed),
+        total_restarts=restarts,
+        makespan=makespan,
+        cpu_utilization=0.5,
+        disk_utilization=0.0,
+        mean_plist_size=1.5,
+        records=records,
+    )
+
+
+class TestStatistic:
+    def test_mean_std(self):
+        stat = Statistic.of([1.0, 2.0, 3.0])
+        assert stat.mean == pytest.approx(2.0)
+        assert stat.std == pytest.approx(1.0)
+        assert stat.minimum == 1.0
+        assert stat.maximum == 3.0
+        assert stat.n == 3
+
+    def test_single_value(self):
+        stat = Statistic.of([5.0])
+        assert stat.mean == 5.0
+        assert stat.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Statistic.of([])
+
+    def test_format(self):
+        assert f"{Statistic.of([1.23456]):.2f}" == "1.23"
+
+
+class TestResultMetrics:
+    def test_miss_percent(self):
+        res = result(records=[record(1, 50, 100), record(2, 150, 100)])
+        assert res.miss_percent == pytest.approx(50.0)
+
+    def test_mean_lateness_is_tardiness(self):
+        res = result(records=[record(1, 50, 100), record(2, 160, 100)])
+        # Early commit contributes 0, late one contributes 60.
+        assert res.mean_lateness == pytest.approx(30.0)
+        assert res.mean_signed_lateness == pytest.approx((-50 + 60) / 2)
+
+    def test_restarts_per_transaction(self):
+        res = result(records=[record(1, 1, 10), record(2, 2, 10)], restarts=3)
+        assert res.restarts_per_transaction == pytest.approx(1.5)
+
+    def test_empty_result_metrics(self):
+        res = result(records=[])
+        assert res.miss_percent == 0.0
+        assert res.mean_lateness == 0.0
+        assert res.restarts_per_transaction == 0.0
+
+
+class TestSummarize:
+    def test_aggregates_across_seeds(self):
+        runs = [
+            result(records=[record(1, 150, 100)]),   # 100% miss
+            result(records=[record(1, 50, 100)]),    # 0% miss
+        ]
+        summary = summarize(runs)
+        assert summary.n_runs == 2
+        assert summary.miss_percent.mean == pytest.approx(50.0)
+        assert summary.policy_name == "CCA"
+
+    def test_mixed_policies_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([result(policy="CCA"), result(policy="EDF-HP")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,90 @@
+"""Property-based tests of the multiprocessor simulator."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import CCAPolicy, EDFPolicy, EDFWaitPolicy
+from repro.mp.simulator import MultiprocessorSimulator
+from repro.tracing import EventLog
+
+from tests.core.test_simulator_properties import BASE_CONFIG, workloads
+
+POLICIES = [
+    lambda: EDFPolicy(),
+    lambda: CCAPolicy(1.0),
+    lambda: EDFWaitPolicy(),
+]
+
+COMMON_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestMpProperties:
+    @pytest.mark.parametrize("n_cpus", [1, 2, 3])
+    @pytest.mark.parametrize("policy_factory", POLICIES)
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_terminates_and_commits_all(self, n_cpus, policy_factory, workload):
+        result = MultiprocessorSimulator(
+            BASE_CONFIG, workload, policy_factory(), n_cpus=n_cpus
+        ).run()
+        assert result.n_committed == len(workload)
+        assert 0.0 <= result.cpu_utilization <= 1.0
+        assert sum(r.restarts for r in result.records) == result.total_restarts
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_never_more_running_than_cpus(self, workload):
+        """At every instant the set of dispatched-but-not-suspended
+        transactions fits on the CPUs."""
+        n_cpus = 2
+        log = EventLog()
+        MultiprocessorSimulator(
+            BASE_CONFIG, workload, EDFPolicy(), n_cpus=n_cpus, trace=log
+        ).run()
+        running: set[int] = set()
+        for event in log:
+            kind, tid = event["event"], event.get("tx")
+            if kind == "dispatch":
+                running.add(tid)
+                assert len(running) <= n_cpus, "more co-runners than CPUs"
+            elif kind in ("preempt", "commit", "lock_wait", "abort"):
+                running.discard(tid)
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_cca_mp_no_lock_waits(self, workload):
+        events = []
+        MultiprocessorSimulator(
+            BASE_CONFIG,
+            workload,
+            CCAPolicy(1.0),
+            n_cpus=3,
+            trace=lambda name, **kw: events.append(name),
+        ).run()
+        assert "lock_wait" not in events
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_busy_time_at_least_total_work(self, workload):
+        result = MultiprocessorSimulator(
+            BASE_CONFIG, workload, EDFWaitPolicy(), n_cpus=2
+        ).run()
+        busy = result.cpu_utilization * result.makespan * 2
+        total_work = sum(spec.cpu_time for spec in workload)
+        assert busy >= total_work - 1e-6
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_determinism(self, workload):
+        first = MultiprocessorSimulator(
+            BASE_CONFIG, workload, CCAPolicy(1.0), n_cpus=2
+        ).run()
+        second = MultiprocessorSimulator(
+            BASE_CONFIG, workload, CCAPolicy(1.0), n_cpus=2
+        ).run()
+        assert first.records == second.records

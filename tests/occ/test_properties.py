@@ -1,0 +1,73 @@
+"""Property-based tests of the OCC simulator."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import CCAPolicy, EDFPolicy
+from repro.occ.simulator import OCCSimulator
+
+from tests.core.test_simulator_properties import BASE_CONFIG, DISK_CONFIG, workloads
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestOccProperties:
+    @pytest.mark.parametrize(
+        "policy_factory", [lambda: EDFPolicy(), lambda: CCAPolicy(1.0)]
+    )
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_terminates_and_commits_all(self, policy_factory, workload):
+        result = OCCSimulator(BASE_CONFIG, workload, policy_factory()).run()
+        assert result.n_committed == len(workload)
+        assert sum(r.restarts for r in result.records) == result.total_restarts
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_no_blocking_events_ever(self, workload):
+        events = []
+        OCCSimulator(
+            BASE_CONFIG,
+            workload,
+            EDFPolicy(),
+            trace=lambda name, **kw: events.append(name),
+        ).run()
+        assert "lock_wait" not in events
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_firm_conservation(self, workload):
+        config = BASE_CONFIG.replace(firm_deadlines=True)
+        result = OCCSimulator(config, workload, EDFPolicy()).run()
+        assert result.n_total == len(workload)
+        assert result.n_missed == 0
+        for record in result.records:
+            assert record.commit_time <= record.deadline + 1e-6
+
+    @given(workload=workloads(disk=True))
+    @COMMON_SETTINGS
+    def test_disk_workloads_drain(self, workload):
+        result = OCCSimulator(DISK_CONFIG, workload, EDFPolicy()).run()
+        assert result.n_committed == len(workload)
+        assert 0.0 <= result.disk_utilization <= 1.0
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_determinism(self, workload):
+        first = OCCSimulator(BASE_CONFIG, workload, EDFPolicy()).run()
+        second = OCCSimulator(BASE_CONFIG, workload, EDFPolicy()).run()
+        assert first.records == second.records
+
+    @given(workload=workloads())
+    @COMMON_SETTINGS
+    def test_commit_never_before_own_cpu_demand(self, workload):
+        by_tid = {spec.tid: spec for spec in workload}
+        result = OCCSimulator(BASE_CONFIG, workload, EDFPolicy()).run()
+        for record in result.records:
+            spec = by_tid[record.tid]
+            assert record.commit_time >= spec.arrival_time + spec.cpu_time - 1e-9

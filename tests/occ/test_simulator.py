@@ -1,0 +1,137 @@
+"""Broadcast-commit OCC simulator."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.policy import CCAPolicy, EDFPolicy
+from repro.occ.simulator import OCCSimulator
+from repro.workload.generator import generate_workload
+
+from tests.conftest import make_spec
+
+
+def config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        n_transaction_types=5,
+        updates_mean=3.0,
+        updates_std=1.0,
+        db_size=50,
+        n_transactions=5,
+        arrival_rate=1.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def run(workload, policy=None, trace=None, **overrides):
+    return OCCSimulator(
+        config(**overrides), workload, policy or EDFPolicy(), trace=trace
+    ).run()
+
+
+class TestOptimisticExecution:
+    def test_single_transaction(self):
+        spec = make_spec(1, [1, 2, 3], deadline=100.0, compute=10.0)
+        result = run([spec])
+        assert result.policy_name == "OCC-EDF-HP"
+        assert result.records[0].commit_time == pytest.approx(30.0)
+        assert result.total_restarts == 0
+
+    def test_no_blocking_ever(self):
+        """Conflicting transactions interleave freely before validation."""
+        events = []
+        a = make_spec(1, [1, 2], arrival=0.0, deadline=1000.0, compute=10.0)
+        b = make_spec(2, [1, 9], arrival=5.0, deadline=50.0, compute=10.0)
+        run([a, b], trace=lambda name, **kw: events.append(name))
+        assert "lock_wait" not in events
+
+    def test_committer_invalidates_conflicting_reader(self):
+        """The urgent transaction preempts, runs, and commits first; its
+        broadcast restarts the slow one that touched a shared item."""
+        slow = make_spec(1, [1, 2, 3], arrival=0.0, deadline=1000.0, compute=10.0)
+        urgent = make_spec(2, [1, 9], arrival=5.0, deadline=50.0, compute=10.0)
+        result = run([slow, urgent])
+        restarts = {r.tid: r.restarts for r in result.records}
+        commits = {r.tid: r.commit_time for r in result.records}
+        # Urgent preempts at 5, runs 20 ms, commits at 25 — no rollback
+        # cost in OCC (writes were private).
+        assert commits[2] == pytest.approx(25.0)
+        assert restarts[1] == 1
+        # Slow restarts from scratch at 25 and finishes at 55.
+        assert commits[1] == pytest.approx(55.0)
+
+    def test_no_invalidation_without_overlap(self):
+        slow = make_spec(1, [1, 2], arrival=0.0, deadline=1000.0, compute=10.0)
+        urgent = make_spec(2, [8, 9], arrival=5.0, deadline=60.0, compute=10.0)
+        result = run([slow, urgent])
+        assert result.total_restarts == 0
+
+    def test_victim_not_restarted_if_it_committed_first(self):
+        """Validation is against *live* transactions only."""
+        first = make_spec(1, [1], arrival=0.0, deadline=50.0, compute=10.0)
+        second = make_spec(2, [1], arrival=0.0, deadline=100.0, compute=10.0)
+        result = run([first, second])
+        assert result.total_restarts == 0
+
+    def test_firm_deadlines_drop(self):
+        doomed = make_spec(1, [1, 2], arrival=0.0, deadline=15.0, compute=10.0)
+        result = run([doomed], firm_deadlines=True)
+        assert result.n_dropped == 1
+        assert result.n_committed == 0
+
+
+class TestOccDisk:
+    def test_io_leg(self):
+        spec = make_spec(
+            1, [1, 2], deadline=200.0, compute=10.0, io_items=frozenset({1})
+        )
+        result = run([spec], disk_resident=True)
+        assert result.records[0].commit_time == pytest.approx(45.0)
+
+    def test_cpu_filled_during_io_wait(self):
+        """No locks means no noncontributing executions: any ready
+        transaction may use the CPU during an IO wait."""
+        io_tx = make_spec(
+            1, [1, 2], arrival=0.0, deadline=200.0, compute=10.0,
+            io_items=frozenset({1}),
+        )
+        conflicting = make_spec(2, [2, 9], arrival=1.0, deadline=500.0, compute=10.0)
+        result = run([io_tx, conflicting], disk_resident=True)
+        commits = {r.tid: r.commit_time for r in result.records}
+        # The conflicting one runs 1..21 during the IO wait and commits
+        # BEFORE the IO transaction returns — so it survives validation.
+        assert commits[2] == pytest.approx(21.0)
+        assert result.total_restarts == 0
+
+
+class TestOccWorkloads:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize(
+        "policy_factory", [lambda: EDFPolicy(), lambda: CCAPolicy(1.0)]
+    )
+    def test_generated_workload_drains(self, seed, policy_factory):
+        cfg = config(
+            n_transaction_types=10,
+            updates_mean=6.0,
+            db_size=30,
+            n_transactions=100,
+            arrival_rate=12.0,
+        )
+        workload = generate_workload(cfg, seed)
+        result = OCCSimulator(cfg, workload, policy_factory()).run()
+        assert result.n_committed == cfg.n_transactions
+        assert sum(r.restarts for r in result.records) == result.total_restarts
+
+    def test_firm_workload_conservation(self):
+        cfg = config(
+            n_transaction_types=10,
+            updates_mean=6.0,
+            db_size=25,
+            n_transactions=100,
+            arrival_rate=15.0,
+            firm_deadlines=True,
+        )
+        workload = generate_workload(cfg, seed=2)
+        result = OCCSimulator(cfg, workload, EDFPolicy()).run()
+        assert result.n_total == cfg.n_transactions
+        assert result.n_missed == 0

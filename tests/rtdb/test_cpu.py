@@ -1,0 +1,50 @@
+"""CPU busy-time accounting."""
+
+import pytest
+
+from repro.rtdb.cpu import Cpu
+
+
+class TestCpu:
+    def test_initially_idle(self):
+        cpu = Cpu()
+        assert not cpu.busy
+        assert cpu.busy_time == 0.0
+
+    def test_busy_interval_accumulates(self):
+        cpu = Cpu()
+        cpu.start(10.0)
+        assert cpu.busy
+        cpu.stop(25.0)
+        assert cpu.busy_time == pytest.approx(15.0)
+        cpu.start(30.0)
+        cpu.stop(40.0)
+        assert cpu.busy_time == pytest.approx(25.0)
+
+    def test_double_start_rejected(self):
+        cpu = Cpu()
+        cpu.start(1.0)
+        with pytest.raises(RuntimeError):
+            cpu.start(2.0)
+
+    def test_stop_when_idle_rejected(self):
+        with pytest.raises(RuntimeError):
+            Cpu().stop(1.0)
+
+    def test_time_backwards_rejected(self):
+        cpu = Cpu()
+        cpu.start(10.0)
+        with pytest.raises(ValueError):
+            cpu.stop(5.0)
+
+    def test_utilization(self):
+        cpu = Cpu()
+        cpu.start(0.0)
+        cpu.stop(30.0)
+        assert cpu.utilization(100.0) == pytest.approx(0.3)
+        assert cpu.utilization(0.0) == 0.0
+
+    def test_utilization_counts_open_interval(self):
+        cpu = Cpu()
+        cpu.start(50.0)
+        assert cpu.utilization(100.0) == pytest.approx(0.5)

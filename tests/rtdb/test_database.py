@@ -1,0 +1,34 @@
+"""Database item space."""
+
+import pytest
+
+from repro.rtdb.database import Database
+
+
+class TestDatabase:
+    def test_membership(self):
+        db = Database(10)
+        assert 0 in db
+        assert 9 in db
+        assert 10 not in db
+        assert -1 not in db
+
+    def test_len(self):
+        assert len(Database(42)) == 42
+
+    def test_validate_item(self):
+        db = Database(5)
+        assert db.validate_item(3) == 3
+        with pytest.raises(KeyError):
+            db.validate_item(5)
+
+    def test_validate_items(self):
+        db = Database(5)
+        assert db.validate_items([0, 4]) == [0, 4]
+        with pytest.raises(KeyError):
+            db.validate_items([0, 5])
+
+    def test_minimum_size(self):
+        Database(1)
+        with pytest.raises(ValueError):
+            Database(0)

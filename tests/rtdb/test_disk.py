@@ -1,0 +1,111 @@
+"""FCFS disk: queueing, abort semantics, utilization accounting."""
+
+import pytest
+
+from repro.rtdb.disk import Disk
+from repro.rtdb.transaction import Transaction
+from repro.sim.engine import Simulator
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_disk(sim):
+    completions = []
+    disk = Disk(sim, lambda tx, epoch: completions.append((sim.now, tx.tid, epoch)))
+    return disk, completions
+
+
+def tx(tid):
+    return Transaction(make_spec(tid, [1]))
+
+
+class TestFcfs:
+    def test_single_access(self, sim):
+        disk, completions = make_disk(sim)
+        disk.request(tx(1), 25.0)
+        assert disk.busy
+        sim.run()
+        assert completions == [(25.0, 1, 0)]
+        assert not disk.busy
+
+    def test_requests_served_in_arrival_order(self, sim):
+        disk, completions = make_disk(sim)
+        disk.request(tx(1), 25.0)
+        disk.request(tx(2), 25.0)
+        disk.request(tx(3), 25.0)
+        sim.run()
+        assert [c[1] for c in completions] == [1, 2, 3]
+        assert [c[0] for c in completions] == [25.0, 50.0, 75.0]
+
+    def test_queue_length(self, sim):
+        disk, _ = make_disk(sim)
+        disk.request(tx(1), 25.0)
+        disk.request(tx(2), 25.0)
+        assert disk.queue_length == 1  # one active, one queued
+        assert disk.active_transaction.tid == 1
+
+    def test_nonpositive_duration_rejected(self, sim):
+        disk, _ = make_disk(sim)
+        with pytest.raises(ValueError):
+            disk.request(tx(1), 0.0)
+
+    def test_idle_disk_starts_new_request_immediately(self, sim):
+        disk, completions = make_disk(sim)
+        disk.request(tx(1), 10.0)
+        sim.run()
+        disk.request(tx(2), 10.0)
+        sim.run()
+        assert [c[1] for c in completions] == [1, 2]
+
+
+class TestAbortSemantics:
+    def test_queued_request_removed_on_abort(self, sim):
+        disk, completions = make_disk(sim)
+        disk.request(tx(1), 25.0)
+        victim = tx(2)
+        disk.request(victim, 25.0)
+        assert disk.remove_queued(victim)
+        sim.run()
+        assert [c[1] for c in completions] == [1]
+
+    def test_active_request_not_removed(self, sim):
+        """Paper: a transaction aborted during its IO access holds the
+        disk until the access completes."""
+        disk, completions = make_disk(sim)
+        victim = tx(1)
+        disk.request(victim, 25.0)
+        assert not disk.remove_queued(victim)
+        sim.run()
+        # The transfer still completed (the caller discards it by epoch).
+        assert [c[1] for c in completions] == [1]
+
+    def test_stale_epoch_visible_to_callback(self, sim):
+        disk, completions = make_disk(sim)
+        victim = tx(1)
+        disk.request(victim, 25.0)
+        victim.restart()  # epoch moves to 1 while the transfer runs
+        sim.run()
+        assert completions == [(25.0, 1, 0)]  # completion has epoch 0
+        assert victim.epoch == 1
+
+
+class TestAccounting:
+    def test_busy_time_accumulates(self, sim):
+        disk, _ = make_disk(sim)
+        disk.request(tx(1), 25.0)
+        disk.request(tx(2), 15.0)
+        sim.run()
+        assert disk.busy_time == pytest.approx(40.0)
+        assert disk.accesses_served == 2
+
+    def test_utilization(self, sim):
+        disk, _ = make_disk(sim)
+        disk.request(tx(1), 25.0)
+        sim.run()
+        assert disk.utilization(100.0) == pytest.approx(0.25)
+        assert disk.utilization(0.0) == 0.0

@@ -1,0 +1,134 @@
+"""Exclusive lock manager."""
+
+import pytest
+
+from repro.rtdb.locks import LockManager
+from repro.rtdb.transaction import Transaction
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def mgr():
+    return LockManager()
+
+
+def tx(tid):
+    return Transaction(make_spec(tid, [1, 2, 3]))
+
+
+class TestAcquire:
+    def test_free_lock_granted(self, mgr):
+        t1 = tx(1)
+        assert mgr.acquire(t1, 5)
+        assert mgr.holder(5) is t1
+        assert mgr.holds(t1, 5)
+
+    def test_reacquire_own_lock(self, mgr):
+        t1 = tx(1)
+        mgr.acquire(t1, 5)
+        assert mgr.acquire(t1, 5)
+
+    def test_conflicting_acquire_denied(self, mgr):
+        t1, t2 = tx(1), tx(2)
+        mgr.acquire(t1, 5)
+        assert not mgr.acquire(t2, 5)
+        assert mgr.holder(5) is t1
+
+    def test_held_items(self, mgr):
+        t1 = tx(1)
+        mgr.acquire(t1, 5)
+        mgr.acquire(t1, 7)
+        assert mgr.held_items(t1) == frozenset({5, 7})
+        assert mgr.held_items(tx(2)) == frozenset()
+
+
+class TestRelease:
+    def test_release_all_frees_locks(self, mgr):
+        t1 = tx(1)
+        mgr.acquire(t1, 5)
+        mgr.acquire(t1, 7)
+        mgr.release_all(t1)
+        assert mgr.holder(5) is None
+        assert mgr.holder(7) is None
+        assert mgr.locked_items() == frozenset()
+
+    def test_release_returns_waiters(self, mgr):
+        t1, t2, t3 = tx(1), tx(2), tx(3)
+        mgr.acquire(t1, 5)
+        mgr.acquire(t1, 7)
+        mgr.enqueue_waiter(t2, 5)
+        mgr.enqueue_waiter(t3, 7)
+        woken = mgr.release_all(t1)
+        assert {w.tid for w in woken} == {2, 3}
+
+    def test_waiter_woken_once_even_across_items(self, mgr):
+        t1, t2 = tx(1), tx(2)
+        mgr.acquire(t1, 5)
+        mgr.acquire(t1, 7)
+        mgr.enqueue_waiter(t2, 5)
+        mgr.enqueue_waiter(t2, 7)
+        woken = mgr.release_all(t1)
+        assert [w.tid for w in woken] == [2]
+
+    def test_release_without_locks_is_noop(self, mgr):
+        assert mgr.release_all(tx(1)) == []
+
+    def test_released_locks_are_free_not_transferred(self, mgr):
+        t1, t2 = tx(1), tx(2)
+        mgr.acquire(t1, 5)
+        mgr.enqueue_waiter(t2, 5)
+        mgr.release_all(t1)
+        # Waiter must re-request; the lock is free until then.
+        assert mgr.holder(5) is None
+
+
+class TestWaiters:
+    def test_fifo_order(self, mgr):
+        t1, t2, t3 = tx(1), tx(2), tx(3)
+        mgr.acquire(t1, 5)
+        mgr.enqueue_waiter(t2, 5)
+        mgr.enqueue_waiter(t3, 5)
+        assert [w.tid for w in mgr.waiters(5)] == [2, 3]
+
+    def test_remove_waiter(self, mgr):
+        t1, t2, t3 = tx(1), tx(2), tx(3)
+        mgr.acquire(t1, 5)
+        mgr.enqueue_waiter(t2, 5)
+        mgr.enqueue_waiter(t3, 5)
+        mgr.remove_waiter(t2, 5)
+        assert [w.tid for w in mgr.waiters(5)] == [3]
+
+    def test_remove_absent_waiter_is_noop(self, mgr):
+        mgr.remove_waiter(tx(1), 5)
+
+    def test_shared_holder_may_wait_for_upgrade(self, mgr):
+        """A reader blocked on upgrading to a write lock legitimately
+        waits on an item it already holds in shared mode."""
+        t1, t2 = tx(1), tx(2)
+        assert mgr.acquire(t1, 5, exclusive=False)
+        assert mgr.acquire(t2, 5, exclusive=False)
+        assert not mgr.acquire(t1, 5, exclusive=True)
+        mgr.enqueue_waiter(t1, 5)
+        assert [w.tid for w in mgr.waiters(5)] == [1]
+
+    def test_duplicate_waiter_rejected(self, mgr):
+        t1, t2 = tx(1), tx(2)
+        mgr.acquire(t1, 5)
+        mgr.enqueue_waiter(t2, 5)
+        with pytest.raises(ValueError):
+            mgr.enqueue_waiter(t2, 5)
+
+
+class TestConsistency:
+    def test_assert_consistent_on_valid_state(self, mgr):
+        t1 = tx(1)
+        mgr.acquire(t1, 5)
+        mgr.assert_consistent()
+
+    def test_assert_consistent_detects_corruption(self, mgr):
+        t1 = tx(1)
+        mgr.acquire(t1, 5)
+        mgr._held[t1.tid].add(99)  # corrupt on purpose
+        with pytest.raises(AssertionError):
+            mgr.assert_consistent()

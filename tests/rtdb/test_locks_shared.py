@@ -1,0 +1,94 @@
+"""Shared (read) lock mode of the lock manager."""
+
+import pytest
+
+from repro.rtdb.locks import LockManager
+from repro.rtdb.transaction import Transaction
+
+from tests.conftest import make_spec
+
+
+@pytest.fixture
+def mgr():
+    return LockManager()
+
+
+def tx(tid):
+    return Transaction(make_spec(tid, [1, 2, 3]))
+
+
+class TestSharedAcquisition:
+    def test_readers_coexist(self, mgr):
+        t1, t2, t3 = tx(1), tx(2), tx(3)
+        assert mgr.acquire(t1, 5, exclusive=False)
+        assert mgr.acquire(t2, 5, exclusive=False)
+        assert mgr.acquire(t3, 5, exclusive=False)
+        assert {holder.tid for holder in mgr.holders(5)} == {1, 2, 3}
+
+    def test_writer_blocks_readers(self, mgr):
+        t1, t2 = tx(1), tx(2)
+        mgr.acquire(t1, 5, exclusive=True)
+        assert not mgr.acquire(t2, 5, exclusive=False)
+        assert mgr.conflicting_holders(t2, 5, exclusive=False) == (t1,)
+
+    def test_readers_block_writer(self, mgr):
+        t1, t2, t3 = tx(1), tx(2), tx(3)
+        mgr.acquire(t1, 5, exclusive=False)
+        mgr.acquire(t2, 5, exclusive=False)
+        assert not mgr.acquire(t3, 5, exclusive=True)
+        assert {h.tid for h in mgr.conflicting_holders(t3, 5, True)} == {1, 2}
+
+    def test_sole_reader_upgrades(self, mgr):
+        t1 = tx(1)
+        mgr.acquire(t1, 5, exclusive=False)
+        assert mgr.acquire(t1, 5, exclusive=True)
+        assert mgr.holds_exclusive(t1, 5)
+
+    def test_shared_reader_cannot_upgrade(self, mgr):
+        t1, t2 = tx(1), tx(2)
+        mgr.acquire(t1, 5, exclusive=False)
+        mgr.acquire(t2, 5, exclusive=False)
+        assert not mgr.acquire(t1, 5, exclusive=True)
+
+    def test_writer_may_downshift_request(self, mgr):
+        """An exclusive holder re-requesting in shared mode keeps its
+        exclusive lock (no demotion)."""
+        t1 = tx(1)
+        mgr.acquire(t1, 5, exclusive=True)
+        assert mgr.acquire(t1, 5, exclusive=False)
+        assert mgr.holds_exclusive(t1, 5)
+
+    def test_holder_returns_none_when_shared_by_many(self, mgr):
+        t1, t2 = tx(1), tx(2)
+        mgr.acquire(t1, 5, exclusive=False)
+        assert mgr.holder(5) is t1
+        mgr.acquire(t2, 5, exclusive=False)
+        assert mgr.holder(5) is None
+
+
+class TestSharedRelease:
+    def test_release_one_reader_keeps_others(self, mgr):
+        t1, t2 = tx(1), tx(2)
+        mgr.acquire(t1, 5, exclusive=False)
+        mgr.acquire(t2, 5, exclusive=False)
+        mgr.release_all(t1)
+        assert {h.tid for h in mgr.holders(5)} == {2}
+        mgr.assert_consistent()
+
+    def test_exclusive_flag_cleared_when_item_frees(self, mgr):
+        t1, t2 = tx(1), tx(2)
+        mgr.acquire(t1, 5, exclusive=True)
+        mgr.release_all(t1)
+        # A reader can now take the item in shared mode and a second
+        # reader can join — the exclusivity did not leak.
+        assert mgr.acquire(t2, 5, exclusive=False)
+        assert mgr.acquire(tx(3), 5, exclusive=False)
+
+    def test_consistency_invariant_with_mixed_modes(self, mgr):
+        t1, t2, t3 = tx(1), tx(2), tx(3)
+        mgr.acquire(t1, 5, exclusive=False)
+        mgr.acquire(t2, 5, exclusive=False)
+        mgr.acquire(t3, 7, exclusive=True)
+        mgr.assert_consistent()
+        mgr.release_all(t2)
+        mgr.assert_consistent()

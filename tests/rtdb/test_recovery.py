@@ -1,0 +1,49 @@
+"""Rollback cost models."""
+
+import pytest
+
+from repro.rtdb.recovery import FixedRecovery, ProportionalRecovery
+from repro.rtdb.transaction import Transaction
+
+from tests.conftest import make_spec
+
+
+def tx_with_service(service):
+    tx = Transaction(make_spec(1, [1, 2, 3]))
+    tx.service_received = service
+    return tx
+
+
+class TestFixedRecovery:
+    def test_constant_regardless_of_progress(self):
+        model = FixedRecovery(4.0)
+        assert model.rollback_time(tx_with_service(0.0)) == 4.0
+        assert model.rollback_time(tx_with_service(500.0)) == 4.0
+
+    def test_zero_cost_allowed(self):
+        assert FixedRecovery(0.0).rollback_time(tx_with_service(10.0)) == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            FixedRecovery(-1.0)
+
+
+class TestProportionalRecovery:
+    def test_scales_with_service(self):
+        model = ProportionalRecovery(factor=0.5, floor=2.0)
+        assert model.rollback_time(tx_with_service(0.0)) == pytest.approx(2.0)
+        assert model.rollback_time(tx_with_service(100.0)) == pytest.approx(52.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ProportionalRecovery(factor=-0.1)
+        with pytest.raises(ValueError):
+            ProportionalRecovery(factor=0.1, floor=-1.0)
+
+    def test_exceeds_fixed_for_long_transactions(self):
+        """The paper's future-work argument: proportional recovery makes
+        each abort costlier for transactions that have done more work."""
+        fixed = FixedRecovery(4.0)
+        proportional = ProportionalRecovery(factor=1.0, floor=0.0)
+        long_tx = tx_with_service(200.0)
+        assert proportional.rollback_time(long_tx) > fixed.rollback_time(long_tx)

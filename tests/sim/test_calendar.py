@@ -1,0 +1,112 @@
+"""Event calendar: ordering, stability, cancellation."""
+
+import pytest
+
+from repro.sim.calendar import EventCalendar
+from repro.sim.events import Event
+
+
+def noop(event):
+    pass
+
+
+def make(time, kind="test"):
+    return Event(time, noop, kind=kind)
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        calendar = EventCalendar()
+        for t in (5.0, 1.0, 3.0, 2.0, 4.0):
+            calendar.push(make(t))
+        times = []
+        while calendar:
+            times.append(calendar.pop().time)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_same_time_events_pop_in_insertion_order(self):
+        calendar = EventCalendar()
+        first = make(1.0, kind="first")
+        second = make(1.0, kind="second")
+        third = make(1.0, kind="third")
+        for event in (first, second, third):
+            calendar.push(event)
+        assert [calendar.pop().kind for _ in range(3)] == [
+            "first",
+            "second",
+            "third",
+        ]
+
+    def test_interleaved_push_pop(self):
+        calendar = EventCalendar()
+        calendar.push(make(2.0))
+        calendar.push(make(1.0))
+        assert calendar.pop().time == 1.0
+        calendar.push(make(0.5))
+        # 0.5 was pushed after 2.0 but fires earlier.
+        assert calendar.pop().time == 0.5
+        assert calendar.pop().time == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        calendar = EventCalendar()
+        doomed = calendar.push(make(1.0))
+        calendar.push(make(2.0))
+        calendar.cancel(doomed)
+        assert calendar.pop().time == 2.0
+
+    def test_cancel_updates_length(self):
+        calendar = EventCalendar()
+        doomed = calendar.push(make(1.0))
+        assert len(calendar) == 1
+        calendar.cancel(doomed)
+        assert len(calendar) == 0
+        assert not calendar
+
+    def test_double_cancel_is_idempotent(self):
+        calendar = EventCalendar()
+        doomed = calendar.push(make(1.0))
+        calendar.cancel(doomed)
+        calendar.cancel(doomed)
+        assert len(calendar) == 0
+
+    def test_cannot_push_cancelled_event(self):
+        calendar = EventCalendar()
+        event = make(1.0)
+        event.cancelled = True
+        with pytest.raises(ValueError):
+            calendar.push(event)
+
+    def test_peek_time_skips_cancelled(self):
+        calendar = EventCalendar()
+        doomed = calendar.push(make(1.0))
+        calendar.push(make(3.0))
+        calendar.cancel(doomed)
+        assert calendar.peek_time() == 3.0
+
+
+class TestBasics:
+    def test_empty_calendar(self):
+        calendar = EventCalendar()
+        assert calendar.pop() is None
+        assert calendar.peek_time() is None
+        assert len(calendar) == 0
+
+    def test_clear(self):
+        calendar = EventCalendar()
+        calendar.push(make(1.0))
+        calendar.push(make(2.0))
+        calendar.clear()
+        assert calendar.pop() is None
+
+    def test_iter_excludes_cancelled(self):
+        calendar = EventCalendar()
+        live = calendar.push(make(1.0))
+        doomed = calendar.push(make(2.0))
+        calendar.cancel(doomed)
+        assert list(calendar) == [live]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            make(-1.0)

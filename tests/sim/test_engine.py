@@ -1,0 +1,116 @@
+"""Simulation engine: clock semantics, scheduling, run bounds."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_callbacks_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda ev: fired.append(("b", sim.now)))
+        sim.schedule(1.0, lambda ev: fired.append(("a", sim.now)))
+        sim.run()
+        assert fired == [("a", 1.0), ("b", 3.0)]
+
+    def test_callback_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(event):
+            fired.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(7.5, lambda ev: fired.append(sim.now))
+        sim.run()
+        assert fired == [7.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda ev: None)
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda ev: sim.schedule_at(1.0, lambda e: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_cancel_prevents_callback(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda ev: fired.append("no"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+
+class TestRun:
+    def test_run_returns_final_time(self):
+        sim = Simulator()
+        sim.schedule(4.0, lambda ev: None)
+        assert sim.run() == 4.0
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda ev: fired.append(1))
+        sim.schedule(10.0, lambda ev: fired.append(10))
+        assert sim.run(until=5.0) == 5.0
+        assert fired == [1]
+        # The later event is still pending and fires on the next run.
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_max_events_guards_runaway_loops(self):
+        sim = Simulator()
+
+        def forever(event):
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=50)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda ev: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter(event):
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_step_on_empty_calendar(self):
+        assert Simulator().step() is False
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda ev: fired.append("first"))
+        sim.schedule(1.0, lambda ev: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second"]

@@ -1,0 +1,153 @@
+"""Random streams: reproducibility, independence, distribution sanity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random import RandomStream, StreamFactory
+
+
+class TestReproducibility:
+    def test_same_seed_same_sequence(self):
+        a = RandomStream(42)
+        b = RandomStream(42)
+        assert [a.exponential(10.0) for _ in range(20)] == [
+            b.exponential(10.0) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RandomStream(1)
+        b = RandomStream(2)
+        assert [a.uniform(0, 1) for _ in range(5)] != [
+            b.uniform(0, 1) for _ in range(5)
+        ]
+
+    def test_factory_streams_are_named_and_stable(self):
+        factory = StreamFactory(99)
+        first = factory.stream("arrivals").uniform(0, 1)
+        second = StreamFactory(99).stream("arrivals").uniform(0, 1)
+        assert first == second
+
+    def test_factory_streams_are_independent_by_name(self):
+        factory = StreamFactory(99)
+        a = factory.stream("arrivals")
+        b = factory.stream("slack")
+        assert a.seed != b.seed
+
+    def test_adding_consumer_does_not_perturb_existing(self):
+        """Key paired-comparison property: drawing from one stream never
+        changes another stream's variates."""
+        factory = StreamFactory(5)
+        reference = [factory.stream("a").uniform(0, 1) for _ in range(3)]
+        factory2 = StreamFactory(5)
+        factory2.stream("b").uniform(0, 1)  # extra consumer
+        assert [factory2.stream("a").uniform(0, 1) for _ in range(3)] == reference
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        stream = RandomStream(7)
+        samples = [stream.exponential(100.0) for _ in range(20000)]
+        assert 97.0 < sum(samples) / len(samples) < 103.0
+
+    def test_exponential_positive(self):
+        stream = RandomStream(7)
+        assert all(stream.exponential(5.0) > 0 for _ in range(1000))
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).exponential(0.0)
+
+    def test_positive_int_normal_truncates(self):
+        stream = RandomStream(3)
+        values = [stream.positive_int_normal(2.0, 10.0) for _ in range(500)]
+        assert min(values) >= 1
+        assert all(isinstance(v, int) for v in values)
+
+    def test_positive_int_normal_mean(self):
+        stream = RandomStream(3)
+        values = [stream.positive_int_normal(20.0, 10.0) for _ in range(20000)]
+        mean = sum(values) / len(values)
+        # Truncation at 1 lifts the mean slightly above 20.
+        assert 19.5 < mean < 21.5
+
+    def test_uniform_bounds(self):
+        stream = RandomStream(11)
+        assert all(2.0 <= stream.uniform(2.0, 8.0) <= 8.0 for _ in range(1000))
+
+    def test_uniform_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).uniform(5.0, 1.0)
+
+    def test_randint_inclusive(self):
+        stream = RandomStream(13)
+        values = {stream.randint(0, 2) for _ in range(200)}
+        assert values == {0, 1, 2}
+
+    def test_choice_uniform_coverage(self):
+        stream = RandomStream(17)
+        items = ["a", "b", "c"]
+        chosen = {stream.choice(items) for _ in range(100)}
+        assert chosen == set(items)
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).choice([])
+
+    def test_sample_without_replacement_distinct(self):
+        stream = RandomStream(19)
+        sample = stream.sample_without_replacement(100, 30)
+        assert len(sample) == len(set(sample)) == 30
+        assert all(0 <= item < 100 for item in sample)
+
+    def test_sample_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).sample_without_replacement(5, 6)
+
+    def test_coin_probability(self):
+        stream = RandomStream(23)
+        heads = sum(stream.coin(0.1) for _ in range(20000))
+        assert 0.08 < heads / 20000 < 0.12
+
+    def test_coin_extremes(self):
+        stream = RandomStream(1)
+        assert not any(stream.coin(0.0) for _ in range(100))
+        assert all(stream.coin(1.0) for _ in range(100))
+
+    def test_coin_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            RandomStream(1).coin(1.5)
+
+
+class TestProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31), mean=st.floats(0.1, 1e6))
+    @settings(max_examples=50)
+    def test_exponential_always_positive_and_finite(self, seed, mean):
+        value = RandomStream(seed).exponential(mean)
+        assert value > 0
+        assert math.isfinite(value)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        name=st.text(min_size=1, max_size=20),
+    )
+    @settings(max_examples=50)
+    def test_factory_stream_deterministic(self, seed, name):
+        a = StreamFactory(seed).stream(name).uniform(0, 1)
+        b = StreamFactory(seed).stream(name).uniform(0, 1)
+        assert a == b
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        population=st.integers(1, 200),
+        data=st.data(),
+    )
+    @settings(max_examples=50)
+    def test_sample_is_subset_of_population(self, seed, population, data):
+        k = data.draw(st.integers(0, population))
+        sample = RandomStream(seed).sample_without_replacement(population, k)
+        assert len(sample) == k
+        assert len(set(sample)) == k
+        assert all(0 <= item < population for item in sample)

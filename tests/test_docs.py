@@ -1,0 +1,82 @@
+"""Documentation stays executable and consistent with the code."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def python_blocks(markdown: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", markdown, flags=re.DOTALL)
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (REPO_ROOT / "README.md").read_text()
+
+    def test_quickstart_snippet_runs(self, readme):
+        blocks = python_blocks(readme)
+        assert blocks, "README must contain a python quickstart block"
+        snippet = blocks[0]
+        # Shrink the run so the test stays fast, then execute verbatim.
+        snippet = snippet.replace("n_transactions=1000", "n_transactions=60")
+        namespace: dict = {}
+        exec(compile(snippet, "README.md", "exec"), namespace)  # noqa: S102
+
+    def test_mentions_all_documents(self, readme):
+        for name in ("DESIGN.md", "EXPERIMENTS.md", "docs/ALGORITHMS.md"):
+            assert name in readme
+
+    def test_cli_examples_use_real_experiment_ids(self, readme):
+        from repro.cli import ALL_RUNNABLE
+
+        for match in re.findall(r"python -m repro (\S+)", readme):
+            if match in ("all", "validate"):
+                continue
+            assert match in ALL_RUNNABLE, f"README references unknown id {match}"
+
+
+class TestPackageDocstrings:
+    def test_every_module_has_a_docstring(self):
+        import importlib
+        import pkgutil
+
+        import repro
+
+        missing = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert not missing, f"modules without docstrings: {missing}"
+
+    def test_init_quickstart_docstring_runs(self):
+        import repro
+
+        blocks = re.findall(
+            r"::\n\n((?:    .*\n)+)", repro.__doc__ or "", flags=re.MULTILINE
+        )
+        assert blocks, "package docstring should contain a quickstart"
+        snippet = "\n".join(line[4:] for line in blocks[0].splitlines())
+        snippet = snippet.replace("n_transactions=500", "n_transactions=40")
+        namespace: dict = {}
+        exec(compile(snippet, "repro.__init__", "exec"), namespace)  # noqa: S102
+
+
+class TestExperimentIndexConsistency:
+    def test_design_lists_every_experiment(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text()
+        from repro.experiments.figures import ALL_EXPERIMENTS
+
+        for figure_id in ALL_EXPERIMENTS:
+            assert figure_id in design, f"DESIGN.md missing {figure_id}"
+
+    def test_experiments_doc_lists_every_experiment(self):
+        experiments = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        from repro.experiments.figures import ALL_EXPERIMENTS
+
+        for figure_id in ALL_EXPERIMENTS:
+            assert figure_id in experiments, f"EXPERIMENTS.md missing {figure_id}"

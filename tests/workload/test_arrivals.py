@@ -1,0 +1,128 @@
+"""Poisson arrival process."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random import RandomStream
+from repro.workload.arrivals import poisson_arrivals
+
+
+class TestPoissonArrivals:
+    def test_count(self):
+        times = poisson_arrivals(RandomStream(1), 5.0, 100)
+        assert len(times) == 100
+
+    def test_strictly_increasing(self):
+        times = poisson_arrivals(RandomStream(2), 5.0, 200)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_interarrival_matches_rate(self):
+        rate = 8.0  # trs/sec -> mean gap 125 ms
+        times = poisson_arrivals(RandomStream(3), rate, 20000)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert 1000.0 / rate == pytest.approx(mean_gap, rel=0.05)
+
+    def test_start_offset(self):
+        times = poisson_arrivals(RandomStream(4), 5.0, 10, start=1000.0)
+        assert times[0] > 1000.0
+
+    def test_zero_count(self):
+        assert poisson_arrivals(RandomStream(5), 5.0, 0) == []
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(RandomStream(1), 0.0, 10)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(RandomStream(1), 5.0, -1)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        rate=st.floats(0.1, 100.0),
+        count=st.integers(1, 50),
+    )
+    @settings(max_examples=50)
+    def test_all_positive_and_ordered(self, seed, rate, count):
+        times = poisson_arrivals(RandomStream(seed), rate, count)
+        assert len(times) == count
+        assert times[0] > 0
+        assert sorted(times) == times
+
+
+class TestBurstyArrivals:
+    def test_count_and_order(self):
+        from repro.workload.arrivals import bursty_arrivals
+
+        times = bursty_arrivals(RandomStream(1), 5.0, 500)
+        assert len(times) == 500
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_long_run_rate_preserved(self):
+        from repro.workload.arrivals import bursty_arrivals
+
+        times = bursty_arrivals(RandomStream(2), 8.0, 30000)
+        measured = len(times) / (times[-1] / 1000.0)
+        assert measured == pytest.approx(8.0, rel=0.1)
+
+    def test_burstier_than_poisson(self):
+        """Squared coefficient of variation of the gaps well above 1."""
+        from repro.workload.arrivals import bursty_arrivals
+        import statistics
+
+        times = bursty_arrivals(RandomStream(3), 5.0, 20000)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        cv2 = statistics.pvariance(gaps) / statistics.mean(gaps) ** 2
+        assert cv2 > 2.0
+
+    def test_factor_one_behaves_like_poisson(self):
+        from repro.workload.arrivals import bursty_arrivals
+        import statistics
+
+        times = bursty_arrivals(
+            RandomStream(4), 5.0, 20000, burst_factor=1.0
+        )
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        cv2 = statistics.pvariance(gaps) / statistics.mean(gaps) ** 2
+        assert cv2 == pytest.approx(1.0, abs=0.15)
+
+    def test_validation(self):
+        from repro.workload.arrivals import bursty_arrivals
+
+        stream = RandomStream(1)
+        with pytest.raises(ValueError):
+            bursty_arrivals(stream, 0.0, 10)
+        with pytest.raises(ValueError):
+            bursty_arrivals(stream, 5.0, 10, burst_fraction=0.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(stream, 5.0, 10, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            # 6x rate during 20% of the time needs a negative off rate.
+            bursty_arrivals(stream, 5.0, 10, burst_factor=6.0, burst_fraction=0.2)
+        with pytest.raises(ValueError):
+            bursty_arrivals(stream, 5.0, 10, mean_burst_ms=0.0)
+
+    def test_generator_integration(self):
+        from repro.config import SimulationConfig
+        from repro.workload.generator import generate_workload
+
+        config = SimulationConfig(
+            n_transaction_types=5,
+            db_size=40,
+            updates_mean=4.0,
+            n_transactions=100,
+            arrival_rate=10.0,
+            arrival_model="bursty",
+        )
+        workload = generate_workload(config, seed=1)
+        assert len(workload) == 100
+        arrivals = [s.arrival_time for s in workload]
+        assert sorted(arrivals) == arrivals
+
+    def test_unknown_model_rejected(self):
+        from repro.config import SimulationConfig
+
+        with pytest.raises(ValueError, match="arrival model"):
+            SimulationConfig(arrival_model="self-similar")

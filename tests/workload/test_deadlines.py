@@ -1,0 +1,48 @@
+"""Slack-based deadline assignment."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.random import RandomStream
+from repro.workload.deadlines import assign_deadline
+
+
+class TestAssignDeadline:
+    def test_deadline_within_slack_bounds(self):
+        stream = RandomStream(1)
+        for _ in range(200):
+            deadline = assign_deadline(
+                100.0, 80.0, stream, min_slack=0.2, max_slack=8.0
+            )
+            assert 100.0 + 80.0 * 1.2 <= deadline <= 100.0 + 80.0 * 9.0
+
+    def test_zero_slack_range(self):
+        deadline = assign_deadline(0.0, 50.0, RandomStream(2), 0.5, 0.5)
+        assert deadline == pytest.approx(75.0)
+
+    def test_invalid_resource_time_rejected(self):
+        with pytest.raises(ValueError):
+            assign_deadline(0.0, 0.0, RandomStream(1), 0.2, 8.0)
+
+    def test_invalid_slack_range_rejected(self):
+        with pytest.raises(ValueError):
+            assign_deadline(0.0, 50.0, RandomStream(1), 2.0, 1.0)
+        with pytest.raises(ValueError):
+            assign_deadline(0.0, 50.0, RandomStream(1), -0.1, 1.0)
+
+    @given(
+        seed=st.integers(0, 2**31),
+        arrival=st.floats(0.0, 1e6),
+        resource=st.floats(0.1, 1e4),
+        min_slack=st.floats(0.0, 4.0),
+        extra=st.floats(0.0, 4.0),
+    )
+    @settings(max_examples=60)
+    def test_deadline_always_after_arrival_plus_resource(
+        self, seed, arrival, resource, min_slack, extra
+    ):
+        deadline = assign_deadline(
+            arrival, resource, RandomStream(seed), min_slack, min_slack + extra
+        )
+        assert deadline >= arrival + resource * (1.0 + min_slack) - 1e-6

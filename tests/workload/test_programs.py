@@ -1,0 +1,136 @@
+"""Tree-program workloads (the conditional-conflict extension)."""
+
+import pytest
+
+from repro.analysis.relations import Conflict, Safety
+from repro.config import SimulationConfig
+from repro.core.oracle import TreeOracle
+from repro.core.policy import CCAPolicy, EDFPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.workload.programs import TreeWorkloadGenerator
+
+
+def config(**overrides):
+    defaults = dict(
+        n_transaction_types=8,
+        updates_mean=6.0,
+        updates_std=2.0,
+        db_size=80,
+        n_transactions=40,
+        arrival_rate=8.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture
+def generator():
+    return TreeWorkloadGenerator(config(), seed=11)
+
+
+class TestProgramGeneration:
+    def test_one_program_per_type(self, generator):
+        programs = generator.make_programs()
+        assert len(programs) == 8
+        assert {p.name for p in programs} == {f"tree{i}" for i in range(8)}
+
+    def test_some_programs_have_decision_points(self, generator):
+        programs = generator.make_programs()
+        assert any(p.has_decision_points for p in programs)
+
+    def test_no_repeated_items_on_any_path(self, generator):
+        for program in generator.make_programs():
+            def check(node, seen):
+                assert not (node.accesses & seen), (
+                    f"{program.name}:{node.label} repeats an item"
+                )
+                for child in node.children:
+                    check(child, seen | node.accesses)
+
+            check(program.root, frozenset())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TreeWorkloadGenerator(config(), 1, branch_probability=1.5)
+        with pytest.raises(ValueError):
+            TreeWorkloadGenerator(config(), 1, n_branches=1)
+        with pytest.raises(ValueError):
+            TreeWorkloadGenerator(config(), 1, max_depth=0)
+
+
+class TestInstanceGeneration:
+    def test_specs_follow_a_root_to_leaf_path(self, generator):
+        table, specs = generator.generate()
+        assert len(specs) == 40
+        for spec in specs:
+            tree = table.tree(spec.program_name)
+            # Walk the schedule: the labels must form a root-to-leaf path.
+            node = tree.root
+            expected_ops = sorted(node.accesses)
+            for op_index, label in spec.node_schedule:
+                children = {c.label: c for c in node.children}
+                assert label in children, f"{label} not a child of {node.label}"
+                assert op_index == len(expected_ops)
+                node = children[label]
+                expected_ops.extend(sorted(node.accesses))
+            assert node.is_leaf
+            assert [op.item for op in spec.operations] == expected_ops
+
+    def test_relation_table_covers_all_programs(self, generator):
+        table, specs = generator.generate()
+        for spec in specs:
+            tree = table.tree(spec.program_name)  # raises if missing
+            assert tree.name == spec.program_name
+
+    def test_conditional_relations_actually_occur(self, generator):
+        """The extension's point: some type pairs are conditionally
+        conflicting / unsafe at their roots."""
+        table, _ = generator.generate()
+        names = table.programs
+        # Program roots are labelled with the program name.
+        relations = {
+            table.conflict(a, a, b, b) for a in names for b in names if a != b
+        }
+        assert Conflict.CONDITIONAL in relations or Conflict.CERTAIN in relations
+        # Safety at the roots reflects the paper's convention that a
+        # transaction accesses its first segment when it begins, so both
+        # SAFE and not-SAFE flavours should be representable.
+        safeties = {
+            table.safety(a, a, b, b) for a in names for b in names if a != b
+        }
+        assert Safety.SAFE in safeties
+
+
+class TestSimulationWithTreeOracle:
+    def test_full_run_under_cca(self, generator):
+        table, specs = generator.generate()
+        cfg = config()
+        result = RTDBSimulator(
+            cfg, specs, CCAPolicy(1.0), oracle=TreeOracle(table)
+        ).run()
+        assert result.n_committed == len(specs)
+
+    def test_full_run_under_edf(self, generator):
+        table, specs = generator.generate()
+        result = RTDBSimulator(
+            config(), specs, EDFPolicy(), oracle=TreeOracle(table)
+        ).run()
+        assert result.n_committed == len(specs)
+
+    def test_node_labels_advance_at_decision_points(self, generator):
+        table, specs = generator.generate()
+        decisions = []
+        RTDBSimulator(
+            config(),
+            specs,
+            CCAPolicy(1.0),
+            oracle=TreeOracle(table),
+            trace=lambda name, **kw: decisions.append(kw)
+            if name == "decision"
+            else None,
+        ).run()
+        branching = [s for s in specs if s.node_schedule]
+        if branching:
+            assert decisions, "expected decision-point traces"
+            for kw in decisions:
+                assert "." in kw["node"]

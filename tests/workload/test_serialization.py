@@ -1,0 +1,89 @@
+"""Workload save/load round-trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.generator import generate_workload
+from repro.workload.programs import TreeWorkloadGenerator
+from repro.workload.serialization import (
+    load_workload,
+    save_workload,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+from tests.conftest import make_spec
+from tests.core.test_simulator_properties import workloads
+
+
+class TestRoundTrip:
+    def test_generated_workload(self, tmp_path, mm_config):
+        workload = generate_workload(mm_config, seed=3)
+        path = save_workload(workload, tmp_path / "workload.jsonl")
+        assert load_workload(path) == workload
+
+    def test_disk_workload_preserves_io(self, tmp_path, disk_config):
+        workload = generate_workload(disk_config, seed=3)
+        loaded = load_workload(save_workload(workload, tmp_path / "w.jsonl"))
+        assert loaded == workload
+        assert any(op.needs_io for spec in loaded for op in spec.operations)
+
+    def test_tree_workload_preserves_node_schedule(self, tmp_path, mm_config):
+        _, workload = TreeWorkloadGenerator(mm_config, seed=4).generate()
+        loaded = load_workload(save_workload(workload, tmp_path / "t.jsonl"))
+        assert loaded == workload
+        assert any(spec.node_schedule for spec in loaded)
+
+    def test_read_write_mix_preserved(self, tmp_path, mm_config):
+        config = mm_config.replace(read_fraction=0.5)
+        workload = generate_workload(config, seed=5)
+        loaded = load_workload(save_workload(workload, tmp_path / "rw.jsonl"))
+        assert loaded == workload
+
+    def test_single_spec_dict_roundtrip(self):
+        spec = make_spec(7, [1, 2], deadline=50.0, criticalness=2)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    @given(workload=workloads(disk=True))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_specs_roundtrip(self, tmp_path_factory, workload):
+        path = tmp_path_factory.mktemp("wl") / "w.jsonl"
+        assert load_workload(save_workload(workload, path)) == workload
+
+
+class TestValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_workload(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text(json.dumps({"repro_workload_version": 99}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            load_workload(path)
+
+    def test_corrupt_spec_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"repro_workload_version": 1})
+            + "\n"
+            + json.dumps({"tid": 1})  # missing required fields
+            + "\n"
+        )
+        with pytest.raises(KeyError):
+            load_workload(path)
+
+    def test_loaded_specs_are_simulatable(self, tmp_path, mm_config):
+        from repro.core.policy import CCAPolicy
+        from repro.core.simulator import RTDBSimulator
+
+        workload = generate_workload(mm_config, seed=6)
+        loaded = load_workload(save_workload(workload, tmp_path / "w.jsonl"))
+        original = RTDBSimulator(mm_config, workload, CCAPolicy(1.0)).run()
+        replayed = RTDBSimulator(mm_config, loaded, CCAPolicy(1.0)).run()
+        assert original.records == replayed.records

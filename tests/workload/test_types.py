@@ -1,0 +1,99 @@
+"""Transaction type tables."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.sim.random import RandomStream
+from repro.workload.types import TransactionType, make_type_table
+
+
+def config(**overrides):
+    defaults = dict(n_transaction_types=50, db_size=300)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestTransactionType:
+    def test_valid(self):
+        t = TransactionType(type_id=0, items=(1, 2, 3), compute_per_update=4.0)
+        assert t.n_updates == 3
+        assert t.cpu_time == pytest.approx(12.0)
+        assert t.program_name == "type0"
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionType(type_id=0, items=(), compute_per_update=4.0)
+
+    def test_duplicate_items_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionType(type_id=0, items=(1, 1), compute_per_update=4.0)
+
+    def test_nonpositive_compute_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionType(type_id=0, items=(1,), compute_per_update=0.0)
+
+
+class TestMakeTypeTable:
+    def test_table_size(self):
+        table = make_type_table(config(), RandomStream(1))
+        assert len(table) == 50
+        assert [t.type_id for t in table] == list(range(50))
+
+    def test_items_within_database(self):
+        table = make_type_table(config(db_size=40), RandomStream(2))
+        for t in table:
+            assert all(0 <= item < 40 for item in t.items)
+
+    def test_update_counts_near_mean(self):
+        table = make_type_table(config(), RandomStream(3))
+        counts = [t.n_updates for t in table]
+        assert all(count >= 1 for count in counts)
+        assert 15 < sum(counts) / len(counts) < 25
+
+    def test_update_count_capped_at_db_size(self):
+        tiny = config(db_size=5, updates_mean=20.0, updates_std=0.0)
+        table = make_type_table(tiny, RandomStream(4))
+        assert all(t.n_updates <= 5 for t in table)
+
+    def test_regenerated_per_seed(self):
+        """The paper regenerates items and counts at each run."""
+        a = make_type_table(config(), RandomStream(1))
+        b = make_type_table(config(), RandomStream(2))
+        assert [t.items for t in a] != [t.items for t in b]
+
+    def test_deterministic_per_seed(self):
+        a = make_type_table(config(), RandomStream(9))
+        b = make_type_table(config(), RandomStream(9))
+        assert a == b
+
+    def test_high_variance_classes(self):
+        cfg = config(update_time_classes=(0.4, 4.0, 40.0))
+        table = make_type_table(cfg, RandomStream(5))
+        times = {t.compute_per_update for t in table}
+        assert times == {0.4, 4.0, 40.0}
+        # Contiguous near-equal classes of the 50 types.
+        assert table[0].compute_per_update == 0.4
+        assert table[49].compute_per_update == 40.0
+
+
+class TestHighVarianceIntegration:
+    def test_generated_workload_uses_class_times(self):
+        from repro.workload.generator import generate_workload
+
+        cfg = config(
+            n_transaction_types=50,
+            update_time_classes=(0.4, 4.0, 40.0),
+            n_transactions=300,
+            db_size=300,
+        )
+        workload = generate_workload(cfg, seed=1)
+        by_type = {}
+        for spec in workload:
+            times = {op.compute_time for op in spec.operations}
+            assert len(times) == 1, "one compute time per type"
+            by_type[spec.type_id] = times.pop()
+        assert set(by_type.values()) <= {0.4, 4.0, 40.0}
+        # The classes are contiguous over type ids.
+        for type_id, time in by_type.items():
+            expected = (0.4, 4.0, 40.0)[type_id * 3 // 50]
+            assert time == expected
