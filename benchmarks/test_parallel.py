@@ -1,0 +1,53 @@
+"""Throughput of the sweep executor: serial vs parallel vs warm cache.
+
+Measures the same small arrival-rate sweep three ways:
+
+* ``serial`` — one process, no cache (the pre-executor baseline);
+* ``parallel`` — ``jobs=2`` process fan-out, cold cache;
+* ``warm_cache`` — second run over a populated cache (zero simulator
+  runs; the cost is pure JSON replay).
+
+On multi-core machines ``parallel`` approaches ``serial / jobs``; the
+``warm_cache`` row is the figure-regeneration cost after any first run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import MAIN_MEMORY_BASE
+from repro.experiments.parallel import last_stats
+from repro.experiments.runner import sweep
+
+from benchmarks.conftest import run_once
+
+RATES = (2.0, 5.0, 8.0)
+SEEDS = (1, 2, 3)
+
+
+@pytest.fixture
+def configs():
+    base = MAIN_MEMORY_BASE.replace(n_transactions=200)
+    return {rate: base.replace(arrival_rate=rate) for rate in RATES}
+
+
+def test_sweep_serial(benchmark, configs):
+    swept = run_once(benchmark, sweep, configs, SEEDS, jobs=1)
+    assert set(swept) == set(RATES)
+    assert last_stats().cells_run == len(RATES) * len(SEEDS) * 2
+
+
+def test_sweep_parallel_jobs2(benchmark, configs):
+    swept = run_once(benchmark, sweep, configs, SEEDS, jobs=2)
+    assert set(swept) == set(RATES)
+    assert last_stats().cells_run == len(RATES) * len(SEEDS) * 2
+
+
+def test_sweep_warm_cache(benchmark, configs, tmp_path):
+    cache = ResultCache(tmp_path)
+    sweep(configs, SEEDS, cache=cache)  # populate
+    swept = run_once(benchmark, sweep, configs, SEEDS, cache=cache)
+    assert set(swept) == set(RATES)
+    assert last_stats().cells_run == 0
+    assert last_stats().cache_hits == len(RATES) * len(SEEDS) * 2

@@ -6,6 +6,15 @@ Examples::
     repro all --scale quick        # everything, CI-sized
     repro fig5c --scale full       # paper-exact seeds and sizes
     repro fig4b --csv out/         # also write out/fig4b.csv
+    repro all --jobs 8             # fan sweep cells over 8 processes
+    repro fig4a --no-cache         # force recomputation
+    repro fig4a --cache-dir /tmp/c # cache somewhere else
+
+Sweep cells are cached on disk (``~/.cache/repro`` or
+``$REPRO_CACHE_DIR``) keyed by the full configuration, seed, policy and
+schema version, so re-running a figure — at any ``--jobs`` — replays
+cached simulations for free.  Parallel and cached runs produce output
+identical to serial, cold runs.
 """
 
 from __future__ import annotations
@@ -16,10 +25,13 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.experiments import parallel
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentScale
 from repro.experiments.extensions import EXTENSION_EXPERIMENTS
 from repro.experiments.figures import ALL_EXPERIMENTS
 from repro.experiments.report import render_figure, write_csv
+from repro.tracing import TraceCounters
 
 #: Everything the CLI can regenerate: paper artifacts plus extensions.
 ALL_RUNNABLE = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
@@ -58,11 +70,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write each experiment's series to DIR/<id>.csv",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run sweep cells in N worker processes; results are "
+            "identical to serial runs (default: $REPRO_JOBS or 1)"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "reuse the on-disk result cache at $REPRO_CACHE_DIR or "
+            "~/.cache/repro (default: on; --no-cache recomputes)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (implies --cache)",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
     if args.scale is None:
         scale = ExperimentScale.from_env()
     else:
@@ -72,26 +113,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "full": ExperimentScale.full,
         }[args.scale]()
 
-    if args.experiment == "validate":
-        from repro.experiments.validation import render_report, validate_all
+    cache: Optional[ResultCache] = None
+    if args.cache or args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir)
 
-        started = time.time()
-        checks = validate_all(scale)
-        print(render_report(checks))
-        print(f"[validated in {time.time() - started:.1f}s at scale={scale.name}]")
-        return 0 if all(check.passed for check in checks) else 1
+    with parallel.execution(jobs=args.jobs, cache=cache):
+        if args.experiment == "validate":
+            from repro.experiments.validation import render_report, validate_all
 
-    ids = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for figure_id in ids:
-        started = time.time()
-        result = ALL_RUNNABLE[figure_id](scale)
-        print(render_figure(result))
-        elapsed = time.time() - started
-        print(f"[{figure_id} done in {elapsed:.1f}s at scale={scale.name}]")
-        print()
-        if args.csv is not None:
-            path = write_csv(result, args.csv)
-            print(f"wrote {path}")
+            started = time.time()
+            checks = validate_all(scale)
+            print(render_report(checks))
+            print(f"[validated in {time.time() - started:.1f}s at scale={scale.name}]")
+            return 0 if all(check.passed for check in checks) else 1
+
+        ids = (
+            sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        )
+        for figure_id in ids:
+            started = time.time()
+            counters = TraceCounters()
+            with parallel.execution(trace=counters):
+                result = ALL_RUNNABLE[figure_id](scale)
+            print(render_figure(result))
+            elapsed = time.time() - started
+            print(f"[{figure_id} done in {elapsed:.1f}s at scale={scale.name}]")
+            if counters.count("sweep_end"):
+                print(f"[{figure_id} sweeps: {counters.sweep_summary()}]")
+            print()
+            if args.csv is not None:
+                path = write_csv(result, args.csv)
+                print(f"wrote {path}")
     return 0
 
 

@@ -138,3 +138,18 @@ class SimulationConfig:
     def replace(self, **changes: object) -> "SimulationConfig":
         """A copy of this config with the given fields changed."""
         return dataclasses.replace(self, **changes)
+
+    def canonical_dict(self) -> dict:
+        """All fields as a stable, JSON-ready mapping.
+
+        Field names are sorted and sequence values converted to lists, so
+        the result serializes identically across processes and sessions.
+        The experiment result cache hashes this to fingerprint a
+        configuration; every field participates, so changing *any*
+        parameter changes the fingerprint.
+        """
+        raw = dataclasses.asdict(self)
+        return {
+            name: list(value) if isinstance(value, (tuple, list)) else value
+            for name, value in sorted(raw.items())
+        }

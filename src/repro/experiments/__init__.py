@@ -3,6 +3,10 @@
 * :mod:`repro.experiments.config` — the Table 1 / Table 2 base parameter
   sets, the seed lists, and run-scale selection (quick / default / full);
 * :mod:`repro.experiments.runner` — multi-seed paired runs and sweeps;
+* :mod:`repro.experiments.parallel` — the sweep-cell executor: process
+  fan-out (``jobs``), deterministic merge, execution defaults;
+* :mod:`repro.experiments.cache` — content-addressed on-disk cache of
+  per-cell simulation results;
 * :mod:`repro.experiments.figures` — ``fig4a`` .. ``fig5f`` plus the two
   parameter tables, each returning a :class:`FigureResult`;
 * :mod:`repro.experiments.report` — ASCII rendering and CSV export.
@@ -14,12 +18,19 @@ Regenerate any figure from the command line::
     python -m repro all --csv out/
 """
 
+from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.config import (
     DISK_BASE,
     DISK_SEEDS,
     MAIN_MEMORY_BASE,
     MAIN_MEMORY_SEEDS,
     ExperimentScale,
+)
+from repro.experiments.parallel import (
+    SweepCell,
+    SweepStats,
+    execute_cells,
+    simulate_cell,
 )
 from repro.experiments.figures import (
     ALL_EXPERIMENTS,
@@ -37,10 +48,16 @@ __all__ = [
     "FigureResult",
     "MAIN_MEMORY_BASE",
     "MAIN_MEMORY_SEEDS",
+    "ResultCache",
+    "SweepCell",
+    "SweepStats",
+    "cache_key",
     "compare_policies",
+    "execute_cells",
     "render_figure",
     "run_experiment",
     "run_policy",
+    "simulate_cell",
     "sweep",
     "write_csv",
 ]

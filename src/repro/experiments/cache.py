@@ -1,0 +1,229 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A sweep cell — one :class:`~repro.config.SimulationConfig` run for one
+seed under one policy — is a pure function of its inputs (workloads are
+generated deterministically from ``(config, seed)`` and the simulator
+draws no further randomness), so its :class:`SimulationResult` can be
+cached on disk and replayed for free.  The key is a SHA-256 over the
+config's :meth:`~repro.config.SimulationConfig.canonical_dict`, the
+seed, the policy name, and :data:`SCHEMA_VERSION`; changing any of
+those — including the serialization schema itself — addresses a
+different entry, so stale results can never be served.
+
+Entries live under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) as
+one JSON file per cell, fanned out by key prefix.  Writes are atomic
+(temp file + ``os.replace``) so concurrent workers never observe a
+partial entry; corrupt or truncated files are discarded and recomputed,
+never crashed on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.config import SimulationConfig
+from repro.core.simulator import SimulationResult, TransactionRecord
+
+#: Bump when the serialized form of :class:`SimulationResult` (or the
+#: meaning of any cached field) changes; old entries are then ignored.
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def cache_key(
+    config: SimulationConfig,
+    seed: int,
+    policy_name: str,
+    schema_version: Optional[int] = None,
+) -> str:
+    """Content hash addressing one simulated cell.
+
+    Any change to any configuration field, the seed, the policy name, or
+    the schema version (default: the current :data:`SCHEMA_VERSION`)
+    yields a different key.
+    """
+    if schema_version is None:
+        schema_version = SCHEMA_VERSION
+    payload = json.dumps(
+        {
+            "config": config.canonical_dict(),
+            "seed": seed,
+            "policy": policy_name,
+            "schema": schema_version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# SimulationResult <-> JSON
+# ---------------------------------------------------------------------------
+
+_RECORD_FIELDS = ("tid", "type_id", "arrival_time", "deadline", "commit_time", "restarts")
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """A JSON-ready dict capturing *all* of a result's stored fields.
+
+    Per-transaction records are kept (as compact rows) so every derived
+    metric — mean lateness included — is bit-identical after a round
+    trip; Python's JSON float encoding is exact (shortest round-trip
+    repr).
+    """
+    return {
+        "policy_name": result.policy_name,
+        "n_committed": result.n_committed,
+        "n_missed": result.n_missed,
+        "total_restarts": result.total_restarts,
+        "makespan": result.makespan,
+        "cpu_utilization": result.cpu_utilization,
+        "disk_utilization": result.disk_utilization,
+        "mean_plist_size": result.mean_plist_size,
+        "n_dropped": result.n_dropped,
+        "records": [
+            [getattr(record, field) for field in _RECORD_FIELDS]
+            for record in result.records
+        ],
+    }
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_dict`.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed input;
+    the cache turns those into a miss.
+    """
+    records = tuple(
+        TransactionRecord(**dict(zip(_RECORD_FIELDS, row, strict=True)))
+        for row in data["records"]
+    )
+    return SimulationResult(
+        policy_name=data["policy_name"],
+        n_committed=data["n_committed"],
+        n_missed=data["n_missed"],
+        total_restarts=data["total_restarts"],
+        makespan=data["makespan"],
+        cpu_utilization=data["cpu_utilization"],
+        disk_utilization=data["disk_utilization"],
+        mean_plist_size=data["mean_plist_size"],
+        records=records,
+        n_dropped=data["n_dropped"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The cache proper
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class CacheCounters:
+    """Hit/miss/store tallies since construction (or the last reset)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    discarded: int = 0
+    """Entries found corrupt/stale and thrown away (counted as misses too)."""
+
+
+class ResultCache:
+    """On-disk store of :class:`SimulationResult` keyed by cell content.
+
+    ``get`` never raises on bad entries: unreadable, truncated, or
+    schema-mismatched files are deleted (best effort) and reported as
+    misses, so a corrupted cache only costs recomputation.
+    """
+
+    def __init__(self, root: Optional[Path | str] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.counters = CacheCounters()
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def reset_counters(self) -> None:
+        self.counters = CacheCounters()
+
+    # -- lookup / store ----------------------------------------------------
+
+    def get(
+        self, config: SimulationConfig, seed: int, policy_name: str
+    ) -> Optional[SimulationResult]:
+        """The cached result for a cell, or ``None`` (a miss)."""
+        key = cache_key(config, seed, policy_name)
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry["schema"] != SCHEMA_VERSION or entry["key"] != key:
+                raise ValueError("stale or misfiled cache entry")
+            result = result_from_dict(entry["result"])
+        except FileNotFoundError:
+            self.counters.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError, IndexError):
+            # Corrupt, truncated, or stale: discard and recompute.
+            self._discard(path)
+            self.counters.discarded += 1
+            self.counters.misses += 1
+            return None
+        self.counters.hits += 1
+        return result
+
+    def put(
+        self,
+        config: SimulationConfig,
+        seed: int,
+        policy_name: str,
+        result: SimulationResult,
+    ) -> Path:
+        """Store a cell's result atomically; returns the entry path."""
+        key = cache_key(config, seed, policy_name)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "result": result_to_dict(result),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.counters.stores += 1
+        return path
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -17,6 +17,8 @@ import dataclasses
 from typing import Callable, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig
+from repro.experiments import parallel
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import DISK_BASE, MAIN_MEMORY_BASE, ExperimentScale
 from repro.experiments.runner import compare_policies, sweep
 from repro.metrics.comparison import improvement_percent
@@ -436,12 +438,31 @@ ALL_EXPERIMENTS: dict[str, Callable[[ExperimentScale], FigureResult]] = {
 }
 
 
-def run_experiment(figure_id: str, scale: ExperimentScale) -> FigureResult:
-    """Run one experiment by its paper id (e.g. ``"fig4a"``)."""
+def run_experiment(
+    figure_id: str,
+    scale: ExperimentScale,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    trace: Optional[parallel.TraceHook] = None,
+) -> FigureResult:
+    """Run one experiment by its paper id (e.g. ``"fig4a"``).
+
+    ``jobs``/``cache``/``trace`` (when given) override the execution
+    defaults for the duration of this experiment, so its sweeps fan out
+    over worker processes and reuse the on-disk result cache.  Note the
+    in-process memo above still short-circuits repeated sweeps within a
+    session; :func:`clear_cache` resets it.
+    """
     try:
         experiment = ALL_EXPERIMENTS[figure_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {figure_id!r}; known: {sorted(ALL_EXPERIMENTS)}"
         ) from None
-    return experiment(scale)
+    with parallel.execution(
+        jobs=jobs if jobs is not None else parallel.UNSET,
+        cache=cache if cache is not None else parallel.UNSET,
+        trace=trace if trace is not None else parallel.UNSET,
+    ):
+        return experiment(scale)

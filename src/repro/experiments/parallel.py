@@ -1,0 +1,277 @@
+"""Parallel execution of sweep cells with deterministic merging.
+
+A *cell* is the atomic unit of every paper experiment: simulate one
+configuration for one seed under one policy.  Cells are independent —
+workloads are regenerated deterministically from ``(config, seed)`` in
+each worker, so replaying the same seed under several policies in
+different processes still compares *paired* workloads, exactly as the
+serial runner does.
+
+:func:`execute_cells` fans cells out over a ``ProcessPoolExecutor``
+(``jobs`` workers), consults an optional
+:class:`~repro.experiments.cache.ResultCache` first, and merges results
+**ordered by cell key, never by completion order** — so for the same
+seeds, ``jobs=N`` output is identical to serial output, and the trace
+event stream is deterministic too.  The parity tests in
+``tests/experiments/test_parallel.py`` hold this as an invariant.
+
+Module-level *execution defaults* (:func:`configure` / the
+:func:`execution` context manager) let entry points like the CLI choose
+``jobs``/``cache``/``trace`` once without threading parameters through
+every figure function.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterator, Mapping, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.core.policy import make_policy
+from repro.core.simulator import RTDBSimulator, SimulationResult
+from repro.experiments.cache import ResultCache
+from repro.workload.generator import generate_workload
+
+TraceHook = Callable[..., None]
+"""``callable(event_name, **fields)`` — same shape as simulator trace
+hooks; :class:`repro.tracing.EventLog` and
+:class:`repro.tracing.TraceCounters` both qualify."""
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+CellKey = tuple[float, str, int]
+"""(x value, policy name, seed) — the deterministic merge order."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepCell:
+    """One simulation to run: a config at axis point ``x`` for one
+    ``(policy, seed)`` pair."""
+
+    x: float
+    policy: str
+    seed: int
+    config: SimulationConfig
+
+    @property
+    def key(self) -> CellKey:
+        return (self.x, self.policy, self.seed)
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """Counters for one :func:`execute_cells` call."""
+
+    cells_total: int = 0
+    cells_run: int = 0
+    """Cells actually simulated (cache misses)."""
+    cache_hits: int = 0
+    elapsed: float = 0.0
+    jobs: int = 1
+
+    @property
+    def sims_per_sec(self) -> float:
+        """Simulator throughput (computed cells only; 0 if none ran)."""
+        if self.cells_run == 0 or self.elapsed <= 0:
+            return 0.0
+        return self.cells_run / self.elapsed
+
+
+def simulate_cell(
+    config: SimulationConfig, seed: int, policy_name: str
+) -> SimulationResult:
+    """Run one cell from scratch — the worker-process entry point.
+
+    Deterministic in its arguments: the workload is generated from
+    ``(config, seed)`` and the simulator draws no further randomness,
+    so the same cell yields the same result in any process.
+    """
+    workload = generate_workload(config, seed)
+    policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
+    return RTDBSimulator(config, workload, policy).run()
+
+
+# ---------------------------------------------------------------------------
+# Execution defaults (entry points set once; sweeps inherit)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class ExecutionDefaults:
+    """What ``jobs=None`` / ``cache=None`` / ``trace=None`` resolve to."""
+
+    jobs: Optional[int] = None
+    cache: Optional[ResultCache] = None
+    trace: Optional[TraceHook] = None
+
+
+_DEFAULTS = ExecutionDefaults()
+
+UNSET = object()
+"""Sentinel distinguishing 'not passed' from an explicit ``None`` (which
+means *disable* for ``cache``/``trace``)."""
+
+
+def configure(
+    jobs: object = UNSET, cache: object = UNSET, trace: object = UNSET
+) -> None:
+    """Set process-wide execution defaults (omitted fields keep theirs)."""
+    if jobs is not UNSET:
+        _DEFAULTS.jobs = jobs  # type: ignore[assignment]
+    if cache is not UNSET:
+        _DEFAULTS.cache = cache  # type: ignore[assignment]
+    if trace is not UNSET:
+        _DEFAULTS.trace = trace  # type: ignore[assignment]
+
+
+@contextlib.contextmanager
+def execution(
+    jobs: object = UNSET, cache: object = UNSET, trace: object = UNSET
+) -> Iterator[None]:
+    """Temporarily override execution defaults (nestable).
+
+    Fields not passed inherit the surrounding defaults, so e.g. the CLI
+    can set ``jobs``/``cache`` once and swap only ``trace`` per figure.
+    """
+    saved = dataclasses.replace(_DEFAULTS)
+    try:
+        configure(jobs=jobs, cache=cache, trace=trace)
+        yield
+    finally:
+        configure(jobs=saved.jobs, cache=saved.cache, trace=saved.trace)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Effective worker count: explicit arg > configured default >
+    ``$REPRO_JOBS`` > 1."""
+    if jobs is None:
+        jobs = _DEFAULTS.jobs
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        jobs = int(env) if env else 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def resolve_cache(cache: Optional[ResultCache]) -> Optional[ResultCache]:
+    return cache if cache is not None else _DEFAULTS.cache
+
+
+def resolve_trace(trace: Optional[TraceHook]) -> Optional[TraceHook]:
+    return trace if trace is not None else _DEFAULTS.trace
+
+
+_LAST_STATS = SweepStats()
+
+
+def last_stats() -> SweepStats:
+    """Counters of the most recent :func:`execute_cells` call."""
+    return _LAST_STATS
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+def execute_cells(
+    cells: Sequence[SweepCell],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    trace: Optional[TraceHook] = None,
+) -> dict[CellKey, SimulationResult]:
+    """Run every cell, in parallel where possible; results keyed and
+    ordered by :data:`CellKey`.
+
+    Cached cells are served from ``cache`` without simulating; computed
+    cells are stored back.  With ``jobs > 1`` the pending cells go to a
+    process pool, but the returned mapping (and the trace stream) is
+    sorted by cell key, so output never depends on completion order.
+    """
+    global _LAST_STATS
+    jobs = resolve_jobs(jobs)
+    cache = resolve_cache(cache)
+    trace = resolve_trace(trace)
+
+    ordered = sorted(cells, key=lambda cell: cell.key)
+    if len({cell.key for cell in ordered}) != len(ordered):
+        raise ValueError("duplicate sweep cells (same x, policy, seed)")
+
+    stats = SweepStats(cells_total=len(ordered), jobs=jobs)
+    started = time.perf_counter()
+    if trace is not None:
+        trace("sweep_begin", cells=len(ordered), jobs=jobs)
+
+    results: dict[CellKey, SimulationResult] = {}
+    pending: list[SweepCell] = []
+    for cell in ordered:
+        hit = (
+            cache.get(cell.config, cell.seed, cell.policy)
+            if cache is not None
+            else None
+        )
+        if hit is not None:
+            results[cell.key] = hit
+            stats.cache_hits += 1
+        else:
+            pending.append(cell)
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = [
+                    pool.submit(simulate_cell, cell.config, cell.seed, cell.policy)
+                    for cell in pending
+                ]
+                computed = [future.result() for future in futures]
+        else:
+            computed = [
+                simulate_cell(cell.config, cell.seed, cell.policy)
+                for cell in pending
+            ]
+        for cell, result in zip(pending, computed):
+            results[cell.key] = result
+            stats.cells_run += 1
+            if cache is not None:
+                cache.put(cell.config, cell.seed, cell.policy, result)
+
+    stats.elapsed = time.perf_counter() - started
+    merged = {cell.key: results[cell.key] for cell in ordered}
+    if trace is not None:
+        pending_keys = {cell.key for cell in pending}
+        for cell in ordered:
+            trace(
+                "sweep_cell",
+                x=cell.x,
+                policy=cell.policy,
+                seed=cell.seed,
+                cached=cell.key not in pending_keys,
+            )
+        trace(
+            "sweep_end",
+            cells=stats.cells_total,
+            cells_run=stats.cells_run,
+            cache_hits=stats.cache_hits,
+            elapsed=stats.elapsed,
+            sims_per_sec=stats.sims_per_sec,
+        )
+    _LAST_STATS = stats
+    return merged
+
+
+def cells_for_sweep(
+    configs: Mapping[float, SimulationConfig],
+    seeds: Sequence[int],
+    policies: Sequence[str],
+) -> list[SweepCell]:
+    """The cross product (x, policy, seed) as cells, in caller order."""
+    return [
+        SweepCell(x=x, policy=policy, seed=seed, config=config)
+        for x, config in configs.items()
+        for policy in policies
+        for seed in seeds
+    ]

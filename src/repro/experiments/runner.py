@@ -5,6 +5,17 @@ one workload and replay it under every policy, then average each policy's
 metrics across seeds.  :func:`compare_policies` does that for one
 configuration; :func:`sweep` repeats it along a parameter axis (arrival
 rate, database size, penalty weight, ...).
+
+All three entry points route through
+:mod:`repro.experiments.parallel`: every (x, policy, seed) cell is an
+independent unit of work, fanned out over ``jobs`` worker processes and
+optionally served from / stored to an on-disk
+:class:`~repro.experiments.cache.ResultCache`.  Workload generation is
+deterministic in ``(config, seed)``, so regenerating a seed's workload
+per cell preserves the paired-comparison semantics, and results are
+merged in cell-key order — parallel output is identical to serial
+output for the same seeds (proven by
+``tests/experiments/test_parallel.py``).
 """
 
 from __future__ import annotations
@@ -14,6 +25,14 @@ from typing import Callable, Mapping, Optional, Sequence
 from repro.config import SimulationConfig
 from repro.core.policy import PriorityPolicy, make_policy
 from repro.core.simulator import RTDBSimulator, SimulationResult
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import (
+    SweepCell,
+    TraceHook,
+    cells_for_sweep,
+    execute_cells,
+    simulate_cell,
+)
 from repro.metrics.summary import RunSummary, summarize
 from repro.workload.generator import generate_workload
 
@@ -39,34 +58,48 @@ def run_policy(
     config: SimulationConfig,
     policy: PolicyFactory | str,
     seeds: Sequence[int],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    trace: Optional[TraceHook] = None,
 ) -> list[SimulationResult]:
-    """One result per seed for a single policy."""
-    factory = policy_factory(policy) if isinstance(policy, str) else policy
-    results = []
+    """One result per seed for a single policy.
+
+    Named policies go through the parallel executor (and cache); ad-hoc
+    :data:`PolicyFactory` callables are not content-addressable or
+    picklable, so they run serially in-process.
+    """
+    if isinstance(policy, str):
+        canonical = make_policy(policy, penalty_weight=config.penalty_weight).name
+        cells = [
+            SweepCell(x=0.0, policy=canonical, seed=seed, config=config)
+            for seed in seeds
+        ]
+        results = execute_cells(cells, jobs=jobs, cache=cache, trace=trace)
+        return [results[(0.0, canonical, seed)] for seed in seeds]
+    factory = policy
+    out = []
     for seed in seeds:
         workload = generate_workload(config, seed)
         simulator = RTDBSimulator(config, workload, factory(config))
-        results.append(simulator.run())
-    return results
+        out.append(simulator.run())
+    return out
 
 
 def compare_policies(
     config: SimulationConfig,
     seeds: Sequence[int],
     policies: Sequence[str] = ("EDF-HP", "CCA"),
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    trace: Optional[TraceHook] = None,
 ) -> dict[str, RunSummary]:
     """Seed-averaged summaries for several policies on paired workloads.
 
-    Workloads are generated once per seed and replayed under every
-    policy, so the comparison isolates the scheduling decision.
+    Each seed's workload is regenerated deterministically for every
+    policy, so the comparison still isolates the scheduling decision.
     """
-    per_policy: dict[str, list[SimulationResult]] = {name: [] for name in policies}
-    for seed in seeds:
-        workload = generate_workload(config, seed)
-        for name in policies:
-            policy = make_policy(name, penalty_weight=config.penalty_weight)
-            per_policy[name].append(RTDBSimulator(config, workload, policy).run())
-    return {name: summarize(results) for name, results in per_policy.items()}
+    swept = sweep({0.0: config}, seeds, policies, jobs=jobs, cache=cache, trace=trace)
+    return swept[0.0]
 
 
 def sweep(
@@ -74,15 +107,42 @@ def sweep(
     seeds: Sequence[int],
     policies: Sequence[str] = ("EDF-HP", "CCA"),
     progress: Optional[Callable[[float], None]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    trace: Optional[TraceHook] = None,
 ) -> dict[float, dict[str, RunSummary]]:
     """Paired comparison at each point of a parameter axis.
 
     ``configs`` maps x-axis value -> configuration; the result maps
-    x -> policy name -> :class:`RunSummary`.
+    x -> policy name -> :class:`RunSummary`.  All cells of the whole
+    sweep are executed in one batch (maximal parallelism); ``progress``
+    is then invoked once per x value, in ``configs`` order.
     """
+    # Canonicalize policy spellings ("cca" -> "CCA") so cells — and
+    # therefore cache entries — are addressed consistently.
+    canonical = {
+        name: make_policy(name, penalty_weight=1.0).name for name in policies
+    }
+    cells = cells_for_sweep(configs, seeds, list(canonical.values()))
+    results = execute_cells(cells, jobs=jobs, cache=cache, trace=trace)
     out: dict[float, dict[str, RunSummary]] = {}
-    for x, config in configs.items():
-        out[x] = compare_policies(config, seeds, policies)
+    for x in configs:
+        out[x] = {
+            name: summarize(
+                [results[(x, canonical[name], seed)] for seed in seeds]
+            )
+            for name in policies
+        }
         if progress is not None:
             progress(x)
     return out
+
+
+__all__ = [
+    "PolicyFactory",
+    "compare_policies",
+    "policy_factory",
+    "run_policy",
+    "simulate_cell",
+    "sweep",
+]

@@ -42,6 +42,55 @@ class CpuInterval:
         return self.end - self.start
 
 
+class TraceCounters:
+    """Tallies trace events without storing them — a cheap hook for
+    long sweeps.
+
+    Usable anywhere a trace hook is accepted (simulators, the parallel
+    sweep executor).  Keeps a count per event kind, a running sum of
+    every numeric field, and the last-seen fields of each kind, so
+    callers can aggregate e.g. ``sweep_end`` counters across many
+    sweeps::
+
+        counters = TraceCounters()
+        sweep(configs, seeds, trace=counters)
+        counters.count("sweep_cell")          # cells completed
+        counters.total("sweep_end", "cache_hits")
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.sums: dict[tuple[str, str], float] = {}
+        self.last: dict[str, dict] = {}
+
+    def __call__(self, name: str, **fields) -> None:
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self.last[name] = fields
+        for key, value in fields.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            slot = (name, key)
+            self.sums[slot] = self.sums.get(slot, 0.0) + value
+
+    def count(self, name: str) -> int:
+        """How many events of this kind were seen."""
+        return self.counts.get(name, 0)
+
+    def total(self, name: str, field: str) -> float:
+        """Sum of a numeric field across all events of one kind."""
+        return self.sums.get((name, field), 0.0)
+
+    def sweep_summary(self) -> str:
+        """One line summarizing executor counters seen so far, e.g.
+        ``"40 cells, 40 cache hits, 0 sims, 0.0 sims/s"``."""
+        cells = int(self.total("sweep_end", "cells"))
+        hits = int(self.total("sweep_end", "cache_hits"))
+        run = int(self.total("sweep_end", "cells_run"))
+        elapsed = self.total("sweep_end", "elapsed")
+        rate = run / elapsed if elapsed > 0 else 0.0
+        return f"{cells} cells, {hits} cache hits, {run} sims, {rate:.1f} sims/s"
+
+
 class EventLog:
     """Records simulator trace events as plain dictionaries."""
 

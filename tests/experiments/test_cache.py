@@ -1,0 +1,177 @@
+"""On-disk result cache: key sensitivity and corruption tolerance.
+
+The cache key must change when *anything* that could change a result
+changes — every configuration field, the seed, the policy name, and the
+serialization schema version.  Damaged entries must be discarded and
+recomputed, never crashed on or served.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import cache as cache_mod
+from repro.experiments.cache import (
+    ResultCache,
+    cache_key,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.experiments.parallel import simulate_cell
+
+BASE = SimulationConfig()
+
+#: A valid alternative value for every SimulationConfig field (fields
+#: whose generic tweak below would violate validation).
+_SPECIAL_TWEAKS = {
+    "update_time_classes": (0.4, 4.0, 40.0),
+    "read_fraction": 0.5,
+    "disk_scheduling": "priority",
+    "arrival_model": "bursty",
+    "disk_access_prob": 0.7,
+}
+
+
+def _tweaked(field: dataclasses.Field):
+    """A different-but-valid value for one config field."""
+    if field.name in _SPECIAL_TWEAKS:
+        return _SPECIAL_TWEAKS[field.name]
+    value = getattr(BASE, field.name)
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 0.25
+    raise AssertionError(
+        f"no tweak rule for field {field.name!r}; extend _SPECIAL_TWEAKS"
+    )
+
+
+class TestCacheKey:
+    @pytest.mark.parametrize(
+        "field", [f.name for f in dataclasses.fields(SimulationConfig)]
+    )
+    def test_every_config_field_changes_the_key(self, field):
+        changed = BASE.replace(
+            **{field: _tweaked(SimulationConfig.__dataclass_fields__[field])}
+        )
+        assert cache_key(BASE, 1, "CCA") != cache_key(changed, 1, "CCA")
+
+    def test_seed_changes_the_key(self):
+        assert cache_key(BASE, 1, "CCA") != cache_key(BASE, 2, "CCA")
+
+    def test_policy_name_changes_the_key(self):
+        assert cache_key(BASE, 1, "CCA") != cache_key(BASE, 1, "EDF-HP")
+
+    def test_schema_version_changes_the_key(self):
+        assert cache_key(BASE, 1, "CCA") != cache_key(
+            BASE, 1, "CCA", schema_version=cache_mod.SCHEMA_VERSION + 1
+        )
+
+    def test_key_is_stable(self):
+        assert cache_key(BASE, 1, "CCA") == cache_key(
+            SimulationConfig(), 1, "CCA"
+        )
+
+
+@pytest.fixture
+def small_config(mm_config):
+    return mm_config.replace(n_transactions=20)
+
+
+@pytest.fixture
+def result(small_config):
+    return simulate_cell(small_config, seed=3, policy_name="CCA")
+
+
+class TestSerialization:
+    def test_round_trip_is_identical(self, result):
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_round_trip_through_json_text(self, result):
+        text = json.dumps(result_to_dict(result))
+        assert result_from_dict(json.loads(text)) == result
+
+
+class TestResultCache:
+    def test_get_miss_then_put_then_hit(self, tmp_path, small_config, result):
+        cache = ResultCache(tmp_path)
+        assert cache.get(small_config, 3, "CCA") is None
+        cache.put(small_config, 3, "CCA", result)
+        assert cache.get(small_config, 3, "CCA") == result
+        assert dataclasses.astuple(cache.counters) == (1, 1, 1, 0)
+
+    def test_entries_do_not_cross_cells(self, tmp_path, small_config, result):
+        cache = ResultCache(tmp_path)
+        cache.put(small_config, 3, "CCA", result)
+        assert cache.get(small_config, 4, "CCA") is None
+        assert cache.get(small_config, 3, "EDF-HP") is None
+        assert cache.get(small_config.replace(db_size=99), 3, "CCA") is None
+
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            b"not json at all",
+            b"{\"schema\": 1, \"key\": \"wrong\"",  # truncated
+            b"{}",  # missing fields
+            b"[1, 2, 3]",  # wrong shape
+            b"",  # empty file
+        ],
+        ids=["garbage", "truncated", "empty-object", "wrong-shape", "empty"],
+    )
+    def test_corrupt_entry_discarded_and_recomputed(
+        self, tmp_path, small_config, result, damage
+    ):
+        cache = ResultCache(tmp_path)
+        path = cache.put(small_config, 3, "CCA", result)
+        path.write_bytes(damage)
+        assert cache.get(small_config, 3, "CCA") is None
+        assert cache.counters.discarded == 1
+        assert not path.exists()  # bad entry removed
+        cache.put(small_config, 3, "CCA", result)
+        assert cache.get(small_config, 3, "CCA") == result
+
+    def test_schema_bump_invalidates_entry(
+        self, tmp_path, small_config, result, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        path = cache.put(small_config, 3, "CCA", result)
+        monkeypatch.setattr(cache_mod, "SCHEMA_VERSION", cache_mod.SCHEMA_VERSION + 1)
+        # The key itself changed, so the old entry is simply unreachable.
+        assert cache.get(small_config, 3, "CCA") is None
+        assert path.exists()  # old entry untouched, just never served
+
+    def test_misfiled_entry_rejected(self, tmp_path, small_config, result):
+        """An entry whose recorded key disagrees with its filename
+        (e.g. hand-copied) is discarded, not served."""
+        cache = ResultCache(tmp_path)
+        source = cache.put(small_config, 3, "CCA", result)
+        target = cache.path_for(cache_key(small_config, 4, "CCA"))
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(source.read_bytes())
+        assert cache.get(small_config, 4, "CCA") is None
+        assert cache.counters.discarded == 1
+
+    def test_default_dir_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ResultCache().root == tmp_path / "elsewhere"
+
+    def test_atomic_writes_leave_no_temp_files(
+        self, tmp_path, small_config, result
+    ):
+        cache = ResultCache(tmp_path)
+        for seed in range(3):
+            cache.put(small_config, seed, "CCA", result)
+        leftovers = [
+            name
+            for _, _, names in os.walk(tmp_path)
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []

@@ -7,7 +7,10 @@ from repro.experiments.figures import clear_cache
 
 
 @pytest.fixture(autouse=True)
-def fresh_cache():
+def fresh_cache(tmp_path, monkeypatch):
+    """Clear the in-process sweep memo and isolate the on-disk cache
+    (the CLI caches by default; tests must not touch ~/.cache)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
     clear_cache()
     yield
     clear_cache()
@@ -49,3 +52,33 @@ class TestMain:
         monkeypatch.setenv("REPRO_SCALE", "full")
         assert main(["table2", "--scale", "quick"]) == 0
         assert "scale=quick" in capsys.readouterr().out
+
+
+class TestExecutionFlags:
+    def test_jobs_flag_accepted(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert main(["fig5f", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5f" in out
+        assert "sweeps:" in out and "cache hits" in out
+
+    def test_jobs_must_be_positive(self):
+        assert main(["fig5f", "--jobs", "0"]) == 2
+
+    def test_no_cache_leaves_cache_dir_empty(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        cache_dir = tmp_path / "never-created"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(["fig5f", "--no-cache"]) == 0
+        assert not cache_dir.exists()
+
+    def test_warm_cache_run_does_zero_sims(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        cache_dir = tmp_path / "cli-cache"
+        assert main(["fig5f", "--cache-dir", str(cache_dir)]) == 0
+        first = capsys.readouterr().out
+        assert "0 cache hits" in first
+        clear_cache()  # drop the in-process memo; force the disk path
+        assert main(["fig5f", "--cache-dir", str(cache_dir)]) == 0
+        second = capsys.readouterr().out
+        assert "0 sims" in second
