@@ -9,12 +9,22 @@ Examples::
     repro all --jobs 8             # fan sweep cells over 8 processes
     repro fig4a --no-cache         # force recomputation
     repro fig4a --cache-dir /tmp/c # cache somewhere else
+    repro fig4a --report           # also write a run manifest
+    repro trace fig4a              # schedule trace of one sweep cell
+    repro trace fig5b --cell 4,2,EDF-HP
 
 Sweep cells are cached on disk (``~/.cache/repro`` or
 ``$REPRO_CACHE_DIR``) keyed by the full configuration, seed, policy and
 schema version, so re-running a figure — at any ``--jobs`` — replays
 cached simulations for free.  Parallel and cached runs produce output
 identical to serial, cold runs.
+
+``--report [DIR]`` attaches a metrics registry to the run and writes one
+run manifest per experiment (config hash, seeds, cache counters,
+per-cell wall-time histogram, full metric snapshot) under ``DIR``
+(default ``results/runs/``).  ``repro trace`` re-simulates a single
+sweep cell with a full event log attached and prints the CPU Gantt
+chart, the event-kind table, and the metric summary.
 """
 
 from __future__ import annotations
@@ -29,8 +39,14 @@ from repro.experiments import parallel
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentScale
 from repro.experiments.extensions import EXTENSION_EXPERIMENTS
-from repro.experiments.figures import ALL_EXPERIMENTS
+from repro.experiments.figures import (
+    ALL_EXPERIMENTS,
+    FIGURE_SWEEPS,
+    experiment_cells,
+)
 from repro.experiments.report import render_figure, write_csv
+from repro.obs.manifest import DEFAULT_RUNS_DIR, build_manifest, write_manifest
+from repro.obs.registry import MetricsRegistry
 from repro.tracing import TraceCounters
 
 #: Everything the CLI can regenerate: paper artifacts plus extensions.
@@ -96,22 +112,78 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="result-cache directory (implies --cache)",
     )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        nargs="?",
+        const=DEFAULT_RUNS_DIR,
+        default=None,
+        metavar="DIR",
+        help=(
+            "write a run manifest (config hash, seeds, cache counters, "
+            "wall-time histogram, metric snapshot) per experiment under "
+            f"DIR (default: {DEFAULT_RUNS_DIR})"
+        ),
+    )
     return parser
 
 
+def _resolve_scale(name: Optional[str]) -> ExperimentScale:
+    if name is None:
+        return ExperimentScale.from_env()
+    return {
+        "quick": ExperimentScale.quick,
+        "default": ExperimentScale.default,
+        "full": ExperimentScale.full,
+    }[name]()
+
+
+def _cell_triples(figure_id: str, scale: ExperimentScale) -> list[tuple[dict, int, str]]:
+    """(canonical config dict, seed, policy) per cell — manifest input.
+
+    Extension experiments are not in :data:`FIGURE_SWEEPS`; their
+    manifests carry no cell fingerprint.
+    """
+    if figure_id not in FIGURE_SWEEPS:
+        return []
+    return [
+        (cell.config.canonical_dict(), cell.seed, cell.policy)
+        for cell in experiment_cells(figure_id, scale)
+    ]
+
+
+def _write_report(
+    figure_id: str,
+    scale: ExperimentScale,
+    registry: MetricsRegistry,
+    report_dir: Path,
+    jobs: int,
+    elapsed: float,
+    notes: str = "",
+) -> Path:
+    manifest = build_manifest(
+        experiment=figure_id,
+        scale=scale.name,
+        cells=_cell_triples(figure_id, scale),
+        metrics_snapshot=registry.snapshot(),
+        jobs=jobs,
+        elapsed_s=elapsed,
+        cache_hits=int(registry.counter("sweep.cache_hits").value),
+        cache_misses=int(registry.counter("sweep.cells_run").value),
+        notes=notes,
+    )
+    return write_manifest(manifest, report_dir)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
-    if args.scale is None:
-        scale = ExperimentScale.from_env()
-    else:
-        scale = {
-            "quick": ExperimentScale.quick,
-            "default": ExperimentScale.default,
-            "full": ExperimentScale.full,
-        }[args.scale]()
+    scale = _resolve_scale(args.scale)
 
     cache: Optional[ResultCache] = None
     if args.cache or args.cache_dir is not None:
@@ -122,9 +194,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.experiments.validation import render_report, validate_all
 
             started = time.time()
-            checks = validate_all(scale)
+            counters = TraceCounters()
+            registry = MetricsRegistry() if args.report is not None else None
+            with parallel.execution(
+                trace=counters,
+                metrics=registry if registry is not None else parallel.UNSET,
+            ):
+                checks = validate_all(scale)
             print(render_report(checks))
-            print(f"[validated in {time.time() - started:.1f}s at scale={scale.name}]")
+            elapsed = time.time() - started
+            print(f"[validated in {elapsed:.1f}s at scale={scale.name}]")
+            if counters.count("sweep_end"):
+                print(f"[validate sweeps: {counters.sweep_summary()}]")
+            if registry is not None:
+                path = _write_report(
+                    "validate",
+                    scale,
+                    registry,
+                    args.report,
+                    jobs=parallel.resolve_jobs(args.jobs),
+                    elapsed=elapsed,
+                    notes="aggregate over every figure's validation sweeps",
+                )
+                print(f"wrote manifest {path}")
             return 0 if all(check.passed for check in checks) else 1
 
         ids = (
@@ -133,17 +225,173 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for figure_id in ids:
             started = time.time()
             counters = TraceCounters()
-            with parallel.execution(trace=counters):
+            registry = MetricsRegistry() if args.report is not None else None
+            with parallel.execution(
+                trace=counters,
+                metrics=registry if registry is not None else parallel.UNSET,
+            ):
                 result = ALL_RUNNABLE[figure_id](scale)
             print(render_figure(result))
             elapsed = time.time() - started
             print(f"[{figure_id} done in {elapsed:.1f}s at scale={scale.name}]")
             if counters.count("sweep_end"):
                 print(f"[{figure_id} sweeps: {counters.sweep_summary()}]")
+            if registry is not None:
+                path = _write_report(
+                    figure_id,
+                    scale,
+                    registry,
+                    args.report,
+                    jobs=parallel.resolve_jobs(args.jobs),
+                    elapsed=elapsed,
+                )
+                print(f"wrote manifest {path}")
             print()
             if args.csv is not None:
                 path = write_csv(result, args.csv)
                 print(f"wrote {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# `repro trace` — re-simulate one sweep cell with full observability
+# ---------------------------------------------------------------------------
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Re-simulate one sweep cell of a paper experiment with an "
+            "event log and metrics registry attached, then print the CPU "
+            "Gantt chart, the event-kind table, and the metric summary."
+        ),
+    )
+    traceable = sorted(
+        figure_id for figure_id, specs in FIGURE_SWEEPS.items() if specs
+    )
+    parser.add_argument(
+        "experiment",
+        choices=traceable,
+        help="which paper experiment's sweep to pick the cell from",
+    )
+    parser.add_argument(
+        "--cell",
+        default=None,
+        metavar="X,SEED,POLICY",
+        help=(
+            "which cell to trace, as x-value, seed, policy "
+            "(e.g. '4,2,EDF-HP'; default: the sweep's middle x, first "
+            "seed, first policy)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "default", "full"],
+        default=None,
+        help="run scale (default: $REPRO_SCALE or 'default')",
+    )
+    parser.add_argument(
+        "--jsonl",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also dump the raw event log as JSON lines to FILE",
+    )
+    parser.add_argument(
+        "--width",
+        type=int,
+        default=72,
+        metavar="COLS",
+        help="Gantt chart width in columns (default: 72)",
+    )
+    return parser
+
+
+def trace_main(argv: Sequence[str]) -> int:
+    from repro.core.policy import make_policy
+    from repro.core.simulator import RTDBSimulator
+    from repro.tracing import EventLog
+    from repro.workload.generator import generate_workload
+
+    args = build_trace_parser().parse_args(argv)
+    scale = _resolve_scale(args.scale)
+    cells = experiment_cells(args.experiment, scale)
+
+    if args.cell is not None:
+        parts = args.cell.split(",")
+        if len(parts) != 3:
+            print(
+                f"error: --cell must be X,SEED,POLICY, got {args.cell!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            want_x, want_seed = float(parts[0]), int(parts[1])
+        except ValueError:
+            print(
+                f"error: --cell X must be a number and SEED an integer, "
+                f"got {args.cell!r}",
+                file=sys.stderr,
+            )
+            return 2
+        want_policy = parts[2].strip().lower()
+        matches = [
+            cell
+            for cell in cells
+            if cell.x == want_x
+            and cell.seed == want_seed
+            and cell.policy.lower() == want_policy
+        ]
+        if not matches:
+            xs = sorted({cell.x for cell in cells})
+            seeds = sorted({cell.seed for cell in cells})
+            policies = sorted({cell.policy for cell in cells})
+            print(
+                f"error: no cell {args.cell!r} in {args.experiment} at "
+                f"scale={scale.name}.\n"
+                f"  x values: {', '.join(f'{x:g}' for x in xs)}\n"
+                f"  seeds:    {', '.join(str(seed) for seed in seeds)}\n"
+                f"  policies: {', '.join(policies)}",
+                file=sys.stderr,
+            )
+            return 2
+        cell = matches[0]
+    else:
+        # Middle of the axis, first seed, first policy — a cell under
+        # moderate load, which is where schedules are interesting.
+        xs = sorted({c.x for c in cells})
+        mid_x = xs[len(xs) // 2]
+        cell = next(c for c in cells if c.x == mid_x)
+
+    log = EventLog()
+    registry = MetricsRegistry()
+    workload = generate_workload(cell.config, cell.seed)
+    policy = make_policy(cell.policy, penalty_weight=cell.config.penalty_weight)
+    started = time.time()
+    result = RTDBSimulator(
+        cell.config, workload, policy, trace=log, metrics=registry
+    ).run()
+
+    print(
+        f"{args.experiment} cell x={cell.x:g} seed={cell.seed} "
+        f"policy={cell.policy} (scale={scale.name})"
+    )
+    print(
+        f"{len(workload)} transactions, makespan {result.makespan:.6g} ms, "
+        f"miss {result.miss_percent:.1f}%, "
+        f"{result.total_restarts} restarts, "
+        f"CPU {result.cpu_utilization * 100:.1f}% busy"
+    )
+    print()
+    print(log.gantt(width=args.width))
+    print()
+    print(log.kind_table())
+    print()
+    print(registry.summary())
+    print(f"\n[traced {len(log)} events in {time.time() - started:.1f}s]")
+    if args.jsonl is not None:
+        path = log.to_jsonl(args.jsonl)
+        print(f"wrote {path}")
     return 0
 
 

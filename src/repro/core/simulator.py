@@ -66,7 +66,7 @@ Aborted transactions restart from scratch with their original deadline
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.analysis.relations import Safety
 from repro.config import SimulationConfig
@@ -81,6 +81,10 @@ from repro.rtdb.locks import LockManager
 from repro.rtdb.recovery import FixedRecovery, RecoveryModel
 from repro.rtdb.transaction import Transaction, TransactionSpec, TxState
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.sampler import TimeSeriesSampler
 
 TraceHook = Callable[..., None]
 """Optional callable(event_name, **fields) invoked on simulator events;
@@ -212,6 +216,17 @@ class RTDBSimulator:
         docstring).
     trace:
         Optional hook for schedule-level tests.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when set,
+        the simulator feeds per-policy scheduler counters (preemptions,
+        aborts by cause, deadline misses by slack band, penalty-of-
+        conflict evaluations, noncontributing CPU time, IO-wait
+        scheduling decisions) directly into it.  ``None`` (the default)
+        costs nothing on the hot path.
+    sampler:
+        Optional :class:`~repro.obs.sampler.TimeSeriesSampler`; when
+        set, ``run()`` attaches it so it snapshots queue depths and
+        utilization at its configured simulated-time interval.
     """
 
     def __init__(
@@ -225,6 +240,8 @@ class RTDBSimulator:
         eager_wounds: bool = True,
         trace: Optional[TraceHook] = None,
         max_events: Optional[int] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+        sampler: Optional["TimeSeriesSampler"] = None,
     ) -> None:
         if not workload:
             raise ValueError("workload must contain at least one transaction")
@@ -249,6 +266,16 @@ class RTDBSimulator:
         self.include_rollback_in_penalty = include_rollback_in_penalty
         self.eager_wounds = eager_wounds
         self.trace = trace
+        self.metrics = metrics
+        if metrics is not None:
+            from repro.obs.hooks import SimulatorMetrics
+
+            self._m: Optional["SimulatorMetrics"] = SimulatorMetrics(
+                metrics, policy.name
+            )
+        else:
+            self._m = None
+        self.sampler = sampler
         self.max_events = (
             max_events if max_events is not None else 5000 * len(workload)
         )
@@ -295,6 +322,8 @@ class RTDBSimulator:
         """Execute the whole workload and return aggregate results."""
         if self._finished:
             raise RuntimeError("a simulator instance runs exactly once")
+        if self.sampler is not None:
+            self.sampler.attach(self)
         for spec in self.workload:
             self.sim.schedule_at(
                 spec.arrival_time, self._on_arrival, kind="arrival", payload=spec
@@ -343,6 +372,8 @@ class RTDBSimulator:
         This is the :class:`~repro.core.policy.SystemView` hook the CCA
         policy calls during priority assignment.
         """
+        if self._m is not None:
+            self._m.penalty_evals.inc()
         return penalty_of_conflict(
             tx,
             self._plist.values(),
@@ -442,6 +473,9 @@ class RTDBSimulator:
         self._plist_discard(tx)
         self.n_dropped += 1
         self._trace("drop", tx=tx)
+        if self._m is not None:
+            self._m.drops.inc()
+            self._m.noncontributing_ms.observe(tx.service_received)
         for waiter in woken:
             self._wake_waiter(waiter)
         self._dispatch()
@@ -496,6 +530,8 @@ class RTDBSimulator:
             desired.first_dispatch_time = self.sim.now
         self.cpu.start(self.sim.now)
         self._trace("dispatch", tx=desired)
+        if self._m is not None:
+            self._m.dispatches.inc()
         if self.eager_wounds and not self.policy.wait_promote:
             self._resolve_conflicts_at_dispatch(desired)
         self._run(desired)
@@ -521,7 +557,7 @@ class RTDBSimulator:
         ]
         for victim in victims:
             cost = self.recovery.rollback_time(victim)
-            self._abort(victim, wounded_by=tx)
+            self._abort(victim, wounded_by=tx, cause="dispatch")
             tx.pending_rollback_work += cost
 
     def _choose(self) -> Optional[Transaction]:
@@ -544,9 +580,14 @@ class RTDBSimulator:
             ):
                 return primary
             # Primary is waiting for IO: IOwait-schedule.
-            return choose_secondary(
+            secondary = choose_secondary(
                 runnable, list(self._plist.values()), self.oracle, key
             )
+            if self._m is not None:
+                self._m.iowait_decisions.inc()
+                if secondary is None:
+                    self._m.iowait_idle.inc()
+            return secondary
         return choose_primary(runnable, key)
 
     def _preempt(self, tx: Transaction) -> None:
@@ -568,6 +609,8 @@ class RTDBSimulator:
         self.running = None
         tx.state = TxState.READY
         self._trace("preempt", tx=tx)
+        if self._m is not None:
+            self._m.preempts.inc()
 
     def _release_cpu(self, tx: Transaction) -> None:
         """The running transaction leaves the CPU voluntarily (IO, lock
@@ -629,13 +672,15 @@ class RTDBSimulator:
             if all(self._should_wound(tx, holder) for holder in blockers):
                 for holder in blockers:
                     cost = self.recovery.rollback_time(holder)
-                    self._abort(holder, wounded_by=tx)
+                    self._abort(holder, wounded_by=tx, cause="lock")
                     tx.pending_rollback_work += cost
             else:
                 tx.state = TxState.LOCK_BLOCKED
                 tx.blocked_on = op.item
                 self.lockmgr.enqueue_waiter(tx, op.item)
                 self._trace("lock_wait", tx=tx, item=op.item, holders=blockers)
+                if self._m is not None:
+                    self._m.lock_waits.inc()
                 self._release_cpu(tx)
                 self._dispatch()
                 return False
@@ -663,6 +708,8 @@ class RTDBSimulator:
         if self.policy.wait_promote:
             if self._would_deadlock(tx, holder):
                 self._trace("deadlock_break", tx=holder, by=tx)
+                if self._m is not None:
+                    self._m.deadlock_breaks.inc()
                 return True
             return False
         if self.policy.uses_pre_analysis:
@@ -720,12 +767,27 @@ class RTDBSimulator:
             )
         )
         self._trace("commit", tx=tx)
+        if self._m is not None:
+            self._m.commits.inc()
+            self._m.restart_counts.observe(tx.restarts)
+            if self.sim.now > tx.deadline + DEADLINE_EPSILON:
+                self._m.deadline_miss(
+                    tx.arrival_time, tx.deadline, tx.spec.resource_time
+                )
         for waiter in woken:
             self._wake_waiter(waiter)
         self._dispatch()
 
-    def _abort(self, victim: Transaction, wounded_by: Transaction) -> None:
-        """Wound ``victim``: roll it back and restart it from scratch."""
+    def _abort(
+        self, victim: Transaction, wounded_by: Transaction, cause: str = "lock"
+    ) -> None:
+        """Wound ``victim``: roll it back and restart it from scratch.
+
+        ``cause`` labels where the wound landed: ``"dispatch"`` for the
+        eager High Priority resolution at dispatch time, ``"lock"`` for
+        a conflict discovered at an individual lock request (including
+        deadlock breaks).
+        """
         if victim is self.running:
             raise RuntimeError("the running transaction cannot be wounded")
         if victim.state is TxState.IO_WAIT and self.disk is not None:
@@ -736,10 +798,16 @@ class RTDBSimulator:
         elif victim.state is TxState.LOCK_BLOCKED and victim.blocked_on is not None:
             self.lockmgr.remove_waiter(victim, victim.blocked_on)
         woken = self.lockmgr.release_all(victim)
+        if self._m is not None:
+            # CPU the victim consumed and must redo — the paper's
+            # noncontributing execution cost (recorded before restart()
+            # zeroes the service counter).
+            self._m.aborts[cause].inc()
+            self._m.noncontributing_ms.observe(victim.service_received)
         victim.restart()
         self.total_restarts += 1
         self._plist_discard(victim)
-        self._trace("abort", tx=victim, by=wounded_by)
+        self._trace("abort", tx=victim, by=wounded_by, cause=cause)
         for waiter in woken:
             if waiter.tid != wounded_by.tid:
                 self._wake_waiter(waiter)

@@ -17,12 +17,15 @@ import dataclasses
 from typing import Callable, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig
+from repro.core.policy import make_policy
 from repro.experiments import parallel
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import DISK_BASE, MAIN_MEMORY_BASE, ExperimentScale
+from repro.experiments.parallel import SweepCell, cells_for_sweep
 from repro.experiments.runner import compare_policies, sweep
 from repro.metrics.comparison import improvement_percent
 from repro.metrics.summary import RunSummary
+from repro.obs.registry import MetricsRegistry
 
 Series = list[tuple[float, float]]
 
@@ -54,20 +57,52 @@ MM_DB_SIZES = tuple(range(100, 1001, 100))
 DISK_DB_SIZES = tuple(range(100, 601, 100))
 
 
-def _cached_sweep(
-    key: str,
-    scale: ExperimentScale,
-    base: SimulationConfig,
-    axis: Sequence[float],
-    vary: Callable[[SimulationConfig, float], SimulationConfig],
-    policies: Sequence[str] = ("EDF-HP", "CCA"),
-) -> dict[float, dict[str, RunSummary]]:
-    cache_key = (key, scale.name)
-    if cache_key not in _SWEEP_CACHE:
-        scaled_base = scale.scale_config(base)
-        configs = {x: vary(scaled_base, x) for x in axis}
-        _SWEEP_CACHE[cache_key] = sweep(configs, scale.seeds_for(base), policies)
-    return _SWEEP_CACHE[cache_key]
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """A declarative description of one paper sweep.
+
+    Everything an experiment needs — and everything the observability
+    layer needs to *enumerate* the experiment without running it:
+    :meth:`cells` yields the exact :class:`SweepCell` cross product the
+    executor will run, which is what ``repro trace`` uses to pick a cell
+    and what run manifests hash to fingerprint a figure.
+    """
+
+    key: str
+    """Memo-cache key; unique per distinct (base, axis, vary) triple."""
+    base: SimulationConfig
+    axis: tuple[float, ...]
+    vary: Callable[[SimulationConfig, float], SimulationConfig]
+    policies: tuple[str, ...] = ("EDF-HP", "CCA")
+
+    def configs(self, scale: ExperimentScale) -> dict[float, SimulationConfig]:
+        """x-axis value -> scaled config, in axis order."""
+        scaled = scale.scale_config(self.base)
+        return {x: self.vary(scaled, x) for x in self.axis}
+
+    def seeds(self, scale: ExperimentScale) -> tuple[int, ...]:
+        return tuple(scale.seeds_for(self.base))
+
+    def canonical_policies(self) -> tuple[str, ...]:
+        """Policy names in their canonical spelling (cache addressing)."""
+        return tuple(
+            make_policy(name, penalty_weight=1.0).name for name in self.policies
+        )
+
+    def cells(self, scale: ExperimentScale) -> list[SweepCell]:
+        """Every (x, policy, seed) cell this sweep will execute."""
+        return cells_for_sweep(
+            self.configs(scale), self.seeds(scale), self.canonical_policies()
+        )
+
+    def run(self, scale: ExperimentScale) -> dict[float, dict[str, RunSummary]]:
+        """Execute (or recall from the in-process memo) this sweep."""
+        cache_key = (self.key, scale.name)
+        if cache_key not in _SWEEP_CACHE:
+            _SWEEP_CACHE[cache_key] = sweep(
+                self.configs(scale), self.seeds(scale), self.policies
+            )
+        return _SWEEP_CACHE[cache_key]
 
 
 def clear_cache() -> None:
@@ -75,37 +110,59 @@ def clear_cache() -> None:
     _SWEEP_CACHE.clear()
 
 
-def _mm_rate_sweep(scale: ExperimentScale) -> dict[float, dict[str, RunSummary]]:
-    return _cached_sweep(
-        "mm-rate",
-        scale,
-        MAIN_MEMORY_BASE,
-        MM_ARRIVAL_RATES,
-        lambda cfg, rate: cfg.replace(arrival_rate=rate),
+MM_RATE_SWEEP = SweepSpec(
+    key="mm-rate",
+    base=MAIN_MEMORY_BASE,
+    axis=MM_ARRIVAL_RATES,
+    vary=lambda cfg, rate: cfg.replace(arrival_rate=rate),
+)
+
+DISK_RATE_SWEEP = SweepSpec(
+    key="disk-rate",
+    base=DISK_BASE,
+    axis=DISK_ARRIVAL_RATES,
+    vary=lambda cfg, rate: cfg.replace(arrival_rate=rate),
+)
+
+HIGH_VARIANCE_SWEEP = SweepSpec(
+    key="mm-high-variance",
+    base=MAIN_MEMORY_BASE.replace(update_time_classes=(0.4, 4.0, 40.0)),
+    axis=HIGH_VARIANCE_RATES,
+    vary=lambda cfg, rate: cfg.replace(arrival_rate=rate),
+)
+
+MM_DBSIZE_SWEEP = SweepSpec(
+    key="mm-dbsize",
+    base=MAIN_MEMORY_BASE.replace(arrival_rate=10.0),
+    axis=tuple(float(size) for size in MM_DB_SIZES),
+    vary=lambda cfg, size: cfg.replace(db_size=int(size)),
+)
+
+DISK_DBSIZE_SWEEP = SweepSpec(
+    key="disk-dbsize",
+    base=DISK_BASE.replace(arrival_rate=4.0),
+    axis=tuple(float(size) for size in DISK_DB_SIZES),
+    vary=lambda cfg, size: cfg.replace(db_size=int(size)),
+)
+
+MM_WEIGHT_SWEEPS: dict[float, SweepSpec] = {
+    rate: SweepSpec(
+        key=f"mm-weight-{rate:g}",
+        base=MAIN_MEMORY_BASE.replace(arrival_rate=rate),
+        axis=PENALTY_WEIGHTS,
+        vary=lambda cfg, weight: cfg.replace(penalty_weight=weight),
+        policies=("CCA",),
     )
+    for rate in (5.0, 8.0)
+}
 
-
-def _disk_rate_sweep(scale: ExperimentScale) -> dict[float, dict[str, RunSummary]]:
-    return _cached_sweep(
-        "disk-rate",
-        scale,
-        DISK_BASE,
-        DISK_ARRIVAL_RATES,
-        lambda cfg, rate: cfg.replace(arrival_rate=rate),
-    )
-
-
-def _high_variance_sweep(
-    scale: ExperimentScale,
-) -> dict[float, dict[str, RunSummary]]:
-    base = MAIN_MEMORY_BASE.replace(update_time_classes=(0.4, 4.0, 40.0))
-    return _cached_sweep(
-        "mm-high-variance",
-        scale,
-        base,
-        HIGH_VARIANCE_RATES,
-        lambda cfg, rate: cfg.replace(arrival_rate=rate),
-    )
+DISK_WEIGHT_SWEEP = SweepSpec(
+    key="disk-weight",
+    base=DISK_BASE.replace(arrival_rate=4.0),
+    axis=PENALTY_WEIGHTS,
+    vary=lambda cfg, weight: cfg.replace(penalty_weight=weight),
+    policies=("CCA",),
+)
 
 
 def _improvement_series(
@@ -191,7 +248,7 @@ def table2(scale: Optional[ExperimentScale] = None) -> FigureResult:
 
 def fig4a(scale: ExperimentScale) -> FigureResult:
     """Figure 4a: miss percent of EDF-HP and CCA vs arrival rate."""
-    swept = _mm_rate_sweep(scale)
+    swept = MM_RATE_SWEEP.run(scale)
     return FigureResult(
         figure_id="fig4a",
         title="Miss percent of EDF, CCA (base parameters)",
@@ -207,7 +264,7 @@ def fig4a(scale: ExperimentScale) -> FigureResult:
 
 def fig4b(scale: ExperimentScale) -> FigureResult:
     """Figure 4b: improvement of CCA over EDF-HP (base parameters)."""
-    swept = _mm_rate_sweep(scale)
+    swept = MM_RATE_SWEEP.run(scale)
     return FigureResult(
         figure_id="fig4b",
         title="Improvement of CCA over EDF-HP (base parameters)",
@@ -223,7 +280,7 @@ def fig4b(scale: ExperimentScale) -> FigureResult:
 
 def fig4c(scale: ExperimentScale) -> FigureResult:
     """Figure 4c: restarts per transaction vs arrival rate."""
-    swept = _mm_rate_sweep(scale)
+    swept = MM_RATE_SWEEP.run(scale)
     return FigureResult(
         figure_id="fig4c",
         title="Restarts per transaction (base parameters)",
@@ -239,7 +296,7 @@ def fig4c(scale: ExperimentScale) -> FigureResult:
 
 def fig4d(scale: ExperimentScale) -> FigureResult:
     """Figure 4d: miss percent with high-variance update times."""
-    swept = _high_variance_sweep(scale)
+    swept = HIGH_VARIANCE_SWEEP.run(scale)
     return FigureResult(
         figure_id="fig4d",
         title="Miss percent, high variance (update time classes 0.4/4/40 ms)",
@@ -255,7 +312,7 @@ def fig4d(scale: ExperimentScale) -> FigureResult:
 
 def fig4e(scale: ExperimentScale) -> FigureResult:
     """Figure 4e: improvement of CCA, high-variance update times."""
-    swept = _high_variance_sweep(scale)
+    swept = HIGH_VARIANCE_SWEEP.run(scale)
     return FigureResult(
         figure_id="fig4e",
         title="Improvement of CCA over EDF-HP (high variance)",
@@ -271,13 +328,7 @@ def fig4e(scale: ExperimentScale) -> FigureResult:
 
 def fig4f(scale: ExperimentScale) -> FigureResult:
     """Figure 4f: effect of database size at arrival rate 10."""
-    swept = _cached_sweep(
-        "mm-dbsize",
-        scale,
-        MAIN_MEMORY_BASE.replace(arrival_rate=10.0),
-        tuple(float(size) for size in MM_DB_SIZES),
-        lambda cfg, size: cfg.replace(db_size=int(size)),
-    )
+    swept = MM_DBSIZE_SWEEP.run(scale)
     return FigureResult(
         figure_id="fig4f",
         title="Miss percent vs DB size (base parameters, arrival rate 10)",
@@ -299,15 +350,8 @@ def fig4f(scale: ExperimentScale) -> FigureResult:
 def fig5a(scale: ExperimentScale) -> FigureResult:
     """Figure 5a: effect of penalty weight (main memory, 5 and 8 TPS)."""
     series: dict[str, Series] = {}
-    for rate in (5.0, 8.0):
-        swept = _cached_sweep(
-            f"mm-weight-{rate:g}",
-            scale,
-            MAIN_MEMORY_BASE.replace(arrival_rate=rate),
-            PENALTY_WEIGHTS,
-            lambda cfg, weight: cfg.replace(penalty_weight=weight),
-            policies=("CCA",),
-        )
+    for rate, spec in sorted(MM_WEIGHT_SWEEPS.items()):
+        swept = spec.run(scale)
         series[f"{rate:g} TPS"] = [
             (w, swept[w]["CCA"].miss_percent.mean) for w in sorted(swept)
         ]
@@ -327,7 +371,7 @@ def fig5a(scale: ExperimentScale) -> FigureResult:
 
 def fig5b(scale: ExperimentScale) -> FigureResult:
     """Figure 5b: miss percent of EDF-HP and CCA (disk resident)."""
-    swept = _disk_rate_sweep(scale)
+    swept = DISK_RATE_SWEEP.run(scale)
     return FigureResult(
         figure_id="fig5b",
         title="Miss percent of EDF, CCA (disk resident, base parameters)",
@@ -340,7 +384,7 @@ def fig5b(scale: ExperimentScale) -> FigureResult:
 
 def fig5c(scale: ExperimentScale) -> FigureResult:
     """Figure 5c: restarts per transaction (disk resident)."""
-    swept = _disk_rate_sweep(scale)
+    swept = DISK_RATE_SWEEP.run(scale)
     return FigureResult(
         figure_id="fig5c",
         title="Restarts per transaction (disk resident, base parameters)",
@@ -357,7 +401,7 @@ def fig5c(scale: ExperimentScale) -> FigureResult:
 
 def fig5d(scale: ExperimentScale) -> FigureResult:
     """Figure 5d: improvement of CCA over EDF-HP (disk resident)."""
-    swept = _disk_rate_sweep(scale)
+    swept = DISK_RATE_SWEEP.run(scale)
     return FigureResult(
         figure_id="fig5d",
         title="Improvement of CCA over EDF-HP (disk resident)",
@@ -374,13 +418,7 @@ def fig5d(scale: ExperimentScale) -> FigureResult:
 
 def fig5e(scale: ExperimentScale) -> FigureResult:
     """Figure 5e: effect of database size (disk resident, rate 4)."""
-    swept = _cached_sweep(
-        "disk-dbsize",
-        scale,
-        DISK_BASE.replace(arrival_rate=4.0),
-        tuple(float(size) for size in DISK_DB_SIZES),
-        lambda cfg, size: cfg.replace(db_size=int(size)),
-    )
+    swept = DISK_DBSIZE_SWEEP.run(scale)
     return FigureResult(
         figure_id="fig5e",
         title="Miss percent vs DB size (disk resident, arrival rate 4)",
@@ -396,14 +434,7 @@ def fig5e(scale: ExperimentScale) -> FigureResult:
 
 def fig5f(scale: ExperimentScale) -> FigureResult:
     """Figure 5f: effect of penalty weight (disk resident, 4 TPS)."""
-    swept = _cached_sweep(
-        "disk-weight",
-        scale,
-        DISK_BASE.replace(arrival_rate=4.0),
-        PENALTY_WEIGHTS,
-        lambda cfg, weight: cfg.replace(penalty_weight=weight),
-        policies=("CCA",),
-    )
+    swept = DISK_WEIGHT_SWEEP.run(scale)
     series = {
         "4 TPS": [(w, swept[w]["CCA"].miss_percent.mean) for w in sorted(swept)]
     }
@@ -438,6 +469,41 @@ ALL_EXPERIMENTS: dict[str, Callable[[ExperimentScale], FigureResult]] = {
 }
 
 
+#: Registry: experiment id -> the sweeps it runs, in execution order.
+#: Tables carry no sweeps; fig5a runs one weight sweep per arrival rate.
+#: This is what lets observability tooling enumerate an experiment's
+#: cells (``repro trace``, run manifests) without executing it.
+FIGURE_SWEEPS: dict[str, tuple[SweepSpec, ...]] = {
+    "table1": (),
+    "table2": (),
+    "fig4a": (MM_RATE_SWEEP,),
+    "fig4b": (MM_RATE_SWEEP,),
+    "fig4c": (MM_RATE_SWEEP,),
+    "fig4d": (HIGH_VARIANCE_SWEEP,),
+    "fig4e": (HIGH_VARIANCE_SWEEP,),
+    "fig4f": (MM_DBSIZE_SWEEP,),
+    "fig5a": tuple(spec for _, spec in sorted(MM_WEIGHT_SWEEPS.items())),
+    "fig5b": (DISK_RATE_SWEEP,),
+    "fig5c": (DISK_RATE_SWEEP,),
+    "fig5d": (DISK_RATE_SWEEP,),
+    "fig5e": (DISK_DBSIZE_SWEEP,),
+    "fig5f": (DISK_WEIGHT_SWEEP,),
+}
+
+assert set(FIGURE_SWEEPS) == set(ALL_EXPERIMENTS)
+
+
+def experiment_cells(figure_id: str, scale: ExperimentScale) -> list[SweepCell]:
+    """Every cell the experiment would execute, across all its sweeps."""
+    try:
+        specs = FIGURE_SWEEPS[figure_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {figure_id!r}; known: {sorted(FIGURE_SWEEPS)}"
+        ) from None
+    return [cell for spec in specs for cell in spec.cells(scale)]
+
+
 def run_experiment(
     figure_id: str,
     scale: ExperimentScale,
@@ -445,14 +511,16 @@ def run_experiment(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     trace: Optional[parallel.TraceHook] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> FigureResult:
     """Run one experiment by its paper id (e.g. ``"fig4a"``).
 
-    ``jobs``/``cache``/``trace`` (when given) override the execution
-    defaults for the duration of this experiment, so its sweeps fan out
-    over worker processes and reuse the on-disk result cache.  Note the
-    in-process memo above still short-circuits repeated sweeps within a
-    session; :func:`clear_cache` resets it.
+    ``jobs``/``cache``/``trace``/``metrics`` (when given) override the
+    execution defaults for the duration of this experiment, so its
+    sweeps fan out over worker processes, reuse the on-disk result
+    cache, and feed the metrics registry.  Note the in-process memo
+    above still short-circuits repeated sweeps within a session;
+    :func:`clear_cache` resets it.
     """
     try:
         experiment = ALL_EXPERIMENTS[figure_id]
@@ -464,5 +532,6 @@ def run_experiment(
         jobs=jobs if jobs is not None else parallel.UNSET,
         cache=cache if cache is not None else parallel.UNSET,
         trace=trace if trace is not None else parallel.UNSET,
+        metrics=metrics if metrics is not None else parallel.UNSET,
     ):
         return experiment(scale)

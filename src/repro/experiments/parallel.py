@@ -34,6 +34,7 @@ from repro.config import SimulationConfig
 from repro.core.policy import make_policy
 from repro.core.simulator import RTDBSimulator, SimulationResult
 from repro.experiments.cache import ResultCache
+from repro.obs.registry import MetricsRegistry
 from repro.workload.generator import generate_workload
 
 TraceHook = Callable[..., None]
@@ -96,28 +97,54 @@ def simulate_cell(
     return RTDBSimulator(config, workload, policy).run()
 
 
+def simulate_cell_observed(
+    config: SimulationConfig, seed: int, policy_name: str
+) -> tuple[SimulationResult, float, dict]:
+    """Run one cell with a private metrics registry attached.
+
+    Returns ``(result, wall_ms, counter_deltas)`` where
+    ``counter_deltas`` is the cell's registry snapshot — the per-cell
+    delta a worker process ships back for the parent to merge.  Apart
+    from wall time the deltas are deterministic in the cell (simulated
+    time only), which is what makes parallel manifest counters equal
+    serial ones.
+    """
+    workload = generate_workload(config, seed)
+    policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
+    registry = MetricsRegistry()
+    started = time.perf_counter()
+    result = RTDBSimulator(config, workload, policy, metrics=registry).run()
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    return result, wall_ms, registry.snapshot()
+
+
 # ---------------------------------------------------------------------------
 # Execution defaults (entry points set once; sweeps inherit)
 # ---------------------------------------------------------------------------
 
 @dataclasses.dataclass
 class ExecutionDefaults:
-    """What ``jobs=None`` / ``cache=None`` / ``trace=None`` resolve to."""
+    """What ``jobs=None`` / ``cache=None`` / ``trace=None`` /
+    ``metrics=None`` resolve to."""
 
     jobs: Optional[int] = None
     cache: Optional[ResultCache] = None
     trace: Optional[TraceHook] = None
+    metrics: Optional[MetricsRegistry] = None
 
 
 _DEFAULTS = ExecutionDefaults()
 
 UNSET = object()
 """Sentinel distinguishing 'not passed' from an explicit ``None`` (which
-means *disable* for ``cache``/``trace``)."""
+means *disable* for ``cache``/``trace``/``metrics``)."""
 
 
 def configure(
-    jobs: object = UNSET, cache: object = UNSET, trace: object = UNSET
+    jobs: object = UNSET,
+    cache: object = UNSET,
+    trace: object = UNSET,
+    metrics: object = UNSET,
 ) -> None:
     """Set process-wide execution defaults (omitted fields keep theirs)."""
     if jobs is not UNSET:
@@ -126,23 +153,34 @@ def configure(
         _DEFAULTS.cache = cache  # type: ignore[assignment]
     if trace is not UNSET:
         _DEFAULTS.trace = trace  # type: ignore[assignment]
+    if metrics is not UNSET:
+        _DEFAULTS.metrics = metrics  # type: ignore[assignment]
 
 
 @contextlib.contextmanager
 def execution(
-    jobs: object = UNSET, cache: object = UNSET, trace: object = UNSET
+    jobs: object = UNSET,
+    cache: object = UNSET,
+    trace: object = UNSET,
+    metrics: object = UNSET,
 ) -> Iterator[None]:
     """Temporarily override execution defaults (nestable).
 
     Fields not passed inherit the surrounding defaults, so e.g. the CLI
-    can set ``jobs``/``cache`` once and swap only ``trace`` per figure.
+    can set ``jobs``/``cache`` once and swap only ``trace``/``metrics``
+    per figure.
     """
     saved = dataclasses.replace(_DEFAULTS)
     try:
-        configure(jobs=jobs, cache=cache, trace=trace)
+        configure(jobs=jobs, cache=cache, trace=trace, metrics=metrics)
         yield
     finally:
-        configure(jobs=saved.jobs, cache=saved.cache, trace=saved.trace)
+        configure(
+            jobs=saved.jobs,
+            cache=saved.cache,
+            trace=saved.trace,
+            metrics=saved.metrics,
+        )
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -166,6 +204,10 @@ def resolve_trace(trace: Optional[TraceHook]) -> Optional[TraceHook]:
     return trace if trace is not None else _DEFAULTS.trace
 
 
+def resolve_metrics(metrics: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    return metrics if metrics is not None else _DEFAULTS.metrics
+
+
 _LAST_STATS = SweepStats()
 
 
@@ -183,6 +225,7 @@ def execute_cells(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     trace: Optional[TraceHook] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> dict[CellKey, SimulationResult]:
     """Run every cell, in parallel where possible; results keyed and
     ordered by :data:`CellKey`.
@@ -191,11 +234,20 @@ def execute_cells(
     cells are stored back.  With ``jobs > 1`` the pending cells go to a
     process pool, but the returned mapping (and the trace stream) is
     sorted by cell key, so output never depends on completion order.
+
+    With ``metrics`` set (directly or via :func:`configure`), each
+    computed cell runs with a private registry and ships its counter
+    deltas back; the parent merges them **in cell-key order**, so the
+    merged counters are identical for serial and parallel runs of the
+    same cells (wall-time histograms aside).  Cached cells contribute no
+    simulator counters — they were never simulated — but are tallied in
+    ``sweep.cache_hits``.
     """
     global _LAST_STATS
     jobs = resolve_jobs(jobs)
     cache = resolve_cache(cache)
     trace = resolve_trace(trace)
+    metrics = resolve_metrics(metrics)
 
     ordered = sorted(cells, key=lambda cell: cell.key)
     if len({cell.key for cell in ordered}) != len(ordered):
@@ -221,25 +273,38 @@ def execute_cells(
             pending.append(cell)
 
     if pending:
+        worker = simulate_cell_observed if metrics is not None else simulate_cell
         if jobs > 1 and len(pending) > 1:
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
                 futures = [
-                    pool.submit(simulate_cell, cell.config, cell.seed, cell.policy)
+                    pool.submit(worker, cell.config, cell.seed, cell.policy)
                     for cell in pending
                 ]
                 computed = [future.result() for future in futures]
         else:
             computed = [
-                simulate_cell(cell.config, cell.seed, cell.policy)
-                for cell in pending
+                worker(cell.config, cell.seed, cell.policy) for cell in pending
             ]
-        for cell, result in zip(pending, computed):
+        # `pending` is in cell-key order (built from `ordered`), so the
+        # metric merges below happen in a deterministic order too.
+        for cell, outcome in zip(pending, computed):
+            if metrics is not None:
+                result, wall_ms, deltas = outcome
+                metrics.merge_snapshot(deltas)
+                metrics.histogram("sweep.cell_wall_ms").observe(wall_ms)
+            else:
+                result = outcome
             results[cell.key] = result
             stats.cells_run += 1
             if cache is not None:
                 cache.put(cell.config, cell.seed, cell.policy, result)
 
     stats.elapsed = time.perf_counter() - started
+    if metrics is not None:
+        metrics.counter("sweep.cells").inc(stats.cells_total)
+        metrics.counter("sweep.cells_run").inc(stats.cells_run)
+        metrics.counter("sweep.cache_hits").inc(stats.cache_hits)
+        metrics.gauge("sweep.jobs").set(jobs)
     merged = {cell.key: results[cell.key] for cell in ordered}
     if trace is not None:
         pending_keys = {cell.key for cell in pending}

@@ -33,6 +33,7 @@ from repro.experiments.parallel import (
     execute_cells,
     simulate_cell,
 )
+from repro.obs.registry import MetricsRegistry
 from repro.metrics.summary import RunSummary, summarize
 from repro.workload.generator import generate_workload
 
@@ -61,6 +62,7 @@ def run_policy(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     trace: Optional[TraceHook] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> list[SimulationResult]:
     """One result per seed for a single policy.
 
@@ -74,7 +76,9 @@ def run_policy(
             SweepCell(x=0.0, policy=canonical, seed=seed, config=config)
             for seed in seeds
         ]
-        results = execute_cells(cells, jobs=jobs, cache=cache, trace=trace)
+        results = execute_cells(
+            cells, jobs=jobs, cache=cache, trace=trace, metrics=metrics
+        )
         return [results[(0.0, canonical, seed)] for seed in seeds]
     factory = policy
     out = []
@@ -92,13 +96,17 @@ def compare_policies(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     trace: Optional[TraceHook] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> dict[str, RunSummary]:
     """Seed-averaged summaries for several policies on paired workloads.
 
     Each seed's workload is regenerated deterministically for every
     policy, so the comparison still isolates the scheduling decision.
     """
-    swept = sweep({0.0: config}, seeds, policies, jobs=jobs, cache=cache, trace=trace)
+    swept = sweep(
+        {0.0: config}, seeds, policies,
+        jobs=jobs, cache=cache, trace=trace, metrics=metrics,
+    )
     return swept[0.0]
 
 
@@ -110,6 +118,7 @@ def sweep(
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     trace: Optional[TraceHook] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> dict[float, dict[str, RunSummary]]:
     """Paired comparison at each point of a parameter axis.
 
@@ -124,7 +133,9 @@ def sweep(
         name: make_policy(name, penalty_weight=1.0).name for name in policies
     }
     cells = cells_for_sweep(configs, seeds, list(canonical.values()))
-    results = execute_cells(cells, jobs=jobs, cache=cache, trace=trace)
+    results = execute_cells(
+        cells, jobs=jobs, cache=cache, trace=trace, metrics=metrics
+    )
     out: dict[float, dict[str, RunSummary]] = {}
     for x in configs:
         out[x] = {

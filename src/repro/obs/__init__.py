@@ -1,0 +1,45 @@
+"""Observability: metrics registry, samplers, run manifests.
+
+The subsystem has three pieces, each usable alone:
+
+* :mod:`repro.obs.registry` — counters, gauges, fixed-bucket histograms
+  with deterministic snapshot/merge semantics;
+* :mod:`repro.obs.hooks` — bindings that feed the registry from the
+  simulator's hot path (:class:`SimulatorMetrics`) or from any trace
+  stream (:class:`MetricsTraceHook`);
+* :mod:`repro.obs.sampler` — clock-driven time series of scheduler
+  state (queue depths, CPU utilization, restarts in flight);
+* :mod:`repro.obs.manifest` — structured JSON provenance reports for
+  figure/sweep runs.
+
+See docs/OBSERVABILITY.md for the metrics catalog and manifest schema.
+"""
+
+from repro.obs.hooks import MetricsTraceHook, SimulatorMetrics, fanout, slack_band
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    load_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sampler import Sample, TimeSeriesSampler
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsTraceHook",
+    "Sample",
+    "SimulatorMetrics",
+    "TimeSeriesSampler",
+    "build_manifest",
+    "fanout",
+    "load_manifest",
+    "slack_band",
+    "validate_manifest",
+    "write_manifest",
+]

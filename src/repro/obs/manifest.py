@@ -1,0 +1,196 @@
+"""Run manifests: structured provenance for every figure/sweep run.
+
+A manifest is one JSON document answering "what produced these
+numbers?": the experiment id and scale, a content hash over every
+simulated cell's configuration, the seeds and policies, cache hit/miss
+counts, the per-cell wall-time histogram aggregated across worker
+processes, the full metrics-registry snapshot, the git revision, and a
+schema version.  ``repro <figure> --report [DIR]`` writes one per
+experiment (default directory: ``results/runs/``).
+
+The module is stdlib-only and takes *plain data* (canonical config
+dicts, registry snapshots), so any layer can build a manifest without
+import cycles.  :func:`validate_manifest` is the schema check CI runs
+against the smoke-test artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+#: Bump when the manifest document layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Document type marker, so a manifest is self-identifying.
+MANIFEST_KIND = "repro-run-manifest"
+
+#: Default output directory for manifests.
+DEFAULT_RUNS_DIR = Path("results") / "runs"
+
+#: Keys every valid manifest must carry, with their required types.
+_REQUIRED_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "schema": int,
+    "kind": str,
+    "experiment": str,
+    "scale": str,
+    "created_unix": (int, float),
+    "git_rev": (str, type(None)),
+    "config_hash": (str, type(None)),
+    "n_cells": int,
+    "seeds": list,
+    "policies": list,
+    "jobs": int,
+    "elapsed_s": (int, float),
+    "cache": dict,
+    "metrics": dict,
+}
+
+
+def git_rev(repo_root: Optional[Path] = None) -> Optional[str]:
+    """The current git commit hash, or ``None`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root or Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def config_hash(cells: Sequence[tuple[Mapping, int, str]]) -> Optional[str]:
+    """SHA-256 fingerprint over every cell's (config, seed, policy).
+
+    Cells are hashed in sorted serialized order, so the fingerprint is
+    independent of enumeration order; any change to any configuration
+    field, seed list, or policy set changes it.  ``None`` for runs with
+    no enumerable cells (the parameter tables).
+    """
+    if not cells:
+        return None
+    serialized = sorted(
+        json.dumps(
+            {"config": dict(config), "seed": seed, "policy": policy},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for config, seed, policy in cells
+    )
+    digest = hashlib.sha256()
+    for line in serialized:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def build_manifest(
+    experiment: str,
+    scale: str,
+    cells: Sequence[tuple[Mapping, int, str]],
+    metrics_snapshot: Mapping,
+    jobs: int = 1,
+    elapsed_s: float = 0.0,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
+    notes: str = "",
+) -> dict:
+    """Assemble a manifest document (JSON-ready dict).
+
+    ``cells`` holds (canonical config dict, seed, policy) triples — the
+    exact sweep the experiment enumerates; ``metrics_snapshot`` is a
+    :meth:`~repro.obs.registry.MetricsRegistry.snapshot`, which carries
+    the per-cell wall-time histogram (``sweep.cell_wall_ms``) merged
+    across worker processes.
+    """
+    histograms = metrics_snapshot.get("histograms", {})
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "kind": MANIFEST_KIND,
+        "experiment": experiment,
+        "scale": scale,
+        "created_unix": time.time(),
+        "git_rev": git_rev(),
+        "config_hash": config_hash(cells),
+        "n_cells": len(cells),
+        "seeds": sorted({seed for _, seed, _ in cells}),
+        "policies": sorted({policy for _, _, policy in cells}),
+        "jobs": jobs,
+        "elapsed_s": elapsed_s,
+        "cache": {"hits": cache_hits, "misses": cache_misses},
+        "cell_wall_ms": histograms.get("sweep.cell_wall_ms"),
+        "metrics": dict(metrics_snapshot),
+        "notes": notes,
+    }
+
+
+def manifest_filename(experiment: str, scale: str, created_unix: float) -> str:
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(created_unix))
+    return f"{experiment}-{scale}-{stamp}.json"
+
+
+def write_manifest(manifest: Mapping, directory: Optional[Path | str] = None) -> Path:
+    """Write a manifest under ``directory`` (default ``results/runs/``).
+
+    The timestamp in the filename has one-second resolution, so two runs
+    of the same experiment landing in the same second would collide; an
+    existing file is never overwritten — a ``-1``, ``-2``, … suffix is
+    appended instead.
+    """
+    directory = Path(directory) if directory is not None else DEFAULT_RUNS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / manifest_filename(
+        manifest["experiment"], manifest["scale"], manifest["created_unix"]
+    )
+    stem = path.stem
+    serial = 0
+    while path.exists():
+        serial += 1
+        path = path.with_name(f"{stem}-{serial}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(dict(manifest), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_manifest(path: Path | str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def validate_manifest(manifest: Mapping) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    for field, expected in _REQUIRED_FIELDS.items():
+        if field not in manifest:
+            problems.append(f"missing field {field!r}")
+            continue
+        if not isinstance(manifest[field], expected):
+            problems.append(
+                f"field {field!r} has type {type(manifest[field]).__name__}, "
+                f"expected {expected}"
+            )
+    if not problems:
+        if manifest["kind"] != MANIFEST_KIND:
+            problems.append(f"kind is {manifest['kind']!r}, not {MANIFEST_KIND!r}")
+        if manifest["schema"] != MANIFEST_SCHEMA_VERSION:
+            problems.append(
+                f"schema version {manifest['schema']} != {MANIFEST_SCHEMA_VERSION}"
+            )
+        cache = manifest["cache"]
+        for key in ("hits", "misses"):
+            if not isinstance(cache.get(key), int):
+                problems.append(f"cache.{key} missing or not an int")
+        for key in ("counters", "gauges", "histograms"):
+            if not isinstance(manifest["metrics"].get(key), dict):
+                problems.append(f"metrics.{key} missing or not a dict")
+    return problems

@@ -1,0 +1,258 @@
+"""A lightweight metrics registry: counters, gauges, histograms.
+
+The registry is the hub of the observability layer.  Instruments are
+created on first use and identified by a *series name* — a metric name
+plus optional sorted labels, rendered Prometheus-style::
+
+    registry = MetricsRegistry()
+    registry.counter("sim.preempts", policy="CCA").inc()
+    registry.histogram("sweep.cell_wall_ms").observe(12.5)
+    registry.snapshot()     # JSON-ready dict of everything observed
+
+Design constraints (see docs/OBSERVABILITY.md):
+
+* **Pay for what you use.**  Instrument handles are plain ``__slots__``
+  objects whose hot methods are a single add/compare; callers bind them
+  once and branch on ``None`` when observability is off, so an
+  uninstrumented run does no registry work at all.
+* **Deterministic, mergeable state.**  ``snapshot()`` produces a plain
+  sorted dict; :meth:`MetricsRegistry.merge_snapshot` folds one snapshot
+  into another registry by summing counters and histogram buckets.
+  Merging worker snapshots in a fixed (cell-key) order therefore yields
+  the same registry state as a serial run — the property the manifest
+  parity test in ``tests/obs/test_parity.py`` holds as an invariant.
+* **No dependencies.**  Pure stdlib; importable from every layer without
+  cycles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Mapping, Optional, Sequence
+
+#: Default histogram bucket upper bounds (milliseconds-friendly
+#: geometric 1-2.5-5 ladder spanning sub-ms to minutes).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0, 60000.0,
+)
+
+
+def series_name(name: str, labels: Mapping[str, object]) -> str:
+    """Canonical series id: ``name{k1=v1,k2=v2}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max and estimated
+    quantiles.
+
+    ``bounds`` are inclusive upper bucket edges; one implicit overflow
+    bucket catches everything above the last edge.  Quantiles are
+    estimated by linear interpolation inside the containing bucket and
+    clamped to the observed ``[min, max]`` — exact enough for p50/p95/p99
+    reporting without retaining samples.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        self.bounds: tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else DEFAULT_BUCKETS
+        )
+        if list(self.bounds) != sorted(self.bounds) or len(set(self.bounds)) != len(
+            self.bounds
+        ):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (q in [0, 1]) from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else min(self.minimum, 0.0)
+                upper = (
+                    self.bounds[index] if index < len(self.bounds) else self.maximum
+                )
+                fraction = (rank - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * max(0.0, min(1.0, fraction))
+                return max(self.minimum, min(self.maximum, estimate))
+            cumulative += bucket_count
+        return self.maximum
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+
+class MetricsRegistry:
+    """Creates, holds, snapshots, and merges instruments."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instrument factories (get-or-create) -----------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = series_name(name, labels)
+        instrument = self.counters.get(key)
+        if instrument is None:
+            instrument = self.counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = series_name(name, labels)
+        instrument = self.gauges.get(key)
+        if instrument is None:
+            instrument = self.gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = series_name(name, labels)
+        instrument = self.histograms.get(key)
+        if instrument is None:
+            instrument = self.histograms[key] = Histogram(buckets)
+        return instrument
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything observed, as a JSON-ready dict with sorted keys."""
+        return {
+            "counters": {
+                key: self.counters[key].value for key in sorted(self.counters)
+            },
+            "gauges": {key: self.gauges[key].value for key in sorted(self.gauges)},
+            "histograms": {
+                key: self._histogram_dict(self.histograms[key])
+                for key in sorted(self.histograms)
+            },
+        }
+
+    @staticmethod
+    def _histogram_dict(histogram: Histogram) -> dict:
+        empty = histogram.count == 0
+        return {
+            "bounds": list(histogram.bounds),
+            "bucket_counts": list(histogram.bucket_counts),
+            "count": histogram.count,
+            "total": histogram.total,
+            "min": None if empty else histogram.minimum,
+            "max": None if empty else histogram.maximum,
+            "mean": histogram.mean,
+            "p50": histogram.p50,
+            "p95": histogram.p95,
+            "p99": histogram.p99,
+        }
+
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last write wins).  Merging several snapshots in a fixed
+        order is associative on counters/histograms, which is what makes
+        parallel sweep counters reproduce serial ones.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self.counter(key).inc(value)
+        for key, value in snapshot.get("gauges", {}).items():
+            self.gauge(key).set(value)
+        for key, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(key, buckets=data["bounds"])
+            if list(histogram.bounds) != list(data["bounds"]):
+                raise ValueError(
+                    f"histogram {key!r} bucket bounds mismatch on merge"
+                )
+            for index, bucket_count in enumerate(data["bucket_counts"]):
+                histogram.bucket_counts[index] += bucket_count
+            histogram.count += data["count"]
+            histogram.total += data["total"]
+            if data["min"] is not None and data["min"] < histogram.minimum:
+                histogram.minimum = data["min"]
+            if data["max"] is not None and data["max"] > histogram.maximum:
+                histogram.maximum = data["max"]
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> str:
+        """A human-readable metric dump (one instrument per line)."""
+        lines: list[str] = []
+        for key in sorted(self.counters):
+            lines.append(f"{key} = {self.counters[key].value}")
+        for key in sorted(self.gauges):
+            lines.append(f"{key} = {self.gauges[key].value:g}")
+        for key in sorted(self.histograms):
+            histogram = self.histograms[key]
+            lines.append(
+                f"{key}: n={histogram.count} mean={histogram.mean:.3g} "
+                f"p50={histogram.p50:.3g} p95={histogram.p95:.3g} "
+                f"p99={histogram.p99:.3g}"
+            )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,0 +1,141 @@
+"""Time-series sampling of simulator state, driven by the sim clock.
+
+A :class:`TimeSeriesSampler` attaches to an
+:class:`~repro.core.simulator.RTDBSimulator` (pass it as the
+``sampler=`` constructor argument) and snapshots scheduler state every
+``interval`` simulated milliseconds: ready-queue length, lock-wait
+depth, IO-wait depth, P-list size, CPU utilization so far, and the
+cumulative restart/commit/drop counts.  Samples export to CSV or JSONL
+for plotting queue dynamics over a run::
+
+    sampler = TimeSeriesSampler(interval=100.0)
+    RTDBSimulator(config, workload, policy, sampler=sampler).run()
+    sampler.to_csv("queues.csv")
+
+Ticks are scheduled as **daemon events** on the simulation engine
+(:mod:`repro.sim.engine`): they fire while real work remains but never
+keep the event loop alive on their own, so sampling cannot extend a
+run's makespan or stop it from terminating.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.simulator import RTDBSimulator
+
+#: Column order of exported samples (matches the Sample fields).
+SAMPLE_FIELDS: tuple[str, ...] = (
+    "time",
+    "live",
+    "ready",
+    "running",
+    "lock_waiting",
+    "io_waiting",
+    "plist_size",
+    "cpu_utilization",
+    "restarts",
+    "committed",
+    "dropped",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Sample:
+    """One snapshot of scheduler state at a simulated instant."""
+
+    time: float
+    live: int
+    ready: int
+    running: int
+    lock_waiting: int
+    io_waiting: int
+    plist_size: int
+    cpu_utilization: float
+    restarts: int
+    committed: int
+    dropped: int
+
+
+class TimeSeriesSampler:
+    """Snapshots an attached simulator every ``interval`` simulated ms."""
+
+    def __init__(self, interval: float = 100.0) -> None:
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be > 0, got {interval}")
+        self.interval = interval
+        self.samples: list[Sample] = []
+        self._simulator: "RTDBSimulator | None" = None
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self.samples)
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, simulator: "RTDBSimulator") -> None:
+        """Start ticking on the simulator's engine (called by ``run()``)."""
+        if self._simulator is not None:
+            raise RuntimeError("a sampler attaches to exactly one simulator")
+        self._simulator = simulator
+        simulator.sim.schedule(
+            self.interval, self._tick, kind="obs_sample", daemon=True
+        )
+
+    def _tick(self, event) -> None:
+        simulator = self._simulator
+        assert simulator is not None
+        self.samples.append(self._snapshot(simulator))
+        simulator.sim.schedule(
+            self.interval, self._tick, kind="obs_sample", daemon=True
+        )
+
+    def _snapshot(self, simulator: "RTDBSimulator") -> Sample:
+        from repro.rtdb.transaction import TxState  # local: avoid cycle at import
+
+        states = [tx.state for tx in simulator.live.values()]
+        now = simulator.sim.now
+        return Sample(
+            time=now,
+            live=len(states),
+            ready=sum(1 for state in states if state is TxState.READY),
+            running=1 if simulator.running is not None else 0,
+            lock_waiting=sum(1 for state in states if state is TxState.LOCK_BLOCKED),
+            io_waiting=sum(1 for state in states if state is TxState.IO_WAIT),
+            plist_size=len(simulator._plist),
+            cpu_utilization=simulator.cpu.utilization(now),
+            restarts=simulator.total_restarts,
+            committed=len(simulator.records),
+            dropped=simulator.n_dropped,
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write samples as CSV (creating parent directories); returns path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(SAMPLE_FIELDS)
+            for sample in self.samples:
+                writer.writerow(
+                    [getattr(sample, field) for field in SAMPLE_FIELDS]
+                )
+        return path
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON object per sample; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            for sample in self.samples:
+                handle.write(json.dumps(dataclasses.asdict(sample)) + "\n")
+        return path

@@ -27,6 +27,7 @@ class EventCalendar:
         self._heap: list[Event] = []
         self._sequence = 0
         self._live = 0
+        self._live_required = 0
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) events."""
@@ -34,6 +35,11 @@ class EventCalendar:
 
     def __bool__(self) -> bool:
         return self._live > 0
+
+    @property
+    def required_count(self) -> int:
+        """Live non-daemon events — what keeps the engine's loop alive."""
+        return self._live_required
 
     def push(self, event: Event) -> Event:
         """Insert ``event`` and return it.
@@ -47,6 +53,8 @@ class EventCalendar:
         self._sequence += 1
         heapq.heappush(self._heap, event)
         self._live += 1
+        if not event.daemon:
+            self._live_required += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -58,6 +66,8 @@ class EventCalendar:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
                 self._live -= 1
+                if not event.daemon:
+                    self._live_required -= 1
                 return event
         return None
 
@@ -74,11 +84,14 @@ class EventCalendar:
         if not event.cancelled:
             event.cancelled = True
             self._live -= 1
+            if not event.daemon:
+                self._live_required -= 1
 
     def clear(self) -> None:
         """Discard every event."""
         self._heap.clear()
         self._live = 0
+        self._live_required = 0
 
     def __iter__(self) -> Iterator[Event]:
         """Iterate over live events in no particular order."""

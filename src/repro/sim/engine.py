@@ -43,11 +43,18 @@ class Simulator:
         callback: Callable[[Event], None],
         kind: str = "event",
         payload: Any = None,
+        daemon: bool = False,
     ) -> Event:
-        """Schedule ``callback`` to run ``delay`` time units from now."""
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        ``daemon`` events (e.g. observability samplers) fire normally
+        but do not keep :meth:`run` alive once all other events drain.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule with negative delay {delay}")
-        return self.schedule_at(self.now + delay, callback, kind=kind, payload=payload)
+        return self.schedule_at(
+            self.now + delay, callback, kind=kind, payload=payload, daemon=daemon
+        )
 
     def schedule_at(
         self,
@@ -55,13 +62,16 @@ class Simulator:
         callback: Callable[[Event], None],
         kind: str = "event",
         payload: Any = None,
+        daemon: bool = False,
     ) -> Event:
         """Schedule ``callback`` at absolute simulated ``time``."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
-        return self.calendar.push(Event(time, callback, kind=kind, payload=payload))
+        return self.calendar.push(
+            Event(time, callback, kind=kind, payload=payload, daemon=daemon)
+        )
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
@@ -91,6 +101,9 @@ class Simulator:
         ``until`` stops the loop once the next event would fire after that
         time (the clock is advanced to ``until``).  ``max_events`` bounds
         the number of callbacks fired, guarding against runaway loops.
+        The loop also stops when only daemon events remain — a
+        self-rescheduling sampler cannot keep a finished simulation
+        alive or advance its clock past the last real event.
         """
         if self._running:
             raise SimulationError("run() is not re-entrant")
@@ -98,6 +111,8 @@ class Simulator:
         fired = 0
         try:
             while True:
+                if self.calendar.required_count == 0:
+                    break
                 next_time = self.calendar.peek_time()
                 if next_time is None:
                     break

@@ -11,9 +11,15 @@ class Event:
     Events compare by ``(time, sequence)`` so the calendar is stable.
     ``payload`` carries arbitrary user data (typically the transaction the
     event concerns) and ``kind`` is a short label used for tracing.
+
+    ``daemon`` events (observability samplers, periodic probes) fire
+    like any other event but never keep the event loop alive: the engine
+    stops once only daemon events remain.
     """
 
-    __slots__ = ("time", "kind", "callback", "payload", "cancelled", "_sequence")
+    __slots__ = (
+        "time", "kind", "callback", "payload", "cancelled", "daemon", "_sequence"
+    )
 
     def __init__(
         self,
@@ -21,6 +27,7 @@ class Event:
         callback: Callable[["Event"], None],
         kind: str = "event",
         payload: Any = None,
+        daemon: bool = False,
     ) -> None:
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
@@ -29,6 +36,7 @@ class Event:
         self.callback = callback
         self.payload = payload
         self.cancelled = False
+        self.daemon = daemon
         self._sequence: Optional[int] = None
 
     def __lt__(self, other: "Event") -> bool:

@@ -28,6 +28,27 @@ from repro.rtdb.transaction import Transaction
 #: Event kinds that take the CPU away from the running transaction.
 _CPU_RELEASING = ("preempt", "commit", "io_start", "lock_wait", "drop")
 
+#: The trace event catalog: every event kind the single-CPU simulator
+#: emits, mapped to the fields each record carries (after the
+#: :class:`EventLog` flattens transactions to ids).  Hooks may rely on
+#: exactly these kinds and fields; ``tests/core/test_trace_schema.py``
+#: pins the catalog so instrumentation cannot silently drift.
+EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
+    "arrival": ("time", "tx"),
+    "dispatch": ("time", "tx"),
+    "preempt": ("time", "tx"),
+    "io_start": ("time", "tx"),
+    "io_complete": ("time", "tx"),
+    "io_stale": ("time", "tx"),
+    "lock_wait": ("time", "tx", "item", "holders"),
+    "lock_wake": ("time", "tx"),
+    "deadlock_break": ("time", "tx", "by"),
+    "decision": ("time", "tx", "node"),
+    "commit": ("time", "tx"),
+    "abort": ("time", "tx", "by", "cause"),
+    "drop": ("time", "tx"),
+}
+
 
 @dataclasses.dataclass(frozen=True)
 class CpuInterval:
@@ -118,12 +139,33 @@ class EventLog:
         """All events of one kind, in order."""
         return [event for event in self.events if event["event"] == name]
 
+    def kind_counts(self) -> dict[str, int]:
+        """Event count per kind, sorted by descending count then name."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            kind = event["event"]
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items(), key=lambda item: (-item[1], item[0])))
+
+    def kind_table(self) -> str:
+        """An aligned two-column table of event counts per kind."""
+        counts = self.kind_counts()
+        if not counts:
+            return "(no events recorded)"
+        width = max(len(kind) for kind in counts)
+        lines = [f"{'event'.ljust(width)}  count", f"{'-' * width}  -----"]
+        for kind, count in counts.items():
+            lines.append(f"{kind.ljust(width)}  {count:5d}")
+        return "\n".join(lines)
+
     def __iter__(self) -> Iterator[dict]:
         return iter(self.events)
 
     def to_jsonl(self, path: str | Path) -> Path:
-        """Write one JSON object per line; returns the path."""
+        """Write one JSON object per line (creating any missing parent
+        directories); returns the path."""
         path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w") as handle:
             for event in self.events:
                 handle.write(json.dumps(event) + "\n")
@@ -137,13 +179,17 @@ class EventLog:
         Works for the single-CPU simulator, where at most one
         transaction runs at a time: a ``dispatch`` opens an interval and
         the next CPU-releasing event of the same transaction (or the
-        next dispatch) closes it.
+        next dispatch) closes it.  An interval still open when the log
+        ends (the run finished while a transaction held the CPU) is
+        closed at the last event's timestamp.
         """
         intervals: list[CpuInterval] = []
         current: Optional[tuple[int, float]] = None
+        last_time = 0.0
         for event in self.events:
             kind = event["event"]
             time = event.get("time", 0.0)
+            last_time = max(last_time, time)
             if kind == "dispatch":
                 if current is not None and current[1] < time:
                     intervals.append(CpuInterval(current[0], current[1], time))
@@ -153,6 +199,8 @@ class EventLog:
                     if current[1] < time:
                         intervals.append(CpuInterval(current[0], current[1], time))
                     current = None
+        if current is not None and current[1] < last_time:
+            intervals.append(CpuInterval(current[0], current[1], last_time))
         return intervals
 
     def gantt(

@@ -1,0 +1,218 @@
+"""The trace event catalog: every kind the simulator emits, with the
+fields :data:`repro.tracing.EVENT_SCHEMA` documents.
+
+Hand-built scenarios steer the scheduler through every code path that
+traces — preemption, both abort causes, IO staleness, lock waits and
+wakes, wait-promote deadlock breaking, tree decision points, and firm
+drops — then every recorded event is checked field-for-field against
+the schema.  Instrumentation (metric hooks, the trace CLI) relies on
+exactly this catalog.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.policy import make_policy
+from repro.core.simulator import RTDBSimulator
+from repro.tracing import EVENT_SCHEMA, EventLog
+
+from tests.conftest import make_spec
+
+
+def mm_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        n_transaction_types=5,
+        updates_mean=3.0,
+        updates_std=1.0,
+        db_size=50,
+        abort_cost=4.0,
+        n_transactions=5,
+        arrival_rate=1.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def disk_config(**overrides) -> SimulationConfig:
+    return mm_config(
+        disk_resident=True,
+        disk_access_time=25.0,
+        disk_access_prob=0.5,
+        **overrides,
+    )
+
+
+def run(config, specs, policy_name="EDF-HP", **kwargs) -> EventLog:
+    log = EventLog()
+    policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
+    RTDBSimulator(config, specs, policy, trace=log, **kwargs).run()
+    return log
+
+
+def scenario_preempt_and_dispatch_abort() -> EventLog:
+    """A runs; urgent B preempts it (disjoint items), urgent C wounds a
+    conflicting holder at dispatch: preempt + abort(cause=dispatch)."""
+    specs = [
+        make_spec(1, [1, 2], arrival=0.0, deadline=500.0, compute=20.0),
+        make_spec(2, [8, 9], arrival=5.0, deadline=60.0, compute=10.0),
+        make_spec(3, [1, 5], arrival=10.0, deadline=90.0, compute=10.0),
+    ]
+    return run(mm_config(), specs)
+
+
+def scenario_lock_wait_and_wake() -> EventLog:
+    """A holds item 1 across a disk access; lower-priority B blocks on
+    it and is woken when A commits: lock_wait + lock_wake."""
+    specs = [
+        make_spec(1, [1, 2], arrival=0.0, deadline=300.0, compute=5.0,
+                  io_items=frozenset({1})),
+        make_spec(2, [1], arrival=2.0, deadline=800.0, compute=5.0),
+    ]
+    return run(disk_config(), specs)
+
+
+def scenario_io_stale() -> EventLog:
+    """Urgent B wounds A (eager HP, at B's dispatch) while A's disk
+    access is in flight; the completion arrives for a dead epoch:
+    abort(cause=dispatch) + io_stale."""
+    specs = [
+        make_spec(1, [1, 2], arrival=0.0, deadline=800.0, compute=5.0,
+                  io_items=frozenset({1})),
+        make_spec(2, [1], arrival=2.0, deadline=100.0, compute=5.0),
+    ]
+    return run(disk_config(), specs)
+
+
+def scenario_lock_abort() -> EventLog:
+    """Under lazy wounds (``eager_wounds=False``) conflicts resolve at
+    the lock request, not at dispatch: urgent B runs into A's held item
+    and wounds it there: abort(cause=lock)."""
+    specs = [
+        make_spec(1, [1, 2], arrival=0.0, deadline=900.0, compute=20.0),
+        make_spec(2, [1], arrival=5.0, deadline=100.0, compute=5.0),
+    ]
+    return run(mm_config(), specs, eager_wounds=False)
+
+
+def scenario_deadlock_break() -> EventLog:
+    """Classic crossed lock order under wait-promote: A takes 1 then
+    wants 2, B takes 2 then wants 1; the cycle is broken by wounding."""
+    specs = [
+        make_spec(1, [1, 2], arrival=0.0, deadline=900.0, compute=5.0,
+                  io_items=frozenset({1})),
+        make_spec(2, [2, 1], arrival=1.0, deadline=900.0, compute=5.0,
+                  io_items=frozenset({2})),
+    ]
+    return run(disk_config(), specs, policy_name="EDF-WP")
+
+
+def scenario_decision() -> EventLog:
+    """A tree transaction resolves a decision point mid-run."""
+    spec = make_spec(1, [1, 2, 3], deadline=500.0, compute=5.0)
+    spec = dataclasses.replace(spec, node_schedule=((1, "left"),))
+    return run(mm_config(), [spec])
+
+
+def scenario_drop() -> EventLog:
+    """Firm semantics kill a transaction that cannot make its deadline."""
+    spec = make_spec(1, [1, 2], deadline=10.0, compute=50.0)
+    return run(mm_config(firm_deadlines=True), [spec])
+
+
+SCENARIOS = (
+    scenario_preempt_and_dispatch_abort,
+    scenario_lock_wait_and_wake,
+    scenario_io_stale,
+    scenario_lock_abort,
+    scenario_deadlock_break,
+    scenario_decision,
+    scenario_drop,
+)
+
+
+@pytest.fixture(scope="module")
+def all_events() -> list[dict]:
+    events: list[dict] = []
+    for scenario in SCENARIOS:
+        events.extend(scenario())
+    return events
+
+
+class TestEventSchema:
+    def test_schema_covers_thirteen_kinds(self):
+        assert len(EVENT_SCHEMA) == 13
+
+    def test_scenarios_produce_every_kind(self, all_events):
+        seen = {event["event"] for event in all_events}
+        missing = set(EVENT_SCHEMA) - seen
+        assert not missing, f"no scenario produced: {sorted(missing)}"
+
+    def test_every_event_matches_its_schema(self, all_events):
+        for event in all_events:
+            kind = event["event"]
+            assert kind in EVENT_SCHEMA, f"undocumented event kind {kind!r}"
+            fields = set(event) - {"event"}
+            assert fields == set(EVENT_SCHEMA[kind]), (
+                f"{kind} fields {sorted(fields)} != "
+                f"documented {sorted(EVENT_SCHEMA[kind])}"
+            )
+
+    def test_every_event_is_timestamped_and_flat(self, all_events):
+        for event in all_events:
+            assert isinstance(event["time"], float)
+            for value in event.values():
+                assert not hasattr(value, "tid"), "unflattened transaction"
+
+
+class TestScenarioDetails:
+    def test_preempt_scenario(self):
+        log = scenario_preempt_and_dispatch_abort()
+        assert log.of("preempt")
+        aborts = log.of("abort")
+        assert aborts and all(a["cause"] == "dispatch" for a in aborts)
+
+    def test_lock_wait_records_item_and_holders(self):
+        log = scenario_lock_wait_and_wake()
+        waits = log.of("lock_wait")
+        assert waits
+        assert waits[0]["item"] == 1
+        assert waits[0]["holders"] == [1]
+        wakes = log.of("lock_wake")
+        assert wakes and wakes[0]["tx"] == 2
+
+    def test_io_stale_scenario(self):
+        log = scenario_io_stale()
+        aborts = log.of("abort")
+        assert aborts and aborts[0]["cause"] == "dispatch"
+        assert aborts[0]["tx"] == 1 and aborts[0]["by"] == 2
+        assert log.of("io_stale")
+
+    def test_lock_abort_scenario(self):
+        log = scenario_lock_abort()
+        aborts = log.of("abort")
+        assert aborts
+        assert aborts[0] == {
+            "event": "abort", "time": aborts[0]["time"],
+            "tx": 1, "by": 2, "cause": "lock",
+        }
+
+    def test_deadlock_break_scenario(self):
+        log = scenario_deadlock_break()
+        breaks = log.of("deadlock_break")
+        assert breaks
+        assert {breaks[0]["tx"], breaks[0]["by"]} == {1, 2}
+
+    def test_decision_scenario(self):
+        log = scenario_decision()
+        decisions = log.of("decision")
+        assert decisions == [
+            {"event": "decision", "time": decisions[0]["time"], "tx": 1,
+             "node": "left"}
+        ]
+
+    def test_drop_scenario(self):
+        log = scenario_drop()
+        drops = log.of("drop")
+        assert drops and drops[0]["tx"] == 1

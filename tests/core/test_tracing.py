@@ -104,6 +104,66 @@ class TestCpuIntervals:
             assert earlier.end <= later.start + 1e-9
 
 
+class TestTrailingInterval:
+    """Regression: a dispatch with no later CPU-releasing event used to
+    vanish from the reconstruction, understating CPU time for the
+    transaction holding the CPU when the log ends."""
+
+    def test_open_interval_closed_at_last_event(self):
+        log = EventLog()
+        log("dispatch", time=5.0, tx=1)
+        log("arrival", time=20.0, tx=2)  # log ends mid-execution
+        intervals = log.cpu_intervals()
+        assert len(intervals) == 1
+        assert intervals[0].tid == 1
+        assert intervals[0].start == pytest.approx(5.0)
+        assert intervals[0].end == pytest.approx(20.0)
+
+    def test_zero_length_trailing_interval_is_dropped(self):
+        log = EventLog()
+        log("dispatch", time=5.0, tx=1)
+        assert log.cpu_intervals() == []
+
+    def test_total_cpu_time_matches_utilization(self):
+        cfg = config(n_transactions=20, arrival_rate=10.0)
+        log = EventLog()
+        workload = generate_workload(cfg, seed=11)
+        result = RTDBSimulator(cfg, workload, EDFPolicy(), trace=log).run()
+        busy = sum(iv.duration for iv in log.cpu_intervals())
+        assert busy == pytest.approx(
+            result.cpu_utilization * result.makespan, rel=1e-6
+        )
+
+
+class TestKindCounts:
+    def test_counts_sorted_by_frequency(self):
+        log = EventLog()
+        specs = [
+            make_spec(1, [1], deadline=50.0, compute=10.0),
+            make_spec(2, [9], arrival=1.0, deadline=100.0, compute=10.0),
+        ]
+        RTDBSimulator(config(), specs, EDFPolicy(), trace=log).run()
+        counts = log.kind_counts()
+        assert counts["arrival"] == 2
+        assert list(counts.values()) == sorted(counts.values(), reverse=True)
+
+    def test_table_renders_counts(self):
+        log = EventLog()
+        log("dispatch", time=0.0, tx=1)
+        table = log.kind_table()
+        assert "dispatch" in table and "1" in table
+        assert EventLog().kind_table() == "(no events recorded)"
+
+
+class TestJsonlParents:
+    def test_missing_parent_directories_created(self, tmp_path):
+        log = EventLog()
+        log("dispatch", time=0.0, tx=1)
+        path = log.to_jsonl(tmp_path / "a" / "b" / "events.jsonl")
+        assert path.exists()
+        assert json.loads(path.read_text())["tx"] == 1
+
+
 class TestGantt:
     def test_renders_rows(self):
         log = EventLog()

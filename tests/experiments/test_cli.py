@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_trace_parser, main
 from repro.experiments.figures import clear_cache
+from repro.obs.manifest import load_manifest, validate_manifest
 
 
 @pytest.fixture(autouse=True)
@@ -82,3 +83,80 @@ class TestExecutionFlags:
         assert main(["fig5f", "--cache-dir", str(cache_dir)]) == 0
         second = capsys.readouterr().out
         assert "0 sims" in second
+
+
+class TestReport:
+    def test_report_writes_valid_manifest(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        runs = tmp_path / "runs"
+        assert main(["fig5f", "--report", str(runs)]) == 0
+        assert "wrote manifest" in capsys.readouterr().out
+        manifests = list(runs.glob("fig5f-quick-*.json"))
+        assert len(manifests) == 1
+        manifest = load_manifest(manifests[0])
+        assert validate_manifest(manifest) == []
+        assert manifest["experiment"] == "fig5f"
+        assert manifest["n_cells"] > 0
+        assert manifest["config_hash"]
+        assert manifest["cache"]["misses"] == manifest["n_cells"]
+        assert manifest["cell_wall_ms"]["count"] == manifest["n_cells"]
+        assert manifest["policies"] == ["CCA"]
+
+    def test_cached_rerun_manifest_counts_hits(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        runs = tmp_path / "runs"
+        assert main(["fig5f", "--report", str(runs)]) == 0
+        clear_cache()
+        assert main(["fig5f", "--report", str(runs)]) == 0
+        latest = max(runs.glob("fig5f-quick-*.json"), key=lambda p: p.stat().st_mtime)
+        manifest = load_manifest(latest)
+        assert manifest["cache"]["hits"] == manifest["n_cells"]
+        assert manifest["cache"]["misses"] == 0
+
+    def test_table_manifest_is_valid_without_cells(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        assert main(["table1", "--report", str(runs)]) == 0
+        manifest = load_manifest(next(runs.glob("table1-*.json")))
+        assert validate_manifest(manifest) == []
+        assert manifest["n_cells"] == 0
+        assert manifest["config_hash"] is None
+
+
+class TestTrace:
+    def test_trace_parser_rejects_tables(self):
+        with pytest.raises(SystemExit):
+            build_trace_parser().parse_args(["table1"])
+
+    def test_trace_prints_gantt_table_and_metrics(self, capsys):
+        assert main(["trace", "fig4a", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU schedule" in out
+        assert "event" in out and "count" in out
+        assert "sim.commits" in out
+        assert "policy=EDF-HP" in out
+
+    def test_trace_selects_requested_cell(self, capsys):
+        assert main(
+            ["trace", "fig4a", "--scale", "quick", "--cell", "2,3,CCA"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "x=2 seed=3 policy=CCA" in out
+
+    def test_trace_rejects_unknown_cell(self, capsys):
+        assert main(
+            ["trace", "fig4a", "--scale", "quick", "--cell", "99,1,CCA"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "x values" in err and "policies" in err
+
+    def test_trace_rejects_malformed_cell(self, capsys):
+        assert main(["trace", "fig4a", "--cell", "1,2"]) == 2
+        assert main(["trace", "fig4a", "--cell", "a,b,CCA"]) == 2
+
+    def test_trace_jsonl_export(self, tmp_path, capsys):
+        out_file = tmp_path / "events" / "cell.jsonl"
+        assert main(
+            ["trace", "fig5f", "--scale", "quick", "--jsonl", str(out_file)]
+        ) == 0
+        assert out_file.exists()
+        assert out_file.read_text().startswith("{")

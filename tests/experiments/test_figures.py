@@ -6,9 +6,12 @@ from repro.experiments.config import ExperimentScale
 from repro.experiments.figures import (
     ALL_EXPERIMENTS,
     DISK_ARRIVAL_RATES,
+    FIGURE_SWEEPS,
     MM_ARRIVAL_RATES,
+    MM_RATE_SWEEP,
     PENALTY_WEIGHTS,
     clear_cache,
+    experiment_cells,
     fig4a,
     fig4c,
     fig5a,
@@ -26,6 +29,38 @@ def fresh_cache():
     clear_cache()
     yield
     clear_cache()
+
+
+class TestSweepSpecs:
+    def test_every_experiment_declares_its_sweeps(self):
+        assert set(FIGURE_SWEEPS) == set(ALL_EXPERIMENTS)
+        assert FIGURE_SWEEPS["table1"] == ()
+        assert len(FIGURE_SWEEPS["fig5a"]) == 2  # one weight sweep per rate
+        # 4a/4b/4c share the literal same spec object (shared memo key).
+        assert FIGURE_SWEEPS["fig4b"][0] is FIGURE_SWEEPS["fig4a"][0]
+
+    def test_cells_enumerate_the_cross_product(self):
+        cells = MM_RATE_SWEEP.cells(TINY)
+        assert len(cells) == len(MM_ARRIVAL_RATES) * 2 * len(MM_RATE_SWEEP.seeds(TINY))
+        keys = {cell.key for cell in cells}
+        assert len(keys) == len(cells)
+        assert {cell.policy for cell in cells} == {"EDF-HP", "CCA"}
+        for cell in cells:
+            assert cell.config.arrival_rate == cell.x
+
+    def test_experiment_cells_concatenates_sweeps(self):
+        assert experiment_cells("table1", TINY) == []
+        fig5a_cells = experiment_cells("fig5a", TINY)
+        assert len(fig5a_cells) == 2 * len(PENALTY_WEIGHTS) * len(
+            FIGURE_SWEEPS["fig5a"][0].seeds(TINY)
+        )
+        with pytest.raises(KeyError):
+            experiment_cells("fig99", TINY)
+
+    def test_spec_run_matches_cells(self):
+        swept = MM_RATE_SWEEP.run(TINY)
+        assert set(swept) == set(MM_ARRIVAL_RATES)
+        assert set(swept[1.0]) == {"EDF-HP", "CCA"}
 
 
 class TestRegistry:

@@ -1,0 +1,158 @@
+"""Simulator-to-registry bridges: slack bands, instrument bundles,
+trace-hook counting, and fan-out."""
+
+from repro.config import SimulationConfig
+from repro.core.policy import CCAPolicy, EDFPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.obs.hooks import (
+    SLACK_BANDS,
+    MetricsTraceHook,
+    SimulatorMetrics,
+    fanout,
+    slack_band,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.tracing import EventLog
+from repro.workload.generator import generate_workload
+
+
+def config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        n_transaction_types=5,
+        updates_mean=4.0,
+        updates_std=2.0,
+        db_size=40,
+        abort_cost=4.0,
+        n_transactions=40,
+        arrival_rate=8.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestSlackBand:
+    def test_band_edges(self):
+        # slack = (deadline - arrival) / resource_time - 1
+        assert slack_band(0.0, 150.0, 100.0) == "tight"  # slack 0.5
+        assert slack_band(0.0, 300.0, 100.0) == "medium"  # slack 2.0
+        assert slack_band(0.0, 900.0, 100.0) == "loose"  # slack 8.0
+
+    def test_boundaries_go_to_upper_band(self):
+        assert slack_band(0.0, 200.0, 100.0) == "medium"  # slack exactly 1.0
+        assert slack_band(0.0, 500.0, 100.0) == "loose"  # slack exactly 4.0
+
+    def test_degenerate_resource_time_is_loose(self):
+        assert slack_band(0.0, 100.0, 0.0) == SLACK_BANDS[-1]
+
+
+class TestSimulatorMetrics:
+    def test_instruments_carry_policy_label(self):
+        registry = MetricsRegistry()
+        SimulatorMetrics(registry, "CCA")
+        assert "sim.dispatches{policy=CCA}" in registry.counters
+        assert "sim.aborts{cause=lock,policy=CCA}" in registry.counters
+        for band in SLACK_BANDS:
+            key = f"sim.deadline_misses_by_slack{{band={band},policy=CCA}}"
+            assert key in registry.counters
+
+    def test_deadline_miss_increments_total_and_band(self):
+        registry = MetricsRegistry()
+        metrics = SimulatorMetrics(registry, "CCA")
+        metrics.deadline_miss(0.0, 150.0, 100.0)  # tight
+        metrics.deadline_miss(0.0, 900.0, 100.0)  # loose
+        assert registry.counter("sim.deadline_misses", policy="CCA").value == 2
+        assert (
+            registry.counter(
+                "sim.deadline_misses_by_slack", policy="CCA", band="tight"
+            ).value
+            == 1
+        )
+        assert (
+            registry.counter(
+                "sim.deadline_misses_by_slack", policy="CCA", band="loose"
+            ).value
+            == 1
+        )
+
+    def test_simulator_feeds_registry(self):
+        cfg = config()
+        registry = MetricsRegistry()
+        workload = generate_workload(cfg, seed=3)
+        result = RTDBSimulator(
+            cfg, workload, EDFPolicy(), metrics=registry
+        ).run()
+        commits = registry.counter("sim.commits", policy="EDF-HP").value
+        dispatches = registry.counter("sim.dispatches", policy="EDF-HP").value
+        assert commits == result.n_committed
+        assert dispatches >= commits  # every commit needed >= 1 dispatch
+        aborts = (
+            registry.counter("sim.aborts", policy="EDF-HP", cause="dispatch").value
+            + registry.counter("sim.aborts", policy="EDF-HP", cause="lock").value
+        )
+        assert aborts == result.total_restarts
+        # Restart histogram saw one observation per commit.
+        restarts = registry.histogram(
+            "sim.restarts_at_commit", policy="EDF-HP"
+        )
+        assert restarts.count == result.n_committed
+
+    def test_miss_counters_match_result(self):
+        cfg = config(arrival_rate=12.0)
+        registry = MetricsRegistry()
+        workload = generate_workload(cfg, seed=5)
+        result = RTDBSimulator(
+            cfg, workload, EDFPolicy(), metrics=registry
+        ).run()
+        misses = registry.counter("sim.deadline_misses", policy="EDF-HP").value
+        assert misses == result.n_missed
+        by_band = sum(
+            registry.counter(
+                "sim.deadline_misses_by_slack", policy="EDF-HP", band=band
+            ).value
+            for band in SLACK_BANDS
+        )
+        assert by_band == misses
+
+    def test_cca_counts_penalty_evaluations(self):
+        cfg = config()
+        registry = MetricsRegistry()
+        workload = generate_workload(cfg, seed=3)
+        RTDBSimulator(
+            cfg, workload, CCAPolicy(penalty_weight=1.0), metrics=registry
+        ).run()
+        assert registry.counter("sim.penalty_evals", policy="CCA").value > 0
+
+    def test_metrics_do_not_change_results(self):
+        cfg = config()
+        workload = generate_workload(cfg, seed=9)
+        bare = RTDBSimulator(cfg, list(workload), EDFPolicy()).run()
+        observed = RTDBSimulator(
+            cfg, list(workload), EDFPolicy(), metrics=MetricsRegistry()
+        ).run()
+        assert bare == observed
+
+
+class TestMetricsTraceHook:
+    def test_counts_every_trace_event(self):
+        cfg = config(n_transactions=20)
+        registry = MetricsRegistry()
+        log = EventLog()
+        hook = fanout(log, MetricsTraceHook(registry))
+        RTDBSimulator(
+            cfg, generate_workload(cfg, seed=2), EDFPolicy(), trace=hook
+        ).run()
+        for kind, count in log.kind_counts().items():
+            assert registry.counter(f"trace.{kind}").value == count
+
+
+class TestFanout:
+    def test_forwards_to_all_hooks(self):
+        seen_a, seen_b = [], []
+        hook = fanout(
+            lambda name, **fields: seen_a.append((name, fields)),
+            None,
+            lambda name, **fields: seen_b.append((name, fields)),
+        )
+        hook("dispatch", tx=7)
+        assert seen_a == [("dispatch", {"tx": 7})]
+        assert seen_b == seen_a

@@ -1,0 +1,145 @@
+"""Run manifests: hashing, schema validation, round trips."""
+
+from repro.obs.manifest import (
+    MANIFEST_KIND,
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    config_hash,
+    load_manifest,
+    manifest_filename,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def triples(seed_count: int = 2) -> list[tuple[dict, int, str]]:
+    return [
+        ({"arrival_rate": 4.0, "db_size": 100}, seed, policy)
+        for seed in range(1, seed_count + 1)
+        for policy in ("EDF-HP", "CCA")
+    ]
+
+
+def registry_with_data() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("sim.commits", policy="CCA").inc(10)
+    registry.counter("sweep.cache_hits").inc(3)
+    registry.histogram("sweep.cell_wall_ms").observe(12.5)
+    return registry
+
+
+class TestConfigHash:
+    def test_stable_across_enumeration_order(self):
+        cells = triples()
+        assert config_hash(cells) == config_hash(list(reversed(cells)))
+
+    def test_sensitive_to_config_seed_and_policy(self):
+        base = triples()
+        assert config_hash(base) != config_hash(base[:-1])
+        changed = [({"arrival_rate": 5.0, "db_size": 100}, 1, "CCA")]
+        assert config_hash(changed) != config_hash(base[:1])
+        reseeded = [(base[0][0], 99, base[0][2])]
+        assert config_hash(reseeded) != config_hash(base[:1])
+
+    def test_empty_cells_hash_to_none(self):
+        assert config_hash([]) is None
+
+
+class TestBuildManifest:
+    def test_document_shape(self):
+        manifest = build_manifest(
+            experiment="fig4a",
+            scale="quick",
+            cells=triples(),
+            metrics_snapshot=registry_with_data().snapshot(),
+            jobs=4,
+            elapsed_s=1.5,
+            cache_hits=3,
+            cache_misses=1,
+        )
+        assert validate_manifest(manifest) == []
+        assert manifest["schema"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["kind"] == MANIFEST_KIND
+        assert manifest["n_cells"] == 4
+        assert manifest["seeds"] == [1, 2]
+        assert manifest["policies"] == ["CCA", "EDF-HP"]
+        assert manifest["cache"] == {"hits": 3, "misses": 1}
+        assert manifest["cell_wall_ms"]["count"] == 1
+
+    def test_table_manifest_has_no_hash(self):
+        manifest = build_manifest(
+            experiment="table1",
+            scale="quick",
+            cells=[],
+            metrics_snapshot=MetricsRegistry().snapshot(),
+        )
+        assert validate_manifest(manifest) == []
+        assert manifest["config_hash"] is None
+        assert manifest["cell_wall_ms"] is None
+
+
+class TestValidation:
+    def test_flags_missing_and_mistyped_fields(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        broken = dict(manifest)
+        del broken["config_hash"]
+        broken["jobs"] = "four"
+        problems = validate_manifest(broken)
+        assert any("config_hash" in problem for problem in problems)
+        assert any("jobs" in problem for problem in problems)
+
+    def test_flags_wrong_kind_and_schema(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        manifest["kind"] = "something-else"
+        assert validate_manifest(manifest)
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        manifest["schema"] = MANIFEST_SCHEMA_VERSION + 1
+        assert validate_manifest(manifest)
+
+    def test_flags_broken_metrics_block(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        manifest["metrics"] = {"counters": {}}
+        problems = validate_manifest(manifest)
+        assert any("gauges" in problem for problem in problems)
+
+
+class TestWriteAndLoad:
+    def test_round_trip(self, tmp_path):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        path = write_manifest(manifest, tmp_path / "runs")
+        assert path.parent == tmp_path / "runs"
+        loaded = load_manifest(path)
+        assert validate_manifest(loaded) == []
+        assert loaded["experiment"] == "fig4a"
+        assert loaded["config_hash"] == manifest["config_hash"]
+
+    def test_filename_carries_experiment_scale_stamp(self):
+        name = manifest_filename("fig5b", "full", 0.0)
+        assert name.startswith("fig5b-full-")
+        assert name.endswith(".json")
+
+    def test_same_second_runs_never_overwrite(self, tmp_path):
+        """The filename stamp has 1 s resolution; a second write in the
+        same second must pick a new name, not clobber the first."""
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        first = write_manifest(manifest, tmp_path)
+        second = write_manifest(manifest, tmp_path)
+        third = write_manifest(manifest, tmp_path)
+        assert len({first, second, third}) == 3
+        assert second.name == first.stem + "-1.json"
+        assert third.name == first.stem + "-2.json"
+        assert all(validate_manifest(load_manifest(p)) == []
+                   for p in (first, second, third))

@@ -1,0 +1,105 @@
+"""Serial/parallel/cached parity of sweep-level metrics.
+
+The executor promises that a registry fed by a parallel run holds the
+same counters as one fed by a serial run of the same cells — worker
+snapshots merge in cell-key order, never completion order.  Wall-clock
+series (``sweep.cell_wall_ms``) are the documented exception.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import SweepCell, execute_cells
+from repro.obs.registry import MetricsRegistry
+
+WALL_CLOCK_SERIES = ("sweep.cell_wall_ms",)
+
+
+def small_config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        n_transaction_types=5,
+        updates_mean=4.0,
+        updates_std=2.0,
+        db_size=40,
+        abort_cost=4.0,
+        n_transactions=30,
+        arrival_rate=8.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def cells() -> list[SweepCell]:
+    return [
+        SweepCell(x=rate, policy=policy, seed=seed, config=small_config(arrival_rate=rate))
+        for rate in (4.0, 8.0)
+        for policy in ("EDF-HP", "CCA")
+        for seed in (1, 2)
+    ]
+
+
+def deterministic_part(snapshot: dict) -> dict:
+    """A snapshot minus its wall-clock series and capacity gauges."""
+    return {
+        "counters": dict(snapshot["counters"]),
+        "histograms": {
+            key: data
+            for key, data in snapshot["histograms"].items()
+            if key not in WALL_CLOCK_SERIES
+        },
+    }
+
+
+class TestCounterParity:
+    def test_parallel_equals_serial(self):
+        serial = MetricsRegistry()
+        execute_cells(cells(), jobs=1, metrics=serial)
+        parallel_registry = MetricsRegistry()
+        execute_cells(cells(), jobs=2, metrics=parallel_registry)
+        assert deterministic_part(serial.snapshot()) == deterministic_part(
+            parallel_registry.snapshot()
+        )
+
+    def test_wall_histogram_has_one_sample_per_computed_cell(self):
+        registry = MetricsRegistry()
+        batch = cells()
+        execute_cells(batch, jobs=2, metrics=registry)
+        wall = registry.histogram("sweep.cell_wall_ms")
+        assert wall.count == len(batch)
+
+    def test_sweep_counters(self):
+        registry = MetricsRegistry()
+        batch = cells()
+        execute_cells(batch, jobs=1, metrics=registry)
+        assert registry.counter("sweep.cells").value == len(batch)
+        assert registry.counter("sweep.cells_run").value == len(batch)
+        assert registry.counter("sweep.cache_hits").value == 0
+
+    def test_cached_cells_contribute_no_sim_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        batch = cells()
+        cold = MetricsRegistry()
+        cold_results = execute_cells(batch, jobs=1, cache=cache, metrics=cold)
+        warm = MetricsRegistry()
+        warm_results = execute_cells(batch, jobs=1, cache=cache, metrics=warm)
+        assert warm_results == cold_results
+        assert warm.counter("sweep.cache_hits").value == len(batch)
+        assert warm.counter("sweep.cells_run").value == 0
+        # No cell simulated -> no simulator counters materialized.
+        assert not any(
+            key.startswith("sim.") for key in warm.snapshot()["counters"]
+        )
+
+    def test_results_identical_with_and_without_metrics(self):
+        bare = execute_cells(cells(), jobs=1)
+        observed = execute_cells(cells(), jobs=2, metrics=MetricsRegistry())
+        assert bare == observed
+
+    def test_per_policy_counters_isolated(self):
+        registry = MetricsRegistry()
+        execute_cells(cells(), jobs=1, metrics=registry)
+        counters = registry.snapshot()["counters"]
+        for policy in ("EDF-HP", "CCA"):
+            assert f"sim.commits{{policy={policy}}}" in counters
+            assert counters[f"sim.commits{{policy={policy}}}"] > 0

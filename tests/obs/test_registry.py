@@ -1,0 +1,177 @@
+"""Metrics registry: instruments, snapshots, deterministic merging."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    series_name,
+)
+
+
+class TestSeriesName:
+    def test_bare_name_without_labels(self):
+        assert series_name("sim.commits", {}) == "sim.commits"
+
+    def test_labels_sorted_into_braces(self):
+        name = series_name("sim.aborts", {"policy": "CCA", "cause": "lock"})
+        assert name == "sim.aborts{cause=lock,policy=CCA}"
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", policy="CCA", cause="lock")
+        b = registry.counter("m", cause="lock", policy="CCA")
+        assert a is b
+
+
+class TestCounterAndGauge:
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sim.commits", policy="EDF-HP")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("sim.commits", policy="EDF-HP").value == 5
+        # A different label set is a different series.
+        assert registry.counter("sim.commits", policy="CCA").value == 0
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("sweep.jobs").set(4)
+        registry.gauge("sweep.jobs").set(2)
+        assert registry.gauge("sweep.jobs").value == 2
+
+
+class TestHistogram:
+    def test_default_buckets(self):
+        histogram = Histogram()
+        assert histogram.bounds == DEFAULT_BUCKETS
+        assert len(histogram.bucket_counts) == len(DEFAULT_BUCKETS) + 1
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_observe_updates_aggregates(self):
+        histogram = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == pytest.approx(555.5)
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 500.0
+        assert histogram.mean == pytest.approx(555.5 / 4)
+        # One value per bucket, including the overflow bucket.
+        assert histogram.bucket_counts == [1, 1, 1, 1]
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = Histogram(bounds=(10.0, 20.0))
+        for _ in range(100):
+            histogram.observe(15.0)
+        assert histogram.quantile(0.0) == 10.0 or histogram.quantile(0.0) >= 10.0
+        assert 10.0 <= histogram.p50 <= 20.0
+        assert histogram.p99 <= histogram.maximum
+        assert histogram.quantile(1.0) == histogram.maximum
+
+    def test_quantile_ordering(self):
+        histogram = Histogram()
+        for value in range(1, 1001):
+            histogram.observe(float(value))
+        assert histogram.p50 <= histogram.p95 <= histogram.p99
+        # p50 of uniform 1..1000 should land broadly mid-range.
+        assert 250.0 <= histogram.p50 <= 750.0
+
+    def test_empty_histogram_is_quiet(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        assert histogram.p50 == 0.0
+
+    def test_quantile_range_check(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_is_json_ready_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert list(snapshot["counters"]) == ["a", "b"]
+        data = snapshot["histograms"]["h"]
+        assert data["count"] == 1
+        assert data["min"] == data["max"] == 3.0
+
+    def test_empty_histogram_snapshot_has_null_extremes(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        data = registry.snapshot()["histograms"]["h"]
+        assert data["min"] is None and data["max"] is None
+
+    def test_merge_sums_counters_and_buckets(self):
+        parts = [MetricsRegistry() for _ in range(3)]
+        whole = MetricsRegistry()
+        for index, part in enumerate(parts):
+            for registry in (part, whole):
+                registry.counter("c", policy="CCA").inc(index + 1)
+                registry.histogram("h").observe(10.0 * (index + 1))
+                registry.gauge("g").set(index)
+
+        merged = MetricsRegistry()
+        for part in parts:
+            merged.merge_snapshot(part.snapshot())
+        assert merged.snapshot() == whole.snapshot()
+
+    def test_merge_order_independent_for_counters(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(1)
+        a.histogram("h").observe(5.0)
+        b = MetricsRegistry()
+        b.counter("c").inc(10)
+        b.histogram("h").observe(50.0)
+
+        forward = MetricsRegistry()
+        forward.merge_snapshot(a.snapshot())
+        forward.merge_snapshot(b.snapshot())
+        backward = MetricsRegistry()
+        backward.merge_snapshot(b.snapshot())
+        backward.merge_snapshot(a.snapshot())
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_rejects_mismatched_bucket_bounds(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(10.0, 20.0)).observe(15.0)
+        with pytest.raises(ValueError, match="bounds mismatch"):
+            target.merge_snapshot(source.snapshot())
+
+    def test_merge_into_empty_registry_round_trips(self):
+        source = MetricsRegistry()
+        source.counter("sim.commits", policy="CCA").inc(7)
+        source.histogram("sim.noncontributing_ms", policy="CCA").observe(12.0)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+
+class TestSummary:
+    def test_summary_lists_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(2.0)
+        text = registry.summary()
+        assert "c = 3" in text
+        assert "g = 1" in text
+        assert "h: n=1" in text
+
+    def test_empty_registry_summary(self):
+        assert MetricsRegistry().summary() == "(no metrics recorded)"

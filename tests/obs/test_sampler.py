@@ -1,0 +1,101 @@
+"""Time-series sampler: daemon ticking, snapshots, export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.policy import EDFPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.obs.sampler import SAMPLE_FIELDS, TimeSeriesSampler
+from repro.workload.generator import generate_workload
+
+
+def config(**overrides) -> SimulationConfig:
+    defaults = dict(
+        n_transaction_types=5,
+        updates_mean=4.0,
+        updates_std=2.0,
+        db_size=40,
+        abort_cost=4.0,
+        n_transactions=40,
+        arrival_rate=8.0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def run_sampled(interval: float = 50.0, seed: int = 3):
+    cfg = config()
+    sampler = TimeSeriesSampler(interval=interval)
+    result = RTDBSimulator(
+        cfg, generate_workload(cfg, seed), EDFPolicy(), sampler=sampler
+    ).run()
+    return sampler, result
+
+
+class TestSampling:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(interval=0.0)
+
+    def test_samples_land_on_the_interval_grid(self):
+        sampler, result = run_sampled(interval=50.0)
+        assert len(sampler) > 0
+        for index, sample in enumerate(sampler):
+            assert sample.time == pytest.approx(50.0 * (index + 1))
+
+    def test_daemon_ticks_never_extend_the_run(self):
+        cfg = config()
+        workload = generate_workload(cfg, seed=3)
+        bare = RTDBSimulator(cfg, list(workload), EDFPolicy()).run()
+        sampler = TimeSeriesSampler(interval=50.0)
+        sampled = RTDBSimulator(
+            cfg, list(workload), EDFPolicy(), sampler=sampler
+        ).run()
+        assert sampled == bare
+        assert all(sample.time <= bare.makespan for sample in sampler)
+
+    def test_snapshot_fields_are_consistent(self):
+        sampler, result = run_sampled()
+        for sample in sampler:
+            waiting = sample.ready + sample.lock_waiting + sample.io_waiting
+            assert sample.live >= waiting
+            assert sample.running in (0, 1)
+            assert 0.0 <= sample.cpu_utilization <= 1.0
+            assert sample.committed <= result.n_committed
+        # Cumulative series never decrease.
+        for earlier, later in zip(sampler.samples, sampler.samples[1:]):
+            assert later.committed >= earlier.committed
+            assert later.restarts >= earlier.restarts
+
+    def test_attach_is_single_use(self):
+        cfg = config(n_transactions=5)
+        sampler = TimeSeriesSampler()
+        RTDBSimulator(
+            cfg, generate_workload(cfg, 1), EDFPolicy(), sampler=sampler
+        ).run()
+        with pytest.raises(RuntimeError):
+            RTDBSimulator(
+                cfg, generate_workload(cfg, 2), EDFPolicy(), sampler=sampler
+            ).run()
+
+
+class TestExport:
+    def test_csv_roundtrip_creates_parents(self, tmp_path):
+        sampler, _ = run_sampled()
+        path = sampler.to_csv(tmp_path / "deep" / "nested" / "queues.csv")
+        assert path.exists()
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(SAMPLE_FIELDS)
+        assert len(rows) == len(sampler) + 1
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        sampler, _ = run_sampled()
+        path = sampler.to_jsonl(tmp_path / "sub" / "queues.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(sampler)
+        first = json.loads(lines[0])
+        assert set(first) == set(SAMPLE_FIELDS)

@@ -33,10 +33,16 @@ class TestReadme:
     def test_cli_examples_use_real_experiment_ids(self, readme):
         from repro.cli import ALL_RUNNABLE
 
-        for match in re.findall(r"python -m repro (\S+)", readme):
-            if match in ("all", "validate"):
+        for match in re.findall(r"python -m repro (\S+)(?: (\S+))?", readme):
+            first, second = match
+            if first in ("all", "validate"):
                 continue
-            assert match in ALL_RUNNABLE, f"README references unknown id {match}"
+            if first == "trace":  # `repro trace <experiment> ...`
+                assert second in ALL_RUNNABLE, (
+                    f"README traces unknown id {second}"
+                )
+                continue
+            assert first in ALL_RUNNABLE, f"README references unknown id {first}"
 
 
 class TestPackageDocstrings:
