@@ -35,7 +35,7 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.experiments import parallel
+from repro.experiments import faults, parallel
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import ExperimentScale
 from repro.experiments.extensions import EXTENSION_EXPERIMENTS
@@ -121,8 +121,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help=(
             "write a run manifest (config hash, seeds, cache counters, "
-            "wall-time histogram, metric snapshot) per experiment under "
-            f"DIR (default: {DEFAULT_RUNS_DIR})"
+            "wall-time histogram, metric snapshot, failures) per "
+            f"experiment under DIR (default: {DEFAULT_RUNS_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=sorted(parallel.ON_ERROR_MODES),
+        default="fail",
+        help=(
+            "what a crashed/hung sweep cell does to the sweep: abort it "
+            "(fail, default), retry the cell with backoff (retry), or "
+            "drop it after retries (skip; exits nonzero if any cell was "
+            "dropped); completed cells are always checkpointed to the "
+            "cache, so re-running resumes where the sweep stopped"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "attempts per cell under --on-error retry/skip (default: 3)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-cell wall-clock budget: parallel workers are abandoned "
+            "after it, and the simulation engine's wall-clock guard "
+            "terminates livelocked cells in any mode (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject deterministic worker faults for chaos testing, e.g. "
+            "'crash=0.3,hang=0.1,seed=42' (also via $REPRO_FAULTS; see "
+            "docs/ROBUSTNESS.md)"
         ),
     )
     return parser
@@ -159,6 +201,7 @@ def _write_report(
     report_dir: Path,
     jobs: int,
     elapsed: float,
+    failures: Sequence[parallel.CellFailure] = (),
     notes: str = "",
 ) -> Path:
     manifest = build_manifest(
@@ -170,9 +213,30 @@ def _write_report(
         elapsed_s=elapsed,
         cache_hits=int(registry.counter("sweep.cache_hits").value),
         cache_misses=int(registry.counter("sweep.cells_run").value),
+        failures=[failure.to_dict() for failure in failures],
         notes=notes,
     )
     return write_manifest(manifest, report_dir)
+
+
+def _failure_summary(
+    figure_id: str, failures: Sequence[parallel.CellFailure]
+) -> str:
+    """One line per troubled cell, prefixed by an aggregate count."""
+    dropped = [failure for failure in failures if not failure.recovered]
+    lines = [
+        f"[{figure_id} failures: {len(failures)} cell(s) faulted, "
+        f"{len(dropped)} dropped]"
+    ]
+    for failure in failures:
+        x, policy, seed = failure.key
+        outcome = "recovered" if failure.recovered else "DROPPED"
+        lines.append(
+            f"  cell x={x:g} policy={policy} seed={seed}: "
+            f"{failure.exception} after {failure.attempts} attempt(s) "
+            f"({outcome})"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -185,72 +249,134 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     scale = _resolve_scale(args.scale)
 
+    try:
+        retry = parallel.RetryPolicy(
+            on_error=args.on_error,
+            max_attempts=args.retries,
+            timeout=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    installed_faults = False
+    if args.faults is not None:
+        try:
+            faults.install(faults.parse_spec(args.faults))
+        except ValueError as exc:
+            print(f"error: --faults: {exc}", file=sys.stderr)
+            return 2
+        installed_faults = True
+
     cache: Optional[ResultCache] = None
     if args.cache or args.cache_dir is not None:
         cache = ResultCache(args.cache_dir)
 
-    with parallel.execution(jobs=args.jobs, cache=cache):
-        if args.experiment == "validate":
-            from repro.experiments.validation import render_report, validate_all
+    try:
+        with parallel.execution(jobs=args.jobs, cache=cache, retry=retry):
+            return _run_experiments(args, scale)
+    finally:
+        if installed_faults:
+            faults.install(None)
 
-            started = time.time()
-            counters = TraceCounters()
-            registry = MetricsRegistry() if args.report is not None else None
-            with parallel.execution(
-                trace=counters,
-                metrics=registry if registry is not None else parallel.UNSET,
-            ):
-                checks = validate_all(scale)
-            print(render_report(checks))
-            elapsed = time.time() - started
-            print(f"[validated in {elapsed:.1f}s at scale={scale.name}]")
-            if counters.count("sweep_end"):
-                print(f"[validate sweeps: {counters.sweep_summary()}]")
-            if registry is not None:
-                path = _write_report(
-                    "validate",
-                    scale,
-                    registry,
-                    args.report,
-                    jobs=parallel.resolve_jobs(args.jobs),
-                    elapsed=elapsed,
-                    notes="aggregate over every figure's validation sweeps",
-                )
-                print(f"wrote manifest {path}")
-            return 0 if all(check.passed for check in checks) else 1
 
-        ids = (
-            sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-        )
-        for figure_id in ids:
-            started = time.time()
-            counters = TraceCounters()
-            registry = MetricsRegistry() if args.report is not None else None
+def _run_experiments(args, scale: ExperimentScale) -> int:
+    parallel.take_failures()  # drop records left over from earlier calls
+    if args.experiment == "validate":
+        from repro.experiments.validation import render_report, validate_all
+
+        started = time.time()
+        counters = TraceCounters()
+        registry = MetricsRegistry() if args.report is not None else None
+        with parallel.execution(
+            trace=counters,
+            metrics=registry if registry is not None else parallel.UNSET,
+        ):
+            checks = validate_all(scale)
+        failures = parallel.take_failures()
+        print(render_report(checks))
+        elapsed = time.time() - started
+        print(f"[validated in {elapsed:.1f}s at scale={scale.name}]")
+        if counters.count("sweep_end"):
+            print(f"[validate sweeps: {counters.sweep_summary()}]")
+        if failures:
+            print(_failure_summary("validate", failures))
+        if registry is not None:
+            path = _write_report(
+                "validate",
+                scale,
+                registry,
+                args.report,
+                jobs=parallel.resolve_jobs(args.jobs),
+                elapsed=elapsed,
+                failures=failures,
+                notes="aggregate over every figure's validation sweeps",
+            )
+            print(f"wrote manifest {path}")
+        dropped = any(not failure.recovered for failure in failures)
+        return 0 if all(check.passed for check in checks) and not dropped else 1
+
+    ids = (
+        sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    any_dropped = False
+    for figure_id in ids:
+        started = time.time()
+        counters = TraceCounters()
+        registry = MetricsRegistry() if args.report is not None else None
+        try:
             with parallel.execution(
                 trace=counters,
                 metrics=registry if registry is not None else parallel.UNSET,
             ):
                 result = ALL_RUNNABLE[figure_id](scale)
-            print(render_figure(result))
-            elapsed = time.time() - started
-            print(f"[{figure_id} done in {elapsed:.1f}s at scale={scale.name}]")
-            if counters.count("sweep_end"):
-                print(f"[{figure_id} sweeps: {counters.sweep_summary()}]")
-            if registry is not None:
-                path = _write_report(
-                    figure_id,
-                    scale,
-                    registry,
-                    args.report,
-                    jobs=parallel.resolve_jobs(args.jobs),
-                    elapsed=elapsed,
-                )
-                print(f"wrote manifest {path}")
-            print()
-            if args.csv is not None:
-                path = write_csv(result, args.csv)
-                print(f"wrote {path}")
-    return 0
+        except parallel.SweepError as exc:
+            failures = parallel.take_failures()
+            print(f"error: {figure_id} aborted: {exc}", file=sys.stderr)
+            if failures:
+                print(_failure_summary(figure_id, failures), file=sys.stderr)
+            print(
+                "completed cells are checkpointed in the result cache; "
+                "re-run to resume (see --on-error retry/skip)",
+                file=sys.stderr,
+            )
+            return 1
+        except KeyboardInterrupt:
+            print(
+                f"\ninterrupted during {figure_id}; completed cells are "
+                "checkpointed in the result cache — re-run to resume",
+                file=sys.stderr,
+            )
+            return 130
+        failures = parallel.take_failures()
+        print(render_figure(result))
+        elapsed = time.time() - started
+        print(f"[{figure_id} done in {elapsed:.1f}s at scale={scale.name}]")
+        if counters.count("sweep_end"):
+            print(f"[{figure_id} sweeps: {counters.sweep_summary()}]")
+        if failures:
+            print(_failure_summary(figure_id, failures))
+            any_dropped = any_dropped or any(
+                not failure.recovered for failure in failures
+            )
+        if registry is not None:
+            path = _write_report(
+                figure_id,
+                scale,
+                registry,
+                args.report,
+                jobs=parallel.resolve_jobs(args.jobs),
+                elapsed=elapsed,
+                failures=failures,
+            )
+            print(f"wrote manifest {path}")
+        print()
+        if args.csv is not None:
+            path = write_csv(result, args.csv)
+            print(f"wrote {path}")
+    # Dropped cells mean the figures above are incomplete: make the run
+    # fail loudly even though each surviving series rendered fine.
+    return 1 if any_dropped else 0
 
 
 # ---------------------------------------------------------------------------

@@ -216,6 +216,15 @@ class RTDBSimulator:
         docstring).
     trace:
         Optional hook for schedule-level tests.
+    max_events:
+        Event-budget guard; defaults to ``5000 * len(workload)``.  A run
+        exceeding it raises
+        :class:`~repro.sim.engine.EventBudgetExceeded`.
+    max_wall_s:
+        Real-time budget for ``run()``; ``None`` (default) means
+        unbounded.  A livelocked simulation exceeding it raises
+        :class:`~repro.sim.engine.WallClockExceeded`, which the sweep
+        executor turns into a per-cell timeout failure.
     metrics:
         Optional :class:`~repro.obs.registry.MetricsRegistry`; when set,
         the simulator feeds per-policy scheduler counters (preemptions,
@@ -240,6 +249,7 @@ class RTDBSimulator:
         eager_wounds: bool = True,
         trace: Optional[TraceHook] = None,
         max_events: Optional[int] = None,
+        max_wall_s: Optional[float] = None,
         metrics: Optional["MetricsRegistry"] = None,
         sampler: Optional["TimeSeriesSampler"] = None,
     ) -> None:
@@ -279,6 +289,7 @@ class RTDBSimulator:
         self.max_events = (
             max_events if max_events is not None else 5000 * len(workload)
         )
+        self.max_wall_s = max_wall_s
 
         self.sim = Simulator()
         self.lockmgr = LockManager()
@@ -337,7 +348,7 @@ class RTDBSimulator:
                     kind="firm_deadline",
                     payload=spec.tid,
                 )
-        self.sim.run(max_events=self.max_events)
+        self.sim.run(max_events=self.max_events, max_wall_s=self.max_wall_s)
         self._finished = True
         if self.live:
             stuck = sorted(self.live)

@@ -27,7 +27,10 @@ from repro.experiments.config import (
     ExperimentScale,
 )
 from repro.experiments.parallel import (
+    CellFailure,
+    RetryPolicy,
     SweepCell,
+    SweepError,
     SweepStats,
     execute_cells,
     simulate_cell,
@@ -42,6 +45,7 @@ from repro.experiments.report import render_figure, write_csv
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "CellFailure",
     "DISK_BASE",
     "DISK_SEEDS",
     "ExperimentScale",
@@ -49,7 +53,9 @@ __all__ = [
     "MAIN_MEMORY_BASE",
     "MAIN_MEMORY_SEEDS",
     "ResultCache",
+    "RetryPolicy",
     "SweepCell",
+    "SweepError",
     "SweepStats",
     "cache_key",
     "compare_policies",

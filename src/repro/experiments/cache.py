@@ -142,6 +142,9 @@ class CacheCounters:
     stores: int = 0
     discarded: int = 0
     """Entries found corrupt/stale and thrown away (counted as misses too)."""
+    put_errors: int = 0
+    """Failed :meth:`ResultCache.safe_put` writes (disk full, read-only
+    cache dir, ...); the first one disables further writes."""
 
 
 class ResultCache:
@@ -149,12 +152,17 @@ class ResultCache:
 
     ``get`` never raises on bad entries: unreadable, truncated, or
     schema-mismatched files are deleted (best effort) and reported as
-    misses, so a corrupted cache only costs recomputation.
+    misses, so a corrupted cache only costs recomputation.  ``safe_put``
+    never raises on write errors: a full disk or read-only cache
+    directory costs the cache, not the sweep.
     """
 
     def __init__(self, root: Optional[Path | str] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.counters = CacheCounters()
+        self.write_disabled = False
+        """Set after the first failed write; a broken cache directory is
+        not retried once per cell for the rest of the sweep."""
 
     def path_for(self, key: str) -> Path:
         """Where the entry for ``key`` lives (two-level fan-out)."""
@@ -220,6 +228,31 @@ class ResultCache:
             raise
         self.counters.stores += 1
         return path
+
+    def safe_put(
+        self,
+        config: SimulationConfig,
+        seed: int,
+        policy_name: str,
+        result: SimulationResult,
+    ) -> Optional[Path]:
+        """Best-effort :meth:`put`: write errors degrade, never raise.
+
+        An ``OSError`` (disk full, ``PermissionError`` on ``mkdir``,
+        read-only filesystem, ...) increments ``counters.put_errors``
+        and sets :attr:`write_disabled`, after which further calls are
+        no-ops — the sweep keeps its results, it just stops
+        checkpointing them.  Returns the entry path, or ``None`` when
+        the write failed or writes are disabled.
+        """
+        if self.write_disabled:
+            return None
+        try:
+            return self.put(config, seed, policy_name, result)
+        except OSError:
+            self.counters.put_errors += 1
+            self.write_disabled = True
+            return None
 
     @staticmethod
     def _discard(path: Path) -> None:

@@ -1,4 +1,5 @@
-"""Parallel execution of sweep cells with deterministic merging.
+"""Parallel, fault-tolerant execution of sweep cells with deterministic
+merging.
 
 A *cell* is the atomic unit of every paper experiment: simulate one
 configuration for one seed under one policy.  Cells are independent —
@@ -15,10 +16,23 @@ seeds, ``jobs=N`` output is identical to serial output, and the trace
 event stream is deterministic too.  The parity tests in
 ``tests/experiments/test_parallel.py`` hold this as an invariant.
 
+Failure isolation (see docs/ROBUSTNESS.md): a worker exception becomes
+a structured :class:`CellFailure` instead of aborting the sweep.  The
+:class:`RetryPolicy` chooses what happens next — ``fail`` (abort with a
+:class:`SweepError`, completed cells already flushed to the cache),
+``retry`` (bounded re-attempts with exponential backoff), or ``skip``
+(drop the cell after its attempts are exhausted, identically at any
+``jobs``).  Per-cell timeouts, worker payload validation, automatic
+pool rebuilds on ``BrokenProcessPool`` (degrading to serial execution
+when the pool keeps breaking), and incremental checkpointing — each
+completed cell is flushed to the cache the moment it finishes, even if
+the sweep is later interrupted — make long sweeps restartable: re-run
+the same command and only missing cells are recomputed.
+
 Module-level *execution defaults* (:func:`configure` / the
 :func:`execution` context manager) let entry points like the CLI choose
-``jobs``/``cache``/``trace`` once without threading parameters through
-every figure function.
+``jobs``/``cache``/``trace``/``retry`` once without threading
+parameters through every figure function.
 """
 
 from __future__ import annotations
@@ -27,13 +41,16 @@ import contextlib
 import dataclasses
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterator, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig
 from repro.core.policy import make_policy
 from repro.core.simulator import RTDBSimulator, SimulationResult
-from repro.experiments.cache import ResultCache
+from repro.experiments import faults
+from repro.experiments.cache import ResultCache, cache_key
 from repro.obs.registry import MetricsRegistry
 from repro.workload.generator import generate_workload
 
@@ -64,6 +81,126 @@ class SweepCell:
         return (self.x, self.policy, self.seed)
 
 
+# ---------------------------------------------------------------------------
+# Failure handling vocabulary
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class CellFailure:
+    """One cell's failure record: worst case across all its attempts."""
+
+    key: CellKey
+    attempts: int
+    """How many attempts had been made when the last failure occurred."""
+    exception: str
+    """Exception class name of the most recent failure."""
+    message: str
+    recovered: bool = False
+    """``True`` if a later attempt of the same cell succeeded."""
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, as embedded in run manifests."""
+        x, policy, seed = self.key
+        return {
+            "cell": {"x": x, "policy": policy, "seed": seed},
+            "attempts": self.attempts,
+            "exception": self.exception,
+            "message": self.message,
+            "recovered": self.recovered,
+        }
+
+
+class SweepError(RuntimeError):
+    """A sweep aborted on unrecoverable cell failures.
+
+    ``failures`` holds the :class:`CellFailure` records that caused the
+    abort; completed cells were already flushed to the result cache, so
+    re-running the sweep resumes from the checkpoint.
+    """
+
+    def __init__(self, failures: Sequence[CellFailure]) -> None:
+        self.failures = list(failures)
+        first = self.failures[0] if self.failures else None
+        detail = (
+            f"; first: cell {first.key} after {first.attempts} attempt(s): "
+            f"{first.exception}: {first.message}"
+            if first is not None
+            else ""
+        )
+        super().__init__(
+            f"{len(self.failures)} sweep cell(s) failed{detail}"
+        )
+
+
+class CellTimeoutError(RuntimeError):
+    """A cell exceeded the per-cell wall-clock timeout."""
+
+
+class CorruptResultError(RuntimeError):
+    """A worker returned a payload that is not a valid cell result."""
+
+
+#: What each ``on_error`` mode does once a cell exhausts its attempts.
+ON_ERROR_MODES = ("fail", "retry", "skip")
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How :func:`execute_cells` reacts to cell failures.
+
+    ``fail``
+        No retries; the first failure aborts the sweep with a
+        :class:`SweepError` (the default — bit-compatible with the old
+        behaviour, minus losing completed work).
+    ``retry``
+        Re-attempt failed cells up to ``max_attempts`` times with
+        exponential backoff; abort with :class:`SweepError` only when a
+        cell exhausts its attempts.
+    ``skip``
+        Like ``retry``, but exhausted cells are dropped from the result
+        mapping instead of aborting.  Dropped cells are excluded
+        identically at any ``jobs`` count (the failure schedule is
+        process-independent), preserving the parallel == serial parity
+        invariant over the surviving cells.
+
+    ``timeout`` bounds each cell's wall clock twice over: the parent
+    waits at most ``timeout`` seconds per pool future, and workers run
+    their simulation engine with ``max_wall_s=timeout`` so a livelocked
+    cell kills itself even in serial mode.
+    """
+
+    on_error: str = "fail"
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    timeout: Optional[float] = None
+    max_pool_rebuilds: int = 2
+    """Pool breakages tolerated before degrading to serial execution."""
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {self.on_error!r}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    @property
+    def attempts_per_cell(self) -> int:
+        """Effective attempt budget (``fail`` never retries)."""
+        return 1 if self.on_error == "fail" else self.max_attempts
+
+    def backoff(self, round_index: int) -> float:
+        """Sleep before retry round ``round_index`` (1-based)."""
+        return min(
+            self.backoff_max_s,
+            self.backoff_s * self.backoff_factor ** (round_index - 1),
+        )
+
+
 @dataclasses.dataclass
 class SweepStats:
     """Counters for one :func:`execute_cells` call."""
@@ -74,6 +211,18 @@ class SweepStats:
     cache_hits: int = 0
     elapsed: float = 0.0
     jobs: int = 1
+    failed_attempts: int = 0
+    """Worker attempts that ended in an exception/timeout/corruption."""
+    retries: int = 0
+    """Re-submissions after a failed attempt."""
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    """Times the process pool was torn down after a timeout/breakage."""
+    cells_skipped: int = 0
+    """Cells dropped after exhausting attempts (``on_error=skip``)."""
+    cache_put_errors: int = 0
+    failures: list[CellFailure] = dataclasses.field(default_factory=list)
+    """Per-cell failure records (recovered and terminal), in key order."""
 
     @property
     def sims_per_sec(self) -> float:
@@ -84,21 +233,31 @@ class SweepStats:
 
 
 def simulate_cell(
-    config: SimulationConfig, seed: int, policy_name: str
+    config: SimulationConfig,
+    seed: int,
+    policy_name: str,
+    *,
+    max_wall_s: Optional[float] = None,
 ) -> SimulationResult:
     """Run one cell from scratch — the worker-process entry point.
 
     Deterministic in its arguments: the workload is generated from
     ``(config, seed)`` and the simulator draws no further randomness,
     so the same cell yields the same result in any process.
+    ``max_wall_s`` (when set) bounds the simulation's real run time via
+    the engine's wall-clock guard.
     """
     workload = generate_workload(config, seed)
     policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
-    return RTDBSimulator(config, workload, policy).run()
+    return RTDBSimulator(config, workload, policy, max_wall_s=max_wall_s).run()
 
 
 def simulate_cell_observed(
-    config: SimulationConfig, seed: int, policy_name: str
+    config: SimulationConfig,
+    seed: int,
+    policy_name: str,
+    *,
+    max_wall_s: Optional[float] = None,
 ) -> tuple[SimulationResult, float, dict]:
     """Run one cell with a private metrics registry attached.
 
@@ -113,9 +272,65 @@ def simulate_cell_observed(
     policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
     registry = MetricsRegistry()
     started = time.perf_counter()
-    result = RTDBSimulator(config, workload, policy, metrics=registry).run()
+    result = RTDBSimulator(
+        config, workload, policy, metrics=registry, max_wall_s=max_wall_s
+    ).run()
     wall_ms = (time.perf_counter() - started) * 1000.0
     return result, wall_ms, registry.snapshot()
+
+
+def _worker_entry(
+    config: SimulationConfig,
+    seed: int,
+    policy_name: str,
+    attempt: int,
+    observed: bool,
+    max_wall_s: Optional[float],
+):
+    """Pool/serial worker entry: fault injection, then the simulation."""
+    if faults.active_plan() is not None:
+        injected = faults.maybe_inject(cache_key(config, seed, policy_name), attempt)
+        if injected is not None:
+            return injected  # CORRUPT_PAYLOAD passes through as-is
+    if observed:
+        return simulate_cell_observed(
+            config, seed, policy_name, max_wall_s=max_wall_s
+        )
+    return simulate_cell(config, seed, policy_name, max_wall_s=max_wall_s)
+
+
+def _validate_outcome(cell: SweepCell, outcome, observed: bool):
+    """Reject corrupt worker payloads (wrong shape, wrong cell).
+
+    Raises :class:`CorruptResultError`, which the retry machinery treats
+    like any other per-cell failure.
+    """
+    if observed:
+        if (
+            not isinstance(outcome, tuple)
+            or len(outcome) != 3
+            or not isinstance(outcome[0], SimulationResult)
+            or not isinstance(outcome[1], (int, float))
+            or not isinstance(outcome[2], dict)
+        ):
+            raise CorruptResultError(
+                f"cell {cell.key}: malformed observed payload "
+                f"({type(outcome).__name__})"
+            )
+        result = outcome[0]
+    else:
+        if not isinstance(outcome, SimulationResult):
+            raise CorruptResultError(
+                f"cell {cell.key}: payload is {type(outcome).__name__}, "
+                f"not a SimulationResult"
+            )
+        result = outcome
+    if result.policy_name != cell.policy:
+        raise CorruptResultError(
+            f"cell {cell.key}: result claims policy "
+            f"{result.policy_name!r}, expected {cell.policy!r}"
+        )
+    return outcome
 
 
 # ---------------------------------------------------------------------------
@@ -125,12 +340,13 @@ def simulate_cell_observed(
 @dataclasses.dataclass
 class ExecutionDefaults:
     """What ``jobs=None`` / ``cache=None`` / ``trace=None`` /
-    ``metrics=None`` resolve to."""
+    ``metrics=None`` / ``retry=None`` resolve to."""
 
     jobs: Optional[int] = None
     cache: Optional[ResultCache] = None
     trace: Optional[TraceHook] = None
     metrics: Optional[MetricsRegistry] = None
+    retry: Optional[RetryPolicy] = None
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -145,6 +361,7 @@ def configure(
     cache: object = UNSET,
     trace: object = UNSET,
     metrics: object = UNSET,
+    retry: object = UNSET,
 ) -> None:
     """Set process-wide execution defaults (omitted fields keep theirs)."""
     if jobs is not UNSET:
@@ -155,6 +372,8 @@ def configure(
         _DEFAULTS.trace = trace  # type: ignore[assignment]
     if metrics is not UNSET:
         _DEFAULTS.metrics = metrics  # type: ignore[assignment]
+    if retry is not UNSET:
+        _DEFAULTS.retry = retry  # type: ignore[assignment]
 
 
 @contextlib.contextmanager
@@ -163,16 +382,17 @@ def execution(
     cache: object = UNSET,
     trace: object = UNSET,
     metrics: object = UNSET,
+    retry: object = UNSET,
 ) -> Iterator[None]:
     """Temporarily override execution defaults (nestable).
 
     Fields not passed inherit the surrounding defaults, so e.g. the CLI
-    can set ``jobs``/``cache`` once and swap only ``trace``/``metrics``
-    per figure.
+    can set ``jobs``/``cache``/``retry`` once and swap only
+    ``trace``/``metrics`` per figure.
     """
     saved = dataclasses.replace(_DEFAULTS)
     try:
-        configure(jobs=jobs, cache=cache, trace=trace, metrics=metrics)
+        configure(jobs=jobs, cache=cache, trace=trace, metrics=metrics, retry=retry)
         yield
     finally:
         configure(
@@ -180,6 +400,7 @@ def execution(
             cache=saved.cache,
             trace=saved.trace,
             metrics=saved.metrics,
+            retry=saved.retry,
         )
 
 
@@ -208,7 +429,17 @@ def resolve_metrics(metrics: Optional[MetricsRegistry]) -> Optional[MetricsRegis
     return metrics if metrics is not None else _DEFAULTS.metrics
 
 
+def resolve_retry(retry: Optional[RetryPolicy]) -> RetryPolicy:
+    if retry is not None:
+        return retry
+    if _DEFAULTS.retry is not None:
+        return _DEFAULTS.retry
+    return RetryPolicy()
+
+
 _LAST_STATS = SweepStats()
+
+_SESSION_FAILURES: list[CellFailure] = []
 
 
 def last_stats() -> SweepStats:
@@ -216,9 +447,261 @@ def last_stats() -> SweepStats:
     return _LAST_STATS
 
 
+def take_failures() -> list[CellFailure]:
+    """Drain the failure records accumulated since the last call.
+
+    Entry points (the CLI's ``--report``) call this once per experiment
+    to collect failures across all the sweeps the experiment ran.
+    """
+    global _SESSION_FAILURES
+    drained, _SESSION_FAILURES = _SESSION_FAILURES, []
+    return drained
+
+
 # ---------------------------------------------------------------------------
 # The executor
 # ---------------------------------------------------------------------------
+
+class _SweepRunner:
+    """Round-based execution of one sweep's pending (uncached) cells.
+
+    Each round runs every unresolved cell once — in a process pool or
+    serially — merging successes *in cell-key order within the round*
+    and recording failures.  Cells with attempts left go to the next
+    round (after backoff); the round structure is identical at any
+    ``jobs`` count, so metric merge order, the surviving-cell set, and
+    the retry schedule are all process-count-independent.
+    """
+
+    def __init__(
+        self,
+        pending: Sequence[SweepCell],
+        jobs: int,
+        cache: Optional[ResultCache],
+        trace: Optional[TraceHook],
+        metrics: Optional[MetricsRegistry],
+        retry: RetryPolicy,
+        stats: SweepStats,
+    ) -> None:
+        self.pending = list(pending)
+        self.jobs = jobs
+        self.cache = cache
+        self.trace = trace
+        self.metrics = metrics
+        self.retry = retry
+        self.stats = stats
+        self.observed = metrics is not None
+        self.results: dict[CellKey, SimulationResult] = {}
+        self.attempts: dict[CellKey, int] = {cell.key: 0 for cell in pending}
+        self.failures: dict[CellKey, CellFailure] = {}
+        self.terminal: dict[CellKey, CellFailure] = {}
+        self.use_pool = jobs > 1
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_tainted = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> None:
+        unresolved = self.pending
+        round_index = 0
+        try:
+            while unresolved:
+                if round_index > 0:
+                    delay = self.retry.backoff(round_index)
+                    if delay > 0:
+                        time.sleep(delay)
+                if self.use_pool and len(unresolved) > 1:
+                    unresolved = self._pool_round(unresolved)
+                else:
+                    unresolved = self._serial_round(unresolved)
+                round_index += 1
+        finally:
+            self._teardown_pool(cancel=True)
+        if self.terminal:
+            self.stats.cells_skipped = len(self.terminal)
+            if self.retry.on_error != "skip":
+                raise SweepError(sorted(self.terminal.values(), key=lambda f: f.key))
+
+    # -- rounds ------------------------------------------------------------
+
+    def _serial_round(self, cells: Sequence[SweepCell]) -> list[SweepCell]:
+        retry_next: list[SweepCell] = []
+        for cell in cells:
+            self.attempts[cell.key] += 1
+            try:
+                outcome = _worker_entry(
+                    cell.config,
+                    cell.seed,
+                    cell.policy,
+                    self.attempts[cell.key],
+                    self.observed,
+                    self.retry.timeout,
+                )
+                outcome = _validate_outcome(cell, outcome, self.observed)
+            except Exception as exc:
+                self._attempt_failed(cell, exc, retry_next)
+            else:
+                self._complete(cell, outcome)
+        return retry_next
+
+    def _pool_round(self, cells: Sequence[SweepCell]) -> list[SweepCell]:
+        pool = self._ensure_pool(len(cells))
+        retry_next: list[SweepCell] = []
+        futures: dict[CellKey, object] = {}
+        submit_errors: dict[CellKey, BaseException] = {}
+        for cell in cells:
+            self.attempts[cell.key] += 1
+            try:
+                futures[cell.key] = pool.submit(
+                    _worker_entry,
+                    cell.config,
+                    cell.seed,
+                    cell.policy,
+                    self.attempts[cell.key],
+                    self.observed,
+                    self.retry.timeout,
+                )
+            except BrokenProcessPool as exc:
+                self._pool_tainted = True
+                submit_errors[cell.key] = exc
+        processed: set[CellKey] = set()
+        try:
+            # Wait in cell-key order: earlier waits overlap later cells'
+            # execution, and merge order stays deterministic.
+            for cell in cells:
+                if cell.key in submit_errors:
+                    self._attempt_failed(cell, submit_errors[cell.key], retry_next)
+                    continue
+                future = futures[cell.key]
+                try:
+                    outcome = future.result(timeout=self.retry.timeout)
+                    outcome = _validate_outcome(cell, outcome, self.observed)
+                except (_FuturesTimeout, TimeoutError) as exc:
+                    # The hung worker keeps its slot until it finishes;
+                    # taint the pool so the next round starts fresh.
+                    self._pool_tainted = True
+                    self.stats.timeouts += 1
+                    timeout_exc: Exception = CellTimeoutError(
+                        f"cell {cell.key} exceeded timeout="
+                        f"{self.retry.timeout:g}s ({type(exc).__name__})"
+                    )
+                    self._attempt_failed(cell, timeout_exc, retry_next)
+                except (BrokenProcessPool, CancelledError) as exc:
+                    self._pool_tainted = True
+                    self._attempt_failed(cell, exc, retry_next)
+                except Exception as exc:
+                    self._attempt_failed(cell, exc, retry_next)
+                else:
+                    processed.add(cell.key)
+                    self._complete(cell, outcome)
+        except BaseException:
+            # Abort (KeyboardInterrupt, SweepError under on_error=fail):
+            # checkpoint whatever already finished, then cancel the rest.
+            self._flush_done(cells, futures, processed)
+            self._teardown_pool(cancel=True)
+            raise
+        if self._pool_tainted:
+            self._teardown_pool(cancel=True)
+            self._pool_tainted = False
+            self.stats.pool_rebuilds += 1
+            if self.trace is not None:
+                self.trace("sweep_pool_rebuild", rebuilds=self.stats.pool_rebuilds)
+            if self.stats.pool_rebuilds > self.retry.max_pool_rebuilds:
+                # The pool keeps dying: degrade to serial execution.
+                self.use_pool = False
+        return retry_next
+
+    # -- per-cell outcomes -------------------------------------------------
+
+    def _complete(self, cell: SweepCell, outcome) -> None:
+        if self.observed:
+            result, wall_ms, deltas = outcome
+            self.metrics.merge_snapshot(deltas)
+            self.metrics.histogram("sweep.cell_wall_ms").observe(wall_ms)
+        else:
+            result = outcome
+        self.results[cell.key] = result
+        self.stats.cells_run += 1
+        if cell.key in self.failures:
+            self.failures[cell.key] = dataclasses.replace(
+                self.failures[cell.key], recovered=True
+            )
+        if self.cache is not None:
+            # Incremental checkpoint: flush the cell *now*, so a killed
+            # sweep resumes from here.  Cache write errors degrade to a
+            # counter (the cache disables itself after the first one).
+            before = self.cache.counters.put_errors
+            self.cache.safe_put(cell.config, cell.seed, cell.policy, result)
+            self.stats.cache_put_errors += self.cache.counters.put_errors - before
+
+    def _attempt_failed(
+        self, cell: SweepCell, exc: BaseException, retry_next: list[SweepCell]
+    ) -> None:
+        attempt = self.attempts[cell.key]
+        self.stats.failed_attempts += 1
+        failure = CellFailure(
+            key=cell.key,
+            attempts=attempt,
+            exception=type(exc).__name__,
+            message=str(exc)[:300],
+        )
+        self.failures[cell.key] = failure
+        if self.trace is not None:
+            self.trace(
+                "sweep_cell_failed",
+                x=cell.x,
+                policy=cell.policy,
+                seed=cell.seed,
+                attempt=attempt,
+                error=type(exc).__name__,
+            )
+        if self.retry.on_error == "fail":
+            raise SweepError([failure]) from exc
+        if attempt < self.retry.attempts_per_cell:
+            retry_next.append(cell)
+            self.stats.retries += 1
+        else:
+            self.terminal[cell.key] = failure
+
+    def _flush_done(
+        self,
+        cells: Sequence[SweepCell],
+        futures: Mapping[CellKey, object],
+        processed: set[CellKey],
+    ) -> None:
+        """Merge finished-but-unprocessed futures (checkpoint on abort)."""
+        for cell in cells:
+            future = futures.get(cell.key)
+            if (
+                future is None
+                or cell.key in processed
+                or not future.done()
+                or future.cancelled()
+                or future.exception() is not None
+            ):
+                continue
+            try:
+                outcome = _validate_outcome(cell, future.result(), self.observed)
+            except Exception:
+                continue
+            processed.add(cell.key)
+            self._complete(cell, outcome)
+
+    # -- pool management ---------------------------------------------------
+
+    def _ensure_pool(self, width: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=min(self.jobs, width))
+        return self._pool
+
+    def _teardown_pool(self, cancel: bool = False) -> None:
+        if self._pool is not None:
+            # wait=False: never block on a hung worker; its process exits
+            # on its own once the task finishes or the engine's wall-clock
+            # guard fires.
+            self._pool.shutdown(wait=False, cancel_futures=cancel)
+            self._pool = None
+
 
 def execute_cells(
     cells: Sequence[SweepCell],
@@ -226,28 +709,39 @@ def execute_cells(
     cache: Optional[ResultCache] = None,
     trace: Optional[TraceHook] = None,
     metrics: Optional[MetricsRegistry] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> dict[CellKey, SimulationResult]:
     """Run every cell, in parallel where possible; results keyed and
     ordered by :data:`CellKey`.
 
     Cached cells are served from ``cache`` without simulating; computed
-    cells are stored back.  With ``jobs > 1`` the pending cells go to a
-    process pool, but the returned mapping (and the trace stream) is
-    sorted by cell key, so output never depends on completion order.
+    cells are stored back the moment they complete (the sweep's
+    checkpoint).  With ``jobs > 1`` the pending cells go to a process
+    pool, but the returned mapping (and the trace stream) is sorted by
+    cell key, so output never depends on completion order.
+
+    ``retry`` (or the configured default) chooses the failure policy:
+    see :class:`RetryPolicy`.  Under ``on_error="skip"`` the returned
+    mapping simply omits dropped cells — identically at any ``jobs``.
+    On abort (``on_error="fail"``, exhausted retries, or
+    ``KeyboardInterrupt``) completed cells are already in the cache and
+    :func:`last_stats` / :func:`take_failures` still report the partial
+    sweep.
 
     With ``metrics`` set (directly or via :func:`configure`), each
     computed cell runs with a private registry and ships its counter
-    deltas back; the parent merges them **in cell-key order**, so the
-    merged counters are identical for serial and parallel runs of the
-    same cells (wall-time histograms aside).  Cached cells contribute no
-    simulator counters — they were never simulated — but are tallied in
-    ``sweep.cache_hits``.
+    deltas back; the parent merges them **in cell-key order** (within
+    each retry round), so the merged counters are identical for serial
+    and parallel runs of the same cells (wall-time histograms aside).
+    Cached cells contribute no simulator counters — they were never
+    simulated — but are tallied in ``sweep.cache_hits``.
     """
     global _LAST_STATS
     jobs = resolve_jobs(jobs)
     cache = resolve_cache(cache)
     trace = resolve_trace(trace)
     metrics = resolve_metrics(metrics)
+    retry = resolve_retry(retry)
 
     ordered = sorted(cells, key=lambda cell: cell.key)
     if len({cell.key for cell in ordered}) != len(ordered):
@@ -256,7 +750,7 @@ def execute_cells(
     stats = SweepStats(cells_total=len(ordered), jobs=jobs)
     started = time.perf_counter()
     if trace is not None:
-        trace("sweep_begin", cells=len(ordered), jobs=jobs)
+        trace("sweep_begin", cells=len(ordered), jobs=jobs, on_error=retry.on_error)
 
     results: dict[CellKey, SimulationResult] = {}
     pending: list[SweepCell] = []
@@ -272,40 +766,50 @@ def execute_cells(
         else:
             pending.append(cell)
 
-    if pending:
-        worker = simulate_cell_observed if metrics is not None else simulate_cell
-        if jobs > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                futures = [
-                    pool.submit(worker, cell.config, cell.seed, cell.policy)
-                    for cell in pending
-                ]
-                computed = [future.result() for future in futures]
-        else:
-            computed = [
-                worker(cell.config, cell.seed, cell.policy) for cell in pending
-            ]
-        # `pending` is in cell-key order (built from `ordered`), so the
-        # metric merges below happen in a deterministic order too.
-        for cell, outcome in zip(pending, computed):
-            if metrics is not None:
-                result, wall_ms, deltas = outcome
-                metrics.merge_snapshot(deltas)
-                metrics.histogram("sweep.cell_wall_ms").observe(wall_ms)
-            else:
-                result = outcome
-            results[cell.key] = result
-            stats.cells_run += 1
-            if cache is not None:
-                cache.put(cell.config, cell.seed, cell.policy, result)
+    runner: Optional[_SweepRunner] = None
+    try:
+        if pending:
+            runner = _SweepRunner(
+                pending,
+                jobs=jobs,
+                cache=cache,
+                trace=trace,
+                metrics=metrics,
+                retry=retry,
+                stats=stats,
+            )
+            runner.run()
+            results.update(runner.results)
+    finally:
+        # Even on abort, record what happened: the partial stats and the
+        # failure records survive for `last_stats` / `take_failures`.
+        stats.elapsed = time.perf_counter() - started
+        if runner is not None:
+            results.update(runner.results)
+            stats.failures = sorted(
+                runner.failures.values(), key=lambda failure: failure.key
+            )
+            _SESSION_FAILURES.extend(stats.failures)
+        _LAST_STATS = stats
 
-    stats.elapsed = time.perf_counter() - started
     if metrics is not None:
         metrics.counter("sweep.cells").inc(stats.cells_total)
         metrics.counter("sweep.cells_run").inc(stats.cells_run)
         metrics.counter("sweep.cache_hits").inc(stats.cache_hits)
         metrics.gauge("sweep.jobs").set(jobs)
-    merged = {cell.key: results[cell.key] for cell in ordered}
+        for name, value in (
+            ("sweep.failures", stats.failed_attempts),
+            ("sweep.retries", stats.retries),
+            ("sweep.timeouts", stats.timeouts),
+            ("sweep.pool_rebuilds", stats.pool_rebuilds),
+            ("sweep.cells_skipped", stats.cells_skipped),
+            ("sweep.cache_put_errors", stats.cache_put_errors),
+        ):
+            if value:
+                metrics.counter(name).inc(value)
+    merged = {
+        cell.key: results[cell.key] for cell in ordered if cell.key in results
+    }
     if trace is not None:
         pending_keys = {cell.key for cell in pending}
         for cell in ordered:
@@ -315,6 +819,7 @@ def execute_cells(
                 policy=cell.policy,
                 seed=cell.seed,
                 cached=cell.key not in pending_keys,
+                skipped=cell.key not in merged,
             )
         trace(
             "sweep_end",
@@ -323,8 +828,11 @@ def execute_cells(
             cache_hits=stats.cache_hits,
             elapsed=stats.elapsed,
             sims_per_sec=stats.sims_per_sec,
+            failures=stats.failed_attempts,
+            retries=stats.retries,
+            skipped=stats.cells_skipped,
+            pool_rebuilds=stats.pool_rebuilds,
         )
-    _LAST_STATS = stats
     return merged
 
 

@@ -27,7 +27,9 @@ from repro.core.policy import PriorityPolicy, make_policy
 from repro.core.simulator import RTDBSimulator, SimulationResult
 from repro.experiments.cache import ResultCache
 from repro.experiments.parallel import (
+    CellFailure,
     SweepCell,
+    SweepError,
     TraceHook,
     cells_for_sweep,
     execute_cells,
@@ -79,7 +81,13 @@ def run_policy(
         results = execute_cells(
             cells, jobs=jobs, cache=cache, trace=trace, metrics=metrics
         )
-        return [results[(0.0, canonical, seed)] for seed in seeds]
+        # Under on_error=skip, dropped cells are simply absent; the
+        # returned list then covers the surviving seeds only.
+        return [
+            results[(0.0, canonical, seed)]
+            for seed in seeds
+            if (0.0, canonical, seed) in results
+        ]
     factory = policy
     out = []
     for seed in seeds:
@@ -138,12 +146,32 @@ def sweep(
     )
     out: dict[float, dict[str, RunSummary]] = {}
     for x in configs:
-        out[x] = {
-            name: summarize(
-                [results[(x, canonical[name], seed)] for seed in seeds]
-            )
-            for name in policies
-        }
+        out[x] = {}
+        for name in policies:
+            # Cells dropped under on_error=skip are excluded from the
+            # summary — identically at any jobs count, since the failure
+            # schedule is process-independent.
+            survived = [
+                results[(x, canonical[name], seed)]
+                for seed in seeds
+                if (x, canonical[name], seed) in results
+            ]
+            if not survived:
+                raise SweepError(
+                    [
+                        CellFailure(
+                            key=(x, canonical[name], seed),
+                            attempts=0,
+                            exception="AllSeedsDropped",
+                            message=(
+                                f"every seed of x={x:g} policy={name} failed "
+                                f"or was skipped; nothing left to summarize"
+                            ),
+                        )
+                        for seed in seeds
+                    ]
+                )
+            out[x][name] = summarize(survived)
         if progress is not None:
             progress(x)
     return out

@@ -24,7 +24,9 @@ from pathlib import Path
 from typing import Mapping, Optional, Sequence
 
 #: Bump when the manifest document layout changes incompatibly.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: added the required ``failures`` section (per-cell failure
+#: records from fault-tolerant sweep execution).
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Document type marker, so a manifest is self-identifying.
 MANIFEST_KIND = "repro-run-manifest"
@@ -48,6 +50,7 @@ _REQUIRED_FIELDS: dict[str, type | tuple[type, ...]] = {
     "elapsed_s": (int, float),
     "cache": dict,
     "metrics": dict,
+    "failures": list,
 }
 
 
@@ -102,6 +105,7 @@ def build_manifest(
     elapsed_s: float = 0.0,
     cache_hits: int = 0,
     cache_misses: int = 0,
+    failures: Sequence[Mapping] = (),
     notes: str = "",
 ) -> dict:
     """Assemble a manifest document (JSON-ready dict).
@@ -110,7 +114,11 @@ def build_manifest(
     exact sweep the experiment enumerates; ``metrics_snapshot`` is a
     :meth:`~repro.obs.registry.MetricsRegistry.snapshot`, which carries
     the per-cell wall-time histogram (``sweep.cell_wall_ms``) merged
-    across worker processes.
+    across worker processes.  ``failures`` holds per-cell failure
+    records (see
+    :meth:`repro.experiments.parallel.CellFailure.to_dict`) — cells
+    that crashed, hung, or returned corrupt payloads, whether a retry
+    later recovered them (``recovered: true``) or they were dropped.
     """
     histograms = metrics_snapshot.get("histograms", {})
     return {
@@ -127,6 +135,7 @@ def build_manifest(
         "jobs": jobs,
         "elapsed_s": elapsed_s,
         "cache": {"hits": cache_hits, "misses": cache_misses},
+        "failures": [dict(failure) for failure in failures],
         "cell_wall_ms": histograms.get("sweep.cell_wall_ms"),
         "metrics": dict(metrics_snapshot),
         "notes": notes,
@@ -193,4 +202,11 @@ def validate_manifest(manifest: Mapping) -> list[str]:
         for key in ("counters", "gauges", "histograms"):
             if not isinstance(manifest["metrics"].get(key), dict):
                 problems.append(f"metrics.{key} missing or not a dict")
+        for index, failure in enumerate(manifest["failures"]):
+            if not isinstance(failure, dict):
+                problems.append(f"failures[{index}] is not an object")
+                continue
+            for key in ("cell", "attempts", "exception"):
+                if key not in failure:
+                    problems.append(f"failures[{index}] missing {key!r}")
     return problems

@@ -19,13 +19,22 @@ The scheduling logic itself (the paper's contribution) lives in
 """
 
 from repro.sim.calendar import EventCalendar
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import (
+    Event,
+    EventBudgetExceeded,
+    SimulationError,
+    Simulator,
+    WallClockExceeded,
+)
 from repro.sim.random import RandomStream, StreamFactory
 
 __all__ = [
     "Event",
+    "EventBudgetExceeded",
     "EventCalendar",
     "RandomStream",
+    "SimulationError",
     "Simulator",
     "StreamFactory",
+    "WallClockExceeded",
 ]

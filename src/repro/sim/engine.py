@@ -13,6 +13,7 @@ moves backwards (scheduling into the past raises).
 
 from __future__ import annotations
 
+import time as _time
 from typing import Any, Callable, Optional
 
 from repro.sim.calendar import EventCalendar
@@ -21,6 +22,28 @@ from repro.sim.events import Event
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the engine (e.g. scheduling in the past)."""
+
+
+class EventBudgetExceeded(SimulationError):
+    """The event loop fired more callbacks than ``max_events`` allows.
+
+    Almost always a runaway scheduling loop; the sweep executor treats
+    it as a per-cell failure rather than letting it hang a sweep.
+    """
+
+
+class WallClockExceeded(SimulationError):
+    """The event loop ran longer (in real time) than ``max_wall_s``.
+
+    This is the in-process half of the sweep executor's per-cell
+    timeout: it fires even in serial (``jobs=1``) runs, where no parent
+    process is there to time the cell out from outside.
+    """
+
+
+#: How many events fire between wall-clock checks; keeps the guard off
+#: the per-event hot path (one ``perf_counter`` call per batch).
+_WALL_CHECK_INTERVAL = 512
 
 
 class Simulator:
@@ -95,20 +118,28 @@ class Simulator:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        max_wall_s: Optional[float] = None,
     ) -> float:
         """Run the event loop and return the final clock value.
 
         ``until`` stops the loop once the next event would fire after that
         time (the clock is advanced to ``until``).  ``max_events`` bounds
-        the number of callbacks fired, guarding against runaway loops.
-        The loop also stops when only daemon events remain — a
-        self-rescheduling sampler cannot keep a finished simulation
-        alive or advance its clock past the last real event.
+        the number of callbacks fired, guarding against runaway loops
+        (:class:`EventBudgetExceeded`).  ``max_wall_s`` bounds *real*
+        elapsed time, checked every few hundred events, so a livelocked
+        simulation terminates itself with :class:`WallClockExceeded`
+        instead of hanging its process.  The loop also stops when only
+        daemon events remain — a self-rescheduling sampler cannot keep a
+        finished simulation alive or advance its clock past the last
+        real event.
         """
         if self._running:
             raise SimulationError("run() is not re-entrant")
         self._running = True
         fired = 0
+        deadline = (
+            _time.perf_counter() + max_wall_s if max_wall_s is not None else None
+        )
         try:
             while True:
                 if self.calendar.required_count == 0:
@@ -120,8 +151,17 @@ class Simulator:
                     self.now = max(self.now, until)
                     break
                 if max_events is not None and fired >= max_events:
-                    raise SimulationError(
+                    raise EventBudgetExceeded(
                         f"exceeded max_events={max_events}; likely a runaway loop"
+                    )
+                if (
+                    deadline is not None
+                    and fired % _WALL_CHECK_INTERVAL == 0
+                    and _time.perf_counter() > deadline
+                ):
+                    raise WallClockExceeded(
+                        f"simulation exceeded max_wall_s={max_wall_s} "
+                        f"after {fired} events (sim time {self.now:g})"
                     )
                 self.step()
                 fired += 1

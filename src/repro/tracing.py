@@ -109,7 +109,13 @@ class TraceCounters:
         run = int(self.total("sweep_end", "cells_run"))
         elapsed = self.total("sweep_end", "elapsed")
         rate = run / elapsed if elapsed > 0 else 0.0
-        return f"{cells} cells, {hits} cache hits, {run} sims, {rate:.1f} sims/s"
+        line = f"{cells} cells, {hits} cache hits, {run} sims, {rate:.1f} sims/s"
+        failures = int(self.total("sweep_end", "failures"))
+        if failures:
+            retries = int(self.total("sweep_end", "retries"))
+            skipped = int(self.total("sweep_end", "skipped"))
+            line += f", {failures} failures ({retries} retried, {skipped} skipped)"
+        return line
 
 
 class EventLog:

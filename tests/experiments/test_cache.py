@@ -105,7 +105,7 @@ class TestResultCache:
         assert cache.get(small_config, 3, "CCA") is None
         cache.put(small_config, 3, "CCA", result)
         assert cache.get(small_config, 3, "CCA") == result
-        assert dataclasses.astuple(cache.counters) == (1, 1, 1, 0)
+        assert dataclasses.astuple(cache.counters) == (1, 1, 1, 0, 0)
 
     def test_entries_do_not_cross_cells(self, tmp_path, small_config, result):
         cache = ResultCache(tmp_path)
@@ -133,9 +133,32 @@ class TestResultCache:
         path.write_bytes(damage)
         assert cache.get(small_config, 3, "CCA") is None
         assert cache.counters.discarded == 1
+        assert cache.counters.misses == 1
         assert not path.exists()  # bad entry removed
         cache.put(small_config, 3, "CCA", result)
         assert cache.get(small_config, 3, "CCA") == result
+
+    def test_truncated_json_counts_one_discard_one_miss(
+        self, tmp_path, small_config, result
+    ):
+        cache = ResultCache(tmp_path)
+        path = cache.put(small_config, 3, "CCA", result)
+        path.write_bytes(path.read_bytes()[:-20])  # chop the tail off
+        assert cache.get(small_config, 3, "CCA") is None
+        assert (cache.counters.discarded, cache.counters.misses) == (1, 1)
+        assert not path.exists()
+
+    def test_wrong_schema_in_entry_counts_one_discard_one_miss(
+        self, tmp_path, small_config, result
+    ):
+        cache = ResultCache(tmp_path)
+        path = cache.put(small_config, 3, "CCA", result)
+        entry = json.loads(path.read_text())
+        entry["schema"] = cache_mod.SCHEMA_VERSION + 99
+        path.write_text(json.dumps(entry))
+        assert cache.get(small_config, 3, "CCA") is None
+        assert (cache.counters.discarded, cache.counters.misses) == (1, 1)
+        assert not path.exists()
 
     def test_schema_bump_invalidates_entry(
         self, tmp_path, small_config, result, monkeypatch
@@ -156,7 +179,9 @@ class TestResultCache:
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_bytes(source.read_bytes())
         assert cache.get(small_config, 4, "CCA") is None
-        assert cache.counters.discarded == 1
+        assert (cache.counters.discarded, cache.counters.misses) == (1, 1)
+        assert not target.exists()  # misfiled copy removed, original kept
+        assert source.exists()
 
     def test_default_dir_honors_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
@@ -175,3 +200,53 @@ class TestResultCache:
             if name.endswith(".tmp")
         ]
         assert leftovers == []
+
+
+class TestSafePut:
+    """Write failures degrade to a counter instead of crashing a sweep."""
+
+    @pytest.fixture
+    def broken_root(self, tmp_path):
+        """A cache root that cannot hold entries: the root *is a file*,
+        so ``mkdir`` fails with an OSError even when running as root
+        (unlike permission bits, which root bypasses)."""
+        root = tmp_path / "not-a-directory"
+        root.write_text("occupied")
+        return root
+
+    def test_first_failure_disables_further_writes(
+        self, broken_root, small_config, result
+    ):
+        cache = ResultCache(broken_root)
+        for seed in range(5):
+            assert cache.safe_put(small_config, seed, "CCA", result) is None
+        assert cache.counters.put_errors == 1  # not one per cell
+        assert cache.write_disabled
+
+    def test_safe_put_matches_put_on_healthy_cache(
+        self, tmp_path, small_config, result
+    ):
+        cache = ResultCache(tmp_path)
+        path = cache.safe_put(small_config, 3, "CCA", result)
+        assert path is not None and path.exists()
+        assert cache.counters.put_errors == 0
+        assert not cache.write_disabled
+        assert cache.get(small_config, 3, "CCA") == result
+
+    def test_sweep_over_unwritable_cache_dir_completes(
+        self, broken_root, small_config
+    ):
+        """Satellite: a sweep whose cache cannot be written still
+        produces full results (and parity with no cache at all)."""
+        from repro.experiments.parallel import (
+            cells_for_sweep,
+            execute_cells,
+            last_stats,
+        )
+
+        tiny = small_config.replace(n_transactions=15)
+        cells = cells_for_sweep({1.0: tiny}, (1, 2), ("CCA",))
+        broken = execute_cells(cells, jobs=1, cache=ResultCache(broken_root))
+        plain = execute_cells(cells, jobs=1, cache=None)
+        assert broken == plain
+        assert last_stats().cells_run == len(cells)

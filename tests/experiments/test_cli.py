@@ -1,9 +1,14 @@
 """Command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, build_trace_parser, main
-from repro.experiments.figures import clear_cache
+from repro.experiments import faults
+from repro.experiments.cache import cache_key
+from repro.experiments.config import ExperimentScale
+from repro.experiments.figures import clear_cache, experiment_cells
 from repro.obs.manifest import load_manifest, validate_manifest
 
 
@@ -120,6 +125,134 @@ class TestReport:
         assert validate_manifest(manifest) == []
         assert manifest["n_cells"] == 0
         assert manifest["config_hash"] is None
+
+
+def _fault_spec(max_failures: int = 1, max_hits: int = None) -> str:
+    """A ``--faults`` spec whose crash schedule deterministically hits
+    at least one (but never every) fig5f quick-scale cell."""
+    cells = experiment_cells("fig5f", ExperimentScale.quick())
+    max_hits = len(cells) - 1 if max_hits is None else max_hits
+    for seed in range(500):
+        plan = faults.FaultPlan(seed=seed, crash=0.2, max_failures=max_failures)
+        hits = sum(
+            plan.decide(cache_key(c.config, c.seed, c.policy), 1) is not None
+            for c in cells
+        )
+        if 1 <= hits <= max_hits:
+            return plan.to_spec()
+    raise AssertionError("no suitable fault seed")
+
+
+class TestFaultToleranceFlags:
+    def test_retries_must_be_positive(self, capsys):
+        assert main(["fig5f", "--on-error", "retry", "--retries", "0"]) == 2
+        assert "max_attempts" in capsys.readouterr().err
+
+    def test_timeout_must_be_positive(self, capsys):
+        assert main(["fig5f", "--timeout", "0"]) == 2
+        assert "timeout" in capsys.readouterr().err
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        assert main(["fig5f", "--faults", "explode=1.0"]) == 2
+        assert "--faults" in capsys.readouterr().err
+
+    def test_fault_env_cleared_after_run(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        spec = _fault_spec()
+        assert main(
+            ["fig5f", "--on-error", "retry", "--faults", spec]
+        ) == 0
+        assert faults.FAULTS_ENV not in os.environ
+
+    def test_retry_recovers_and_matches_fault_free(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        clean_dir, chaos_dir = tmp_path / "clean", tmp_path / "chaos"
+        assert main(["fig5f", "--no-cache", "--csv", str(clean_dir)]) == 0
+        capsys.readouterr()
+        clear_cache()  # drop the in-process memo; force a real re-sweep
+        assert main(
+            [
+                "fig5f",
+                "--no-cache",
+                "--csv",
+                str(chaos_dir),
+                "--on-error",
+                "retry",
+                "--faults",
+                _fault_spec(),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faulted" in out and "recovered" in out
+        assert (clean_dir / "fig5f.csv").read_text() == (
+            chaos_dir / "fig5f.csv"
+        ).read_text()
+
+    def test_fail_mode_aborts_with_checkpoint_notice(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert main(
+            ["fig5f", "--no-cache", "--faults", _fault_spec()]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "aborted" in err
+        assert "checkpointed" in err
+
+    def test_skip_mode_drops_cells_and_exits_nonzero(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        spec = _fault_spec(max_failures=10**6, max_hits=2)
+        assert main(
+            [
+                "fig5f",
+                "--no-cache",
+                "--on-error",
+                "skip",
+                "--retries",
+                "2",
+                "--faults",
+                spec,
+            ]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "DROPPED" in out
+        assert "fig5f" in out  # figure still rendered from survivors
+
+    def test_manifest_records_failures(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        runs = tmp_path / "runs"
+        assert main(
+            [
+                "fig5f",
+                "--no-cache",
+                "--report",
+                str(runs),
+                "--on-error",
+                "retry",
+                "--faults",
+                _fault_spec(),
+            ]
+        ) == 0
+        manifest = load_manifest(next(runs.glob("fig5f-quick-*.json")))
+        assert validate_manifest(manifest) == []
+        assert manifest["failures"]
+        for failure in manifest["failures"]:
+            assert failure["exception"] == "InjectedCrash"
+            assert failure["recovered"] is True
+            assert set(failure["cell"]) == {"x", "policy", "seed"}
+
+    def test_fault_free_manifest_has_empty_failures(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        runs = tmp_path / "runs"
+        assert main(["fig5f", "--no-cache", "--report", str(runs)]) == 0
+        manifest = load_manifest(next(runs.glob("fig5f-quick-*.json")))
+        assert manifest["failures"] == []
 
 
 class TestTrace:

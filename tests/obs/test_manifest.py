@@ -112,6 +112,59 @@ class TestValidation:
         assert any("gauges" in problem for problem in problems)
 
 
+class TestFailuresSection:
+    FAILURE = {
+        "cell": {"x": 4.0, "policy": "CCA", "seed": 2},
+        "attempts": 2,
+        "exception": "InjectedCrash",
+        "message": "injected crash",
+        "recovered": True,
+    }
+
+    def test_failures_embedded_and_valid(self):
+        manifest = build_manifest(
+            "fig4a",
+            "quick",
+            triples(),
+            registry_with_data().snapshot(),
+            failures=[self.FAILURE],
+        )
+        assert validate_manifest(manifest) == []
+        assert manifest["failures"] == [self.FAILURE]
+
+    def test_failures_default_to_empty_list(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        assert manifest["failures"] == []
+        assert validate_manifest(manifest) == []
+
+    def test_missing_failures_field_flagged(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        del manifest["failures"]
+        assert any(
+            "failures" in problem for problem in validate_manifest(manifest)
+        )
+
+    def test_malformed_failure_entries_flagged(self):
+        manifest = build_manifest(
+            "fig4a",
+            "quick",
+            triples(),
+            registry_with_data().snapshot(),
+            failures=[{"cell": {"x": 1.0}, "attempts": 1}],  # no exception
+        )
+        problems = validate_manifest(manifest)
+        assert any("exception" in problem for problem in problems)
+        manifest["failures"] = ["not-a-dict"]
+        assert any(
+            "not an object" in problem
+            for problem in validate_manifest(manifest)
+        )
+
+
 class TestWriteAndLoad:
     def test_round_trip(self, tmp_path):
         manifest = build_manifest(

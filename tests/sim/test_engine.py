@@ -114,3 +114,42 @@ class TestRun:
         sim.schedule(1.0, lambda ev: fired.append("second"))
         sim.run()
         assert fired == ["first", "second"]
+
+
+class TestRunGuards:
+    """The two run bounds that make cells self-terminating: the event
+    budget and the wall-clock guard (fault-tolerant sweeps rely on the
+    latter so a livelocked serial cell kills itself)."""
+
+    @staticmethod
+    def _runaway(sim):
+        def forever(event):
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+
+    def test_event_budget_raises_specific_subclass(self):
+        from repro.sim.engine import EventBudgetExceeded
+
+        sim = Simulator()
+        self._runaway(sim)
+        with pytest.raises(EventBudgetExceeded) as excinfo:
+            sim.run(max_events=50)
+        assert isinstance(excinfo.value, SimulationError)
+
+    def test_wall_clock_guard_stops_livelock(self):
+        from repro.sim.engine import WallClockExceeded
+
+        sim = Simulator()
+        self._runaway(sim)
+        with pytest.raises(WallClockExceeded, match="max_wall_s"):
+            sim.run(max_wall_s=0.05)
+        assert isinstance(WallClockExceeded("x"), SimulationError)
+
+    def test_generous_wall_budget_does_not_interfere(self):
+        sim = Simulator()
+        fired = []
+        for _ in range(5):
+            sim.schedule(1.0, lambda ev: fired.append(sim.now))
+        assert sim.run(max_wall_s=60.0) == 1.0
+        assert len(fired) == 5
