@@ -1,0 +1,95 @@
+"""RTSan overhead: sanitized vs bare simulator runs.
+
+The sanitizer's contract has two halves:
+
+* **Off (the default)** it is structurally free: no sanitizer object
+  exists, the engine's post-event hook is ``None`` (one pointer check
+  per event), and the trace fan-out is untouched.
+* **On** it validates the lock table and the paper's schedule theorems
+  after *every* event, so it is deliberately not cheap — the measured
+  multiple on a contention-heavy run is recorded in docs/CHECKS.md
+  (roughly 1.5–3x wall time).  The assertion below only bounds it
+  loosely; ``--sanitize`` is a validation mode, not a production mode.
+
+Run with ``pytest benchmarks/test_sanitize_overhead.py -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import SimulationConfig
+from repro.core.policy import EDFPolicy
+from repro.core.simulator import RTDBSimulator
+from repro.workload.generator import generate_workload
+
+#: Sanitized runs must stay within this multiple of bare wall time —
+#: generous, because the point is catching accidental quadratic blowups
+#: (e.g. a check that re-walks the whole lock table per transaction),
+#: not holding RTSan to hot-path standards.
+MAX_SLOWDOWN = 10.0
+
+CONFIG = SimulationConfig(
+    n_transaction_types=10,
+    updates_mean=6.0,
+    updates_std=3.0,
+    db_size=80,
+    abort_cost=4.0,
+    n_transactions=400,
+    arrival_rate=10.0,
+)
+
+SEEDS = (1, 2, 3)
+
+
+def run_all(sanitize: bool = False) -> float:
+    """Total wall time of one simulator pass over every seed."""
+    started = time.perf_counter()
+    for seed in SEEDS:
+        workload = generate_workload(CONFIG, seed)
+        RTDBSimulator(
+            CONFIG, workload, EDFPolicy(), sanitize=sanitize
+        ).run()
+    return time.perf_counter() - started
+
+
+def paired_best(runs: int) -> tuple[float, float]:
+    """Minimum wall time of bare and sanitized passes, interleaved."""
+    run_all()  # warm-up: imports, allocator, branch caches
+    bare = run_all()
+    sanitized = float("inf")
+    for _ in range(runs):
+        bare = min(bare, run_all())
+        sanitized = min(sanitized, run_all(sanitize=True))
+    return bare, sanitized
+
+
+def test_sanitize_overhead_is_bounded():
+    bare, sanitized = paired_best(3)
+    slowdown = sanitized / bare
+    print(
+        f"\nbare={bare * 1000:.1f}ms sanitized={sanitized * 1000:.1f}ms "
+        f"slowdown={slowdown:.2f}x (bound {MAX_SLOWDOWN:.0f}x)"
+    )
+    assert slowdown < MAX_SLOWDOWN
+
+
+def test_disabled_sanitizer_binds_nothing():
+    """With sanitize off, no sanitizer exists and no hook is installed —
+    the zero-overhead guarantee is structural, not statistical."""
+    workload = generate_workload(CONFIG, 1)
+    simulator = RTDBSimulator(CONFIG, workload, EDFPolicy())
+    assert simulator.sanitizer is None
+    assert simulator.sim.on_event is None
+    assert simulator.trace is None
+    simulator.run()
+
+
+def test_sanitized_results_are_bit_identical():
+    workload = generate_workload(CONFIG, 1)
+    bare = RTDBSimulator(CONFIG, workload, EDFPolicy()).run()
+    workload = generate_workload(CONFIG, 1)
+    sanitized = RTDBSimulator(
+        CONFIG, workload, EDFPolicy(), sanitize=True
+    ).run()
+    assert bare == sanitized

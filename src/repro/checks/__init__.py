@@ -1,0 +1,35 @@
+"""Machine-checked reproducibility: determinism linter + RTSan.
+
+Two engines guard the promises the experiment stack rests on:
+
+* the **determinism linter** (:mod:`repro.checks.linter`, CLI
+  ``repro lint``) statically proves, at lint time, that simulation-path
+  code contains no nondeterminism hazards — so parallel == serial and
+  cache keys stay stable;
+* the **invariant sanitizer** (:mod:`repro.checks.sanitizer`, "RTSan",
+  CLI ``--sanitize``) validates, after every simulation event, that the
+  schedule obeys the paper's §3.3.4 theorems and the lock table stays
+  consistent.
+
+See ``docs/CHECKS.md`` for rule codes, suppression syntax, and the
+invariant → theorem mapping.
+"""
+
+from repro.checks.linter import Finding, LintResult, lint_file, lint_paths
+from repro.checks.rules import Rule, Scope, all_rules, get_rule
+from repro.checks.sanitizer import Sanitizer
+from repro.checks.violations import INVARIANT_CODES, InvariantViolation
+
+__all__ = [
+    "Finding",
+    "INVARIANT_CODES",
+    "InvariantViolation",
+    "LintResult",
+    "Rule",
+    "Sanitizer",
+    "Scope",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,122 @@
+"""``repro lint`` — the determinism linter's command-line entry point.
+
+Examples::
+
+    repro lint                      # lint the installed repro package
+    repro lint src/repro            # lint a source tree
+    repro lint --format json        # machine-readable report
+    repro lint --select DET001,DET006 path/to/file.py
+    repro lint --list-rules         # print the rule catalog
+
+Exit status: 0 when clean (suppressed findings do not count), 1 when
+any finding or parse error remains, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.checks.linter import lint_paths
+from repro.checks.report import render_json, render_text
+from repro.checks.rules import all_rules
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Static determinism linter: flags nondeterminism hazards "
+            "(wall-clock reads, unseeded RNG, set-order dependence, "
+            "id()-ordering, float accumulation in priority keys, "
+            "environment reads) in simulation-path modules.  See "
+            "docs/CHECKS.md for rule codes and suppression syntax."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to check (default: all)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by # repro: allow[...]",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_lint_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    if args.list_rules:
+        catalog = "\n".join(
+            f"{rule.code}  {rule.name:<26} [{rule.scope.value}]\n"
+            f"        {rule.summary}"
+            for rule in all_rules()
+        )
+        _print_report(catalog)
+        return 0
+    select = None
+    if args.select is not None:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    paths = args.paths if args.paths else [default_lint_root()]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+    try:
+        result = lint_paths(paths, select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = (
+        render_json(result)
+        if args.format == "json"
+        else render_text(result, verbose=args.show_suppressed)
+    )
+    _print_report(report)
+    return 0 if result.clean else 1
+
+
+def _print_report(text: str) -> None:
+    try:
+        print(text)
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe; the exit status
+        # still carries the verdict.
+        sys.stderr.close()
+
+
+if __name__ == "__main__":
+    sys.exit(lint_main())

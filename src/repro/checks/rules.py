@@ -1,0 +1,183 @@
+"""The determinism rule registry: codes, scopes, and rationale.
+
+Every lint rule the :mod:`repro.checks.linter` enforces is declared
+here as a :class:`Rule` with a stable ``DETnnn`` code.  The registry is
+the single source of truth for the CLI's ``--list-rules`` output, the
+JSON reporter's rule table, and ``docs/CHECKS.md``.
+
+Scopes
+------
+
+The whole experiment stack promises that simulation results are a pure
+function of ``(config, seed, policy)`` — the result cache, the parallel
+executor's serial/parallel parity, and the paper reproductions all rest
+on it.  Different parts of the tree carry different shares of that
+promise:
+
+* ``SIM_PATH`` — modules on the simulation path (``sim/``, ``core/``,
+  ``rtdb/``, ``analysis/``, ``workload/``, ``occ/``, ``mp/``): any
+  nondeterminism here silently changes results, so every rule applies.
+* ``NON_EXPERIMENTS`` — everything except ``experiments/``: reading the
+  process environment is an experiment-harness concern (scales, cache
+  dirs, fault specs); anywhere else it smuggles host state into what
+  should be a pure function.
+
+Files outside the ``repro`` package (test fixtures, ad-hoc scripts) are
+checked against every rule — the strictest interpretation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Scope(enum.Enum):
+    """Where a rule applies (see the module docstring)."""
+
+    SIM_PATH = "sim-path"
+    NON_EXPERIMENTS = "non-experiments"
+
+
+#: Top-level ``repro`` sub-packages on the simulation path: code here
+#: runs inside (or feeds values into) a simulation and must be
+#: bit-deterministic in ``(config, seed, policy)``.
+SIM_PATH_DIRS = frozenset(
+    {"sim", "core", "rtdb", "analysis", "workload", "occ", "mp"}
+)
+
+#: The one sub-package allowed to read the process environment.
+EXPERIMENTS_DIR = "experiments"
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One lint rule: a stable code plus the hazard it guards against."""
+
+    code: str
+    name: str
+    summary: str
+    """One line, shown next to each finding."""
+    rationale: str
+    """Why the construct breaks determinism (docs / --list-rules)."""
+    scope: Scope
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Add ``rule`` to the registry (codes must be unique)."""
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, in code order."""
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Rule:
+    """The rule registered under ``code`` (KeyError if unknown)."""
+    return _REGISTRY[code]
+
+
+def is_known(code: str) -> bool:
+    return code in _REGISTRY
+
+
+DET001 = register(
+    Rule(
+        code="DET001",
+        name="wall-clock-read",
+        summary="wall-clock read on the simulation path",
+        rationale=(
+            "time.time()/perf_counter()/datetime.now() return host time, "
+            "which differs run to run; simulation code must derive every "
+            "timestamp from the simulated clock so results are a pure "
+            "function of (config, seed, policy)."
+        ),
+        scope=Scope.SIM_PATH,
+    )
+)
+
+DET002 = register(
+    Rule(
+        code="DET002",
+        name="unseeded-rng",
+        summary="module-level / unseeded random number generation",
+        rationale=(
+            "random.random() and friends draw from the process-global "
+            "generator (seeded from the OS), uuid4/secrets/os.urandom are "
+            "nondeterministic by design, and random.Random() without a "
+            "seed falls back to OS entropy.  All simulation randomness "
+            "must come from the named, seeded streams in "
+            "repro.sim.random."
+        ),
+        scope=Scope.SIM_PATH,
+    )
+)
+
+DET003 = register(
+    Rule(
+        code="DET003",
+        name="unordered-iteration",
+        summary="order-sensitive iteration over a set/frozenset",
+        rationale=(
+            "set iteration order depends on hash-table layout, which "
+            "depends on insertion/deletion history and (for str keys) "
+            "per-process hash randomization.  Scheduling loops, "
+            "accumulations and serializations must iterate a sorted() or "
+            "otherwise deterministically ordered view."
+        ),
+        scope=Scope.SIM_PATH,
+    )
+)
+
+DET004 = register(
+    Rule(
+        code="DET004",
+        name="id-based-ordering",
+        summary="id() used on the simulation path",
+        rationale=(
+            "id() is a process-dependent memory address: ordering, "
+            "hashing or comparing by it differs across runs and "
+            "processes, breaking serial/parallel parity.  Order by a "
+            "stable field (tid, deadline, name) instead."
+        ),
+        scope=Scope.SIM_PATH,
+    )
+)
+
+DET005 = register(
+    Rule(
+        code="DET005",
+        name="float-accumulation-in-key",
+        summary="float accumulation inside a priority/penalty/key function",
+        rationale=(
+            "float addition is not associative, so an accumulated "
+            "priority component is only reproducible if the summation "
+            "order is itself deterministic.  Either iterate a "
+            "deterministically ordered collection (and say so in a "
+            "suppression), sum over sorted() operands, or use math.fsum."
+        ),
+        scope=Scope.SIM_PATH,
+    )
+)
+
+DET006 = register(
+    Rule(
+        code="DET006",
+        name="environ-read",
+        summary="process-environment read outside experiments/",
+        rationale=(
+            "os.environ/os.getenv smuggle host state into code whose "
+            "output must depend only on explicit parameters; environment "
+            "knobs belong in the experiments/ harness, which resolves "
+            "them into SimulationConfig fields."
+        ),
+        scope=Scope.NON_EXPERIMENTS,
+    )
+)

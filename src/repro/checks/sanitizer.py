@@ -1,0 +1,321 @@
+"""RTSan: runtime validation of the paper's schedule invariants.
+
+A :class:`Sanitizer` attaches to one
+:class:`~repro.core.simulator.RTDBSimulator` through the existing
+observability seams — the trace hook (schedule-semantic events) and the
+engine's post-event hook (global state) — and validates, after every
+event, that the schedule obeys the §3.3.4 theorems and the lock table
+stays consistent.  It *reads* simulator state only; a sanitized run
+produces bit-identical :class:`~repro.core.simulator.SimulationResult`
+output (``tests/checks/test_sanitizer.py`` holds this as an
+invariant).
+
+Checks (see docs/CHECKS.md for the paper mapping):
+
+* ``RTS001`` — lock-table consistency: internal maps agree, every held
+  lock has a live owner, every waiter really conflicts with a current
+  holder of its item.
+* ``RTS002`` — Theorem 1: a pre-analysis (CCA-family) schedule never
+  produces a ``lock_wait`` event.
+* ``RTS003`` — Theorem 2: no two transactions wound each other at the
+  same scheduling instant (no circular abort).
+* ``RTS004`` — wound-wait / priority total-order consistency: under
+  deadline-static policies every wound goes from a higher-priority
+  transaction to a lower-priority one, and at every dispatch the
+  priority assignment is a stable, NaN-free, strict total order.
+* ``RTS005`` — calendar time monotonicity: the engine never fires an
+  event before the clock.
+* ``RTS006`` — ``IOwait-schedule`` safety: a secondary transaction
+  dispatched during the primary's IO wait must be compatible (no
+  conflict, no conditional conflict) with every partially executed
+  transaction, and the primary must actually be IO-waiting.
+
+Enabling: ``SimulationConfig(sanitize=True)``, the simulator's
+``sanitize=`` keyword, or ``repro <experiment> --sanitize``.  Disabled
+(the default), no sanitizer object exists and the hot path pays
+nothing beyond the trace hook's existing ``is not None`` check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.checks.violations import EventTrail, InvariantViolation
+from repro.core.scheduler import choose_primary, is_compatible
+from repro.rtdb.transaction import Transaction, TxState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.simulator import RTDBSimulator
+    from repro.sim.events import Event
+
+#: Tolerance for clock comparisons (matches the engine's float noise).
+_EPS = 1e-9
+
+
+def _compact(value: object) -> object:
+    """Trail-friendly form of a trace field value."""
+    if isinstance(value, Transaction):
+        return f"tx{value.tid}"
+    if isinstance(value, (list, tuple)):
+        return tuple(_compact(item) for item in value)
+    return value
+
+
+class Sanitizer:
+    """Per-run invariant checker; raises :class:`InvariantViolation`."""
+
+    def __init__(self, sim: "RTDBSimulator", history: int = 64) -> None:
+        self.sim = sim
+        self.trail = EventTrail(history)
+        self.events_checked = 0
+        self._last_event_time = 0.0
+        self._wound_time = -math.inf
+        self._wound_edges: set[tuple[int, int]] = set()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _fail(
+        self, code: str, message: str, tids: Iterable[int] = ()
+    ) -> None:
+        raise InvariantViolation(
+            code,
+            message,
+            time=self.sim.now,
+            tids=tids,
+            trace=self.trail.tail(12),
+        )
+
+    # -- trace-hook half (schedule semantics) ------------------------------
+
+    def on_trace(self, name: str, time: float = 0.0, **fields: object) -> None:
+        """Validate one schedule-level event (simulator trace hook)."""
+        self.trail.record(
+            time, name, tuple((k, _compact(v)) for k, v in fields.items())
+        )
+        if name == "lock_wait":
+            self._check_no_lock_wait(fields)
+        elif name == "abort":
+            self._check_wound(time, fields)
+        elif name == "dispatch":
+            self._check_dispatch(fields)
+
+    def _check_no_lock_wait(self, fields: dict) -> None:
+        """RTS002 / Theorem 1: there is no lock wait in CCA."""
+        if self.sim.policy.uses_pre_analysis:
+            tx = fields.get("tx")
+            tid = tx.tid if isinstance(tx, Transaction) else -1
+            self._fail(
+                "RTS002",
+                f"transaction {tid} blocked on item "
+                f"{fields.get('item')} under pre-analysis policy "
+                f"{self.sim.policy.name}; Theorem 1 forbids lock waits",
+                tids=(tid,),
+            )
+
+    def _check_wound(self, time: float, fields: dict) -> None:
+        victim = fields.get("tx")
+        wounder = fields.get("by")
+        if not isinstance(victim, Transaction) or not isinstance(
+            wounder, Transaction
+        ):
+            return
+        # RTS003 / Theorem 2: wounds at one scheduling instant must not
+        # form a mutual pair (a circular abort would deadlock progress).
+        if time > self._wound_time + _EPS:
+            self._wound_time = time
+            self._wound_edges.clear()
+        self._wound_edges.add((wounder.tid, victim.tid))
+        if (victim.tid, wounder.tid) in self._wound_edges:
+            self._fail(
+                "RTS003",
+                f"mutual wound pair: {wounder.tid} and {victim.tid} "
+                f"wounded each other at the same instant",
+                tids=(wounder.tid, victim.tid),
+            )
+        # RTS004 (static half): under deadline-static, non-wait-promote
+        # policies a wound must go from higher to lower priority.  The
+        # victim's key is restart-invariant for static policies, so
+        # checking after its restart is sound.  Continuous policies
+        # (LSF, CCA) are excluded: a restart legitimately changes their
+        # keys, and deadlock-break wounds may invert the order.
+        policy = self.sim.policy
+        if policy.continuous or policy.wait_promote:
+            return
+        if not self.sim._priority_key(wounder) > self.sim._priority_key(victim):
+            self._fail(
+                "RTS004",
+                f"wound inverts the priority order: {wounder.tid} "
+                f"(priority {self.sim._priority_key(wounder)}) wounded "
+                f"{victim.tid} (priority {self.sim._priority_key(victim)}) "
+                f"under static policy {policy.name}",
+                tids=(wounder.tid, victim.tid),
+            )
+
+    def _check_dispatch(self, fields: dict) -> None:
+        tx = fields.get("tx")
+        if not isinstance(tx, Transaction):
+            return
+        self._check_priority_total_order()
+        self._check_secondary_compatibility(tx)
+
+    def _check_priority_total_order(self) -> None:
+        """RTS004 (dynamic half): keys are stable, NaN-free, distinct."""
+        sim = self.sim
+        seen: dict[tuple, int] = {}
+        for tid in sorted(sim.live):
+            tx = sim.live[tid]
+            key = sim._priority_key(tx)
+            again = sim._priority_key(tx)
+            if key != again:
+                self._fail(
+                    "RTS004",
+                    f"priority key of transaction {tid} is unstable within "
+                    f"one scheduling point: {key} != {again}",
+                    tids=(tid,),
+                )
+            if any(
+                isinstance(part, float) and math.isnan(part)
+                for part in _flatten(key)
+            ):
+                self._fail(
+                    "RTS004",
+                    f"priority key of transaction {tid} contains NaN, "
+                    f"which breaks the total order: {key}",
+                    tids=(tid,),
+                )
+            if key in seen:
+                self._fail(
+                    "RTS004",
+                    f"transactions {seen[key]} and {tid} share priority "
+                    f"key {key}; the dispatch order is not a total order",
+                    tids=(seen[key], tid),
+                )
+            seen[key] = tid
+
+    def _check_secondary_compatibility(self, tx: Transaction) -> None:
+        """RTS006: IOwait-schedule never runs a conflicting secondary."""
+        sim = self.sim
+        if not sim.policy.uses_pre_analysis or sim.disk is None:
+            return
+        primary = choose_primary(sim.live.values(), sim._selection_key)
+        if primary is None or primary.tid == tx.tid:
+            return
+        # ``tx`` outranked by ``primary`` yet dispatched: it is a
+        # secondary, legal only while the primary waits for IO ...
+        if primary.state is not TxState.IO_WAIT:
+            self._fail(
+                "RTS006",
+                f"secondary {tx.tid} dispatched while primary "
+                f"{primary.tid} is {primary.state.value}, not io_wait",
+                tids=(tx.tid, primary.tid),
+            )
+        # ... and only if compatible with every partially executed
+        # transaction (no conflict, no conditional conflict).
+        partially = [sim._plist[tid] for tid in sorted(sim._plist)]
+        if not is_compatible(tx, partially, sim.oracle):
+            conflicting = sorted(
+                other.tid
+                for other in partially
+                if other.tid != tx.tid
+                and sim.oracle.conflict(tx, other).possible
+            )
+            self._fail(
+                "RTS006",
+                f"secondary {tx.tid} (conditionally) conflicts with "
+                f"partially executed transaction(s) {conflicting}; "
+                f"IOwait-schedule must idle instead (noncontributing "
+                f"execution hazard)",
+                tids=(tx.tid, *conflicting),
+            )
+
+    # -- engine-hook half (global state) -----------------------------------
+
+    def on_engine_event(self, event: "Event") -> None:
+        """Validate global state after every engine event fires."""
+        self.events_checked += 1
+        self._check_monotonic(event)
+        self._check_lock_table()
+
+    def _check_monotonic(self, event: "Event") -> None:
+        """RTS005: the calendar never runs backwards."""
+        if event.time < self._last_event_time - _EPS:
+            self._fail(
+                "RTS005",
+                f"event {event.kind!r} fired at t={event.time:g}, before "
+                f"the previous event at t={self._last_event_time:g}",
+            )
+        self._last_event_time = max(self._last_event_time, event.time)
+
+    def _check_lock_table(self) -> None:
+        """RTS001: holders are live, maps agree, waiters conflict."""
+        sim = self.sim
+        lockmgr = sim.lockmgr
+        try:
+            lockmgr.assert_consistent()
+        except AssertionError as exc:
+            self._fail("RTS001", f"lock table inconsistent: {exc}")
+        # Walk waiting items too: a waiter queued on an *unheld* item
+        # should have been woken, and only the waiter checks catch it.
+        for item in sorted(lockmgr.locked_items() | lockmgr.waiting_items()):
+            for holder in lockmgr.holders(item):
+                if sim.live.get(holder.tid) is not holder:
+                    self._fail(
+                        "RTS001",
+                        f"item {item} is held by transaction "
+                        f"{holder.tid}, which is not live "
+                        f"(state {holder.state.value}); a lock release "
+                        f"was lost",
+                        tids=(holder.tid,),
+                    )
+            for waiter in lockmgr.waiters(item):
+                self._check_waiter(item, waiter)
+
+    def _check_waiter(self, item: int, waiter: Transaction) -> None:
+        sim = self.sim
+        if sim.live.get(waiter.tid) is not waiter:
+            self._fail(
+                "RTS001",
+                f"non-live transaction {waiter.tid} "
+                f"(state {waiter.state.value}) still queued on item {item}",
+                tids=(waiter.tid,),
+            )
+        if waiter.state is not TxState.LOCK_BLOCKED or waiter.blocked_on != item:
+            # A waiter woken by a release is removed from the queue in
+            # the same event; anything else is a stale queue entry.
+            self._fail(
+                "RTS001",
+                f"transaction {waiter.tid} queued on item {item} but is "
+                f"{waiter.state.value} (blocked_on={waiter.blocked_on})",
+                tids=(waiter.tid,),
+            )
+        op = waiter.current_operation
+        if not sim.lockmgr.conflicting_holders(waiter, item, op.is_write):
+            self._fail(
+                "RTS001",
+                f"transaction {waiter.tid} waits on item {item} but no "
+                f"current holder conflicts with it; it should have been "
+                f"woken",
+                tids=(waiter.tid,),
+            )
+
+
+def _flatten(key: object) -> Iterable[object]:
+    """Every leaf of a (possibly nested) priority tuple."""
+    if isinstance(key, tuple):
+        for part in key:
+            yield from _flatten(part)
+    else:
+        yield key
+
+
+def attach(sim: "RTDBSimulator", history: int = 64) -> Optional[Sanitizer]:
+    """Build a sanitizer wired to ``sim``'s engine hook.
+
+    The simulator composes :meth:`Sanitizer.on_trace` into its trace
+    fan-out itself (the sanitizer must observe events *after* any
+    user hook, so a violation's trail includes the offending event).
+    """
+    sanitizer = Sanitizer(sim, history)
+    sim.sim.on_event = sanitizer.on_engine_event
+    return sanitizer

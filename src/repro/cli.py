@@ -12,6 +12,10 @@ Examples::
     repro fig4a --report           # also write a run manifest
     repro trace fig4a              # schedule trace of one sweep cell
     repro trace fig5b --cell 4,2,EDF-HP
+    repro lint                     # determinism-lint the repro package
+    repro lint src/repro --format json
+    repro fig4a --sanitize         # validate every event against the
+                                   # paper's invariants (RTSan)
 
 Sweep cells are cached on disk (``~/.cache/repro`` or
 ``$REPRO_CACHE_DIR``) keyed by the full configuration, seed, policy and
@@ -167,6 +171,16 @@ def build_parser() -> argparse.ArgumentParser:
             "docs/ROBUSTNESS.md)"
         ),
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "attach the RTSan invariant sanitizer to every simulation: "
+            "lock-table consistency and the paper's schedule theorems "
+            "are validated after each event, aborting on the first "
+            "violation (results are identical; see docs/CHECKS.md)"
+        ),
+    )
     return parser
 
 
@@ -243,6 +257,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.checks.cli import lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
@@ -273,7 +291,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache = ResultCache(args.cache_dir)
 
     try:
-        with parallel.execution(jobs=args.jobs, cache=cache, retry=retry):
+        with parallel.execution(
+            jobs=args.jobs, cache=cache, retry=retry, sanitize=args.sanitize
+        ):
             return _run_experiments(args, scale)
     finally:
         if installed_faults:

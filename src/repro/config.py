@@ -63,6 +63,16 @@ class SimulationConfig:
     uniform class in 0..k-1 (higher = more critical), which the
     ``CriticalnessCCAPolicy`` orders lexicographically above deadlines."""
 
+    # --- validation (repro.checks) ---
+    sanitize: bool = False
+    """Attach the RTSan invariant sanitizer to every simulation run:
+    after each event the lock table, the §3.3.4 theorems (no lock wait
+    under CCA, no mutual wound pair), priority total-order consistency,
+    calendar monotonicity and IOwait-schedule compatibility are
+    validated, raising :class:`repro.checks.InvariantViolation` on the
+    first breach.  Results are bit-identical with or without it; off by
+    default and zero-cost when off (docs/CHECKS.md)."""
+
     # --- deadline semantics ---
     firm_deadlines: bool = False
     """Soft deadlines (paper default: late transactions keep running and

@@ -57,7 +57,10 @@ def penalty_of_conflict(
         if tx.tid == candidate.tid:
             continue
         if oracle.safety(tx, candidate).needs_rollback:
-            total += service_of(tx)
+            # Summation order follows ``partially_executed``, which every
+            # caller passes in deterministic (dict/list) order, so the
+            # float accumulation is reproducible as-is.
+            total += service_of(tx)  # repro: allow[DET005] -- caller order is deterministic
             if include_rollback and recovery is not None:
-                total += recovery.rollback_time(tx)
+                total += recovery.rollback_time(tx)  # repro: allow[DET005] -- caller order is deterministic
     return total

@@ -236,6 +236,14 @@ class RTDBSimulator:
         Optional :class:`~repro.obs.sampler.TimeSeriesSampler`; when
         set, ``run()`` attaches it so it snapshots queue depths and
         utilization at its configured simulated-time interval.
+    sanitize:
+        Attach the RTSan invariant sanitizer
+        (:class:`repro.checks.sanitizer.Sanitizer`): after every event
+        the lock table and the paper's schedule theorems are validated,
+        raising :class:`repro.checks.InvariantViolation` on the first
+        breach.  ``None`` (default) defers to ``config.sanitize``.
+        Sanitized runs produce bit-identical results; when off, the
+        only cost is the trace hook's existing ``is not None`` check.
     """
 
     def __init__(
@@ -252,6 +260,7 @@ class RTDBSimulator:
         max_wall_s: Optional[float] = None,
         metrics: Optional["MetricsRegistry"] = None,
         sampler: Optional["TimeSeriesSampler"] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         if not workload:
             raise ValueError("workload must contain at least one transaction")
@@ -293,6 +302,19 @@ class RTDBSimulator:
 
         self.sim = Simulator()
         self.lockmgr = LockManager()
+        self.sanitizer = None
+        if sanitize if sanitize is not None else config.sanitize:
+            from repro.checks.sanitizer import attach
+
+            self.sanitizer = attach(self)
+            if self.trace is None:
+                self.trace = self.sanitizer.on_trace
+            else:
+                from repro.obs.hooks import fanout
+
+                # User hook first: a violation's report then includes
+                # the offending event in the user's log/trail.
+                self.trace = fanout(trace, self.sanitizer.on_trace)
         self.cpu = Cpu()
         self.disk: Optional[Disk] = (
             Disk(
@@ -423,7 +445,9 @@ class RTDBSimulator:
         """
         priority = self.policy.priority(tx, self)
         if self.policy.wait_promote:
-            for item in self.lockmgr.held_items(tx):
+            # Max over all waiters' priorities: order-insensitive, so
+            # the set's iteration order cannot leak into the result.
+            for item in self.lockmgr.held_items(tx):  # repro: allow[DET003] -- max() is order-insensitive
                 for waiter in self.lockmgr.waiters(item):
                     inherited = self.policy.priority(waiter, self)
                     if inherited > priority:

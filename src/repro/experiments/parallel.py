@@ -347,6 +347,11 @@ class ExecutionDefaults:
     trace: Optional[TraceHook] = None
     metrics: Optional[MetricsRegistry] = None
     retry: Optional[RetryPolicy] = None
+    sanitize: bool = False
+    """Run every cell with the RTSan invariant sanitizer attached
+    (``config.sanitize=True``); results are identical, but cells are
+    addressed separately in the cache so a sanitized pass really
+    re-validates every simulation."""
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -362,6 +367,7 @@ def configure(
     trace: object = UNSET,
     metrics: object = UNSET,
     retry: object = UNSET,
+    sanitize: object = UNSET,
 ) -> None:
     """Set process-wide execution defaults (omitted fields keep theirs)."""
     if jobs is not UNSET:
@@ -374,6 +380,8 @@ def configure(
         _DEFAULTS.metrics = metrics  # type: ignore[assignment]
     if retry is not UNSET:
         _DEFAULTS.retry = retry  # type: ignore[assignment]
+    if sanitize is not UNSET:
+        _DEFAULTS.sanitize = sanitize  # type: ignore[assignment]
 
 
 @contextlib.contextmanager
@@ -383,6 +391,7 @@ def execution(
     trace: object = UNSET,
     metrics: object = UNSET,
     retry: object = UNSET,
+    sanitize: object = UNSET,
 ) -> Iterator[None]:
     """Temporarily override execution defaults (nestable).
 
@@ -392,7 +401,14 @@ def execution(
     """
     saved = dataclasses.replace(_DEFAULTS)
     try:
-        configure(jobs=jobs, cache=cache, trace=trace, metrics=metrics, retry=retry)
+        configure(
+            jobs=jobs,
+            cache=cache,
+            trace=trace,
+            metrics=metrics,
+            retry=retry,
+            sanitize=sanitize,
+        )
         yield
     finally:
         configure(
@@ -401,6 +417,7 @@ def execution(
             trace=saved.trace,
             metrics=saved.metrics,
             retry=saved.retry,
+            sanitize=saved.sanitize,
         )
 
 
@@ -435,6 +452,10 @@ def resolve_retry(retry: Optional[RetryPolicy]) -> RetryPolicy:
     if _DEFAULTS.retry is not None:
         return _DEFAULTS.retry
     return RetryPolicy()
+
+
+def resolve_sanitize() -> bool:
+    return _DEFAULTS.sanitize
 
 
 _LAST_STATS = SweepStats()
@@ -742,6 +763,17 @@ def execute_cells(
     trace = resolve_trace(trace)
     metrics = resolve_metrics(metrics)
     retry = resolve_retry(retry)
+
+    if resolve_sanitize():
+        # Sanitized cells carry config.sanitize=True, which flows to the
+        # workers (the simulator attaches RTSan) *and* into the cache
+        # key — so a sanitized pass re-validates every simulation
+        # instead of replaying unsanitized cache entries, while its
+        # (identical) results never shadow the normal namespace.
+        cells = [
+            dataclasses.replace(cell, config=cell.config.replace(sanitize=True))
+            for cell in cells
+        ]
 
     ordered = sorted(cells, key=lambda cell: cell.key)
     if len({cell.key for cell in ordered}) != len(ordered):

@@ -147,6 +147,15 @@ class LockManager:
         """All items currently locked (diagnostics / invariant checks)."""
         return frozenset(self._holders)
 
+    def waiting_items(self) -> frozenset[int]:
+        """All items with a non-empty wait queue (diagnostics).
+
+        Disjoint from :meth:`locked_items` only in broken states: a
+        waiter on an unheld item should have been woken, which is
+        exactly what the RTSan lock-table check looks for.
+        """
+        return frozenset(self._waiters)
+
     def assert_consistent(self) -> None:
         """Invariant check used by tests: holder and held maps agree,
         exclusive items have exactly one holder."""

@@ -54,6 +54,11 @@ class Simulator:
         self.calendar = EventCalendar()
         self._events_processed = 0
         self._running = False
+        self.on_event: Optional[Callable[[Event], None]] = None
+        """Post-event hook: called after each event's callback returns,
+        with the event that fired.  The RTSan sanitizer registers here
+        to validate global state once per event; ``None`` (the default)
+        costs one pointer check per event."""
 
     @property
     def events_processed(self) -> int:
@@ -112,6 +117,8 @@ class Simulator:
         self.now = event.time
         self._events_processed += 1
         event.callback(event)
+        if self.on_event is not None:
+            self.on_event(event)
         return True
 
     def run(
@@ -137,9 +144,12 @@ class Simulator:
             raise SimulationError("run() is not re-entrant")
         self._running = True
         fired = 0
-        deadline = (
-            _time.perf_counter() + max_wall_s if max_wall_s is not None else None
-        )
+        deadline: Optional[float] = None
+        if max_wall_s is not None:
+            # The wall-clock guard must read real time; it only raises,
+            # never feeds the simulation state, so the determinism
+            # linter's DET001 is suppressed here by design.
+            deadline = _time.perf_counter() + max_wall_s  # repro: allow[DET001] -- guard only raises
         try:
             while True:
                 if self.calendar.required_count == 0:
@@ -157,7 +167,7 @@ class Simulator:
                 if (
                     deadline is not None
                     and fired % _WALL_CHECK_INTERVAL == 0
-                    and _time.perf_counter() > deadline
+                    and _time.perf_counter() > deadline  # repro: allow[DET001] -- guard only raises
                 ):
                     raise WallClockExceeded(
                         f"simulation exceeded max_wall_s={max_wall_s} "

@@ -1,0 +1,64 @@
+"""Golden fixture for the determinism linter.
+
+Every DET rule must fire at least once on this file; the CI gate in
+``tests/checks/test_lint_cli.py`` fails when a rule stops triggering
+(meaning the linter regressed).  The file is lint fodder only — it is
+parsed, never imported.
+"""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_events(events):
+    # DET001: wall-clock read on the simulation path.
+    started = time.time()
+    logged = datetime.now()
+    return started, logged, events
+
+
+def jitter_arrivals(arrivals):
+    # DET002: process-global RNG and entropy sources.
+    noise = random.random()
+    rng = random.Random()
+    token = uuid.uuid4()
+    return [a + noise for a in arrivals], rng, token
+
+
+def drain_ready_set(ready):
+    # DET003: set iteration order leaks into the schedule.
+    blocked = {1, 2, 3}
+    order = list(blocked)
+    for tx in blocked:
+        order.append(tx)
+    doubled = [tx * 2 for tx in blocked]
+    return order, doubled, ready
+
+
+def tie_break(transactions):
+    # DET004: id() is a process-dependent address.
+    return sorted(transactions, key=lambda tx: id(tx))
+
+
+def priority_key(tx, others):
+    # DET005: float accumulation inside a priority key function.
+    total = 0.0
+    for other in others:
+        total += other.service
+    weighted = sum(o.service for o in others)
+    return total + weighted + tx.deadline
+
+
+def read_tuning():
+    # DET006: environment reads outside experiments/.
+    scale = os.environ.get("REPRO_SCALE", "default")
+    jobs = os.getenv("REPRO_JOBS")
+    return scale, jobs
+
+
+def sanctioned_wall_clock():
+    # The suppression syntax silences a finding without hiding it.
+    return time.perf_counter()  # repro: allow[DET001] -- fixture: suppression demo

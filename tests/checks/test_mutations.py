@@ -1,0 +1,164 @@
+"""Mutation tests: each seeded fault must trigger exactly its invariant.
+
+Every test plants one deliberate scheduler/lock-manager bug (the kind
+RTSan exists to catch) and asserts the sanitizer raises the matching
+:class:`InvariantViolation` — and *that* violation, not a neighbouring
+one.  If a check regresses into a no-op, its mutation test fails, which
+is the CI gate the ISSUE requires.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.checks.sanitizer import Sanitizer
+from repro.checks.violations import InvariantViolation
+from repro.core.policy import make_policy
+from repro.core.simulator import RTDBSimulator
+from repro.core import simulator as simulator_module
+from repro.core.scheduler import choose_primary
+from repro.rtdb.locks import LockManager
+from repro.rtdb.transaction import Transaction
+from repro.sim.events import Event
+from repro.workload.generator import generate_workload
+
+from tests.conftest import make_spec
+
+
+def build(config, policy_name, seed=7, **kwargs):
+    workload = generate_workload(config, seed)
+    policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
+    return RTDBSimulator(config, workload, policy, sanitize=True, **kwargs)
+
+
+def expect(code: str):
+    return pytest.raises(InvariantViolation, match=code)
+
+
+@pytest.fixture
+def hot_config(mm_config):
+    """Heavy contention so every fault site is actually exercised."""
+    return mm_config.replace(db_size=8, arrival_rate=12.0)
+
+
+class TestLockTableMutations:
+    def test_dropped_lock_release_raises_rts001(self, hot_config, monkeypatch):
+        # The classic leak: commit/abort forgets to give the locks back.
+        monkeypatch.setattr(
+            LockManager, "release_all", lambda self, tx: []
+        )
+        with expect("RTS001") as exc_info:
+            build(hot_config, "EDF-HP").run()
+        assert exc_info.value.code == "RTS001"
+
+    def test_stale_waiter_raises_rts001(self, mm_config):
+        # A queue entry for a transaction that is not LOCK_BLOCKED.
+        sim = build(mm_config, "EDF-HP")
+        tx = Transaction(make_spec(1, [5]))
+        sim.live[tx.tid] = tx
+        sim.lockmgr.enqueue_waiter(tx, 5)  # tx.state is still CREATED
+        with expect("RTS001"):
+            sim.sanitizer.on_engine_event(
+                Event(0.0, lambda event: None, kind="probe")
+            )
+
+
+class TestTheorem1Mutation:
+    def test_lock_wait_under_cca_raises_rts002(self, hot_config, monkeypatch):
+        # Break the pre-analysis guarantee: CCA stops wounding, so a
+        # conflicting request blocks — the wait Theorem 1 forbids.
+        monkeypatch.setattr(
+            RTDBSimulator, "_should_wound", lambda self, tx, holder: False
+        )
+        with expect("RTS002") as exc_info:
+            build(hot_config, "CCA", eager_wounds=False).run()
+        assert exc_info.value.code == "RTS002"
+        assert exc_info.value.tids  # names the blocked transaction
+
+
+class TestTheorem2Mutation:
+    def test_mutual_wound_raises_rts003(self, mm_config):
+        # Drive the trace hook with a circular abort: A wounds B and B
+        # wounds A at the same scheduling instant.
+        sim = build(mm_config, "LSF-HP")  # continuous: skips RTS004 arm
+        a = Transaction(make_spec(1, [1]))
+        b = Transaction(make_spec(2, [2]))
+        sanitizer = sim.sanitizer
+        sanitizer.on_trace("abort", time=4.0, tx=b, by=a, cause="lock")
+        with expect("RTS003"):
+            sanitizer.on_trace("abort", time=4.0, tx=a, by=b, cause="lock")
+
+    def test_wounds_at_distinct_instants_are_legal(self, mm_config):
+        sim = build(mm_config, "LSF-HP")
+        a = Transaction(make_spec(1, [1]))
+        b = Transaction(make_spec(2, [2]))
+        sanitizer = sim.sanitizer
+        sanitizer.on_trace("abort", time=4.0, tx=b, by=a, cause="lock")
+        sanitizer.on_trace("abort", time=5.0, tx=a, by=b, cause="lock")
+
+
+class TestPriorityOrderMutations:
+    def test_swapped_wound_comparison_raises_rts004(
+        self, hot_config, monkeypatch
+    ):
+        # Swap the High Priority comparison: the *lower*-priority
+        # requester now wounds the higher-priority holder.
+        def swapped(self, tx, holder):
+            if self._priority_key(tx) < self._priority_key(holder):
+                return True
+            return self._would_deadlock(tx, holder)
+
+        monkeypatch.setattr(RTDBSimulator, "_should_wound", swapped)
+        with expect("RTS004") as exc_info:
+            build(hot_config, "EDF-HP", eager_wounds=False).run()
+        assert exc_info.value.code == "RTS004"
+
+    def test_degenerate_priority_key_raises_rts004(
+        self, hot_config, monkeypatch
+    ):
+        # A key that maps every transaction to the same tuple destroys
+        # the total order the dispatch rule needs.
+        monkeypatch.setattr(
+            RTDBSimulator, "_priority_key", lambda self, tx: (0.0,)
+        )
+        with expect("RTS004"):
+            build(hot_config, "EDF-HP").run()
+
+    def test_nan_priority_key_raises_rts004(self, hot_config, monkeypatch):
+        monkeypatch.setattr(
+            RTDBSimulator,
+            "_priority_key",
+            lambda self, tx: (float("nan"), tx.tid),
+        )
+        with expect("RTS004"):
+            build(hot_config, "EDF-HP").run()
+
+
+class TestMonotonicityMutation:
+    def test_backwards_event_raises_rts005(self):
+        stub = SimpleNamespace(now=5.0, lockmgr=LockManager(), live={})
+        sanitizer = Sanitizer(stub)
+        sanitizer.on_engine_event(Event(5.0, lambda event: None, kind="a"))
+        with expect("RTS005"):
+            sanitizer.on_engine_event(Event(1.0, lambda event: None, kind="b"))
+
+
+class TestIOWaitMutation:
+    def test_incompatible_secondary_raises_rts006(
+        self, disk_config, monkeypatch
+    ):
+        # IOwait-schedule that ignores the compatibility test: it now
+        # dispatches conflicting secondaries (noncontributing execution).
+        monkeypatch.setattr(
+            simulator_module,
+            "choose_secondary",
+            lambda ready, partially_executed, oracle, key: choose_primary(
+                ready, key
+            ),
+        )
+        hot = disk_config.replace(db_size=8, arrival_rate=12.0)
+        with expect("RTS006") as exc_info:
+            build(hot, "CCA").run()
+        assert exc_info.value.code == "RTS006"

@@ -1,0 +1,123 @@
+"""RTSan integration tests: clean runs stay clean and bit-identical.
+
+The load-bearing property is *parity*: a sanitized run must produce the
+same :class:`SimulationResult` as an unsanitized run of the same cell —
+the sanitizer observes, it never steers.  The per-invariant fault
+triggers live in ``test_mutations.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks.sanitizer import Sanitizer, attach
+from repro.checks.violations import EventTrail, INVARIANT_CODES, InvariantViolation
+from repro.core.policy import make_policy
+from repro.core.simulator import RTDBSimulator
+from repro.workload.generator import generate_workload
+
+POLICIES = ["EDF-HP", "FCFS", "LSF-HP", "EDF-WP", "CCA", "EDF-Wait"]
+
+
+def run_cell(config, seed, policy_name, **kwargs):
+    workload = generate_workload(config, seed)
+    policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
+    return RTDBSimulator(config, workload, policy, **kwargs)
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_main_memory_parity(self, mm_config, policy_name):
+        base = run_cell(mm_config, 7, policy_name).run()
+        sim = run_cell(mm_config, 7, policy_name, sanitize=True)
+        assert sim.sanitizer is not None
+        result = sim.run()
+        assert result == base
+        assert sim.sanitizer.events_checked > 0
+
+    @pytest.mark.parametrize("policy_name", POLICIES)
+    def test_disk_resident_parity(self, disk_config, policy_name):
+        base = run_cell(disk_config, 7, policy_name).run()
+        sim = run_cell(disk_config, 7, policy_name, sanitize=True)
+        result = sim.run()
+        assert result == base
+
+    def test_multiple_seeds_stay_clean(self, mm_config):
+        for seed in range(3):
+            run_cell(mm_config, seed, "CCA", sanitize=True).run()
+
+    def test_high_contention_stays_clean(self, mm_config):
+        # Essentially every pair conflicts: wounds and waits everywhere.
+        hot = mm_config.replace(db_size=8, arrival_rate=12.0)
+        for policy_name in POLICIES:
+            run_cell(hot, 3, policy_name, sanitize=True).run()
+
+
+class TestWiring:
+    def test_config_flag_attaches(self, mm_config):
+        sim = run_cell(mm_config.replace(sanitize=True), 7, "EDF-HP")
+        assert sim.sanitizer is not None
+
+    def test_kwarg_overrides_config(self, mm_config):
+        sim = run_cell(mm_config.replace(sanitize=True), 7, "EDF-HP",
+                       sanitize=False)
+        assert sim.sanitizer is None
+
+    def test_off_by_default_costs_nothing(self, mm_config):
+        sim = run_cell(mm_config, 7, "EDF-HP")
+        assert sim.sanitizer is None
+        assert sim.sim.on_event is None
+
+    def test_user_trace_hook_still_sees_events(self, mm_config):
+        events = []
+
+        def hook(name, **fields):
+            events.append(name)
+
+        sim = run_cell(mm_config, 7, "EDF-HP", trace=hook, sanitize=True)
+        sim.run()
+        assert "dispatch" in events and "commit" in events
+
+    def test_attach_registers_engine_hook(self, mm_config):
+        sim = run_cell(mm_config, 7, "EDF-HP")
+        sanitizer = attach(sim)
+        assert sim.sim.on_event == sanitizer.on_engine_event
+
+
+class TestViolationType:
+    def test_codes_catalogued(self):
+        assert sorted(INVARIANT_CODES) == [
+            "RTS001", "RTS002", "RTS003", "RTS004", "RTS005", "RTS006",
+        ]
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="RTS999"):
+            InvariantViolation("RTS999", "nope")
+
+    def test_message_carries_context(self):
+        violation = InvariantViolation(
+            "RTS002",
+            "blocked under CCA",
+            time=12.5,
+            tids=(3, 4),
+            trace=((12.0, "lock_wait", (("tx", "tx3"),)),),
+        )
+        text = str(violation)
+        assert "RTS002" in text
+        assert "Theorem 1" in text
+        assert "t=12.5" in text
+        assert "[3, 4]" in text
+        assert "lock_wait" in text
+
+    def test_trail_is_bounded(self):
+        trail = EventTrail(maxlen=4)
+        for i in range(10):
+            trail.record(float(i), "e", ())
+        assert len(trail) == 4
+        assert trail.tail(2) == ((8.0, "e", ()), (9.0, "e", ()))
+
+    def test_sanitizer_trail_in_violation(self, mm_config):
+        sim = run_cell(mm_config, 7, "EDF-HP")
+        sanitizer = Sanitizer(sim)
+        sanitizer.on_trace("dispatch", time=1.0, tx=None)
+        assert len(sanitizer.trail) == 1

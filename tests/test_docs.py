@@ -35,8 +35,8 @@ class TestReadme:
 
         for match in re.findall(r"python -m repro (\S+)(?: (\S+))?", readme):
             first, second = match
-            if first in ("all", "validate"):
-                continue
+            if first in ("all", "validate", "lint"):
+                continue  # subcommands/batch ids, not experiment ids
             if first == "trace":  # `repro trace <experiment> ...`
                 assert second in ALL_RUNNABLE, (
                     f"README traces unknown id {second}"
