@@ -81,11 +81,12 @@ def conflict_between(
                 any_overlap = True
             else:
                 all_overlap = False
+            if any_overlap and not all_overlap:
+                # Mixed verdicts cannot change anymore: conditional.
+                return Conflict.CONDITIONAL
     if not any_overlap:
         return Conflict.NONE
-    if all_overlap:
-        return Conflict.CERTAIN
-    return Conflict.CONDITIONAL
+    return Conflict.CERTAIN
 
 
 def safety_of(

@@ -88,7 +88,11 @@ class RelationTable:
             for name, tree in self._trees.items()
             for node in tree.program.root.walk()
         ]
-        for name_a, label_a in states:
-            for name_b, label_b in states:
+        # Conflict is symmetric, so each unordered state pair is computed
+        # once (``conflict`` caches the mirror key itself); safety is
+        # asymmetric and still needs both directions.
+        for i, (name_a, label_a) in enumerate(states):
+            for name_b, label_b in states[i:]:
                 self.conflict(name_a, label_a, name_b, label_b)
                 self.safety(name_a, label_a, name_b, label_b)
+                self.safety(name_b, label_b, name_a, label_a)

@@ -1,0 +1,270 @@
+"""``repro certify`` — the offline schedule certifier's entry point.
+
+Examples::
+
+    repro certify fig4a                    # default sample: one cell per
+                                           # policy (EDF-HP, EDF-Wait, CCA)
+    repro certify fig4a --policy CCA,cca-static
+    repro certify fig5b --cell 4,2,EDF-HP  # one specific cell
+    repro certify table1 --format json
+    repro certify --events run.jsonl --workload load.jsonl --policy EDF-HP
+    repro certify --list-rules
+
+Exit status: 0 when every certified property holds, 1 when any
+violation is found, 2 on usage errors — the same contract as
+``repro lint``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.certify.report import (
+    render_cells_json,
+    render_json,
+    render_text,
+)
+from repro.certify.rules import all_rules
+
+
+def build_certify_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro certify",
+        description=(
+            "Offline schedule certifier: replays a completed run's trace "
+            "event stream and certifies serializability (CERT001), strict "
+            "2PL lock discipline (CERT002-004), and pre-analysis "
+            "soundness (CERT005-006).  See docs/CERTIFY.md."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help=(
+            "paper experiment to certify a cell sample of (e.g. fig4a, "
+            "table1); omit when certifying a saved trace via --events"
+        ),
+    )
+    parser.add_argument(
+        "--cell",
+        default=None,
+        metavar="X,SEED,POLICY",
+        help=(
+            "certify one specific sweep cell instead of the default "
+            "per-policy sample (e.g. '4,2,EDF-HP'; the policy may be "
+            "any policy name, not just the sweep's own)"
+        ),
+    )
+    parser.add_argument(
+        "--policy",
+        default=None,
+        metavar="NAMES",
+        help=(
+            "comma-separated policies for the default sample "
+            "(default: EDF-HP,EDF-Wait,CCA), or the policy of a saved "
+            "trace under --events"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "default", "full"],
+        default=None,
+        help="run scale (default: $REPRO_SCALE or 'default')",
+    )
+    parser.add_argument(
+        "--events",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "certify a saved JSONL event log (repro trace --jsonl) "
+            "instead of re-simulating; requires --workload and --policy"
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="the saved workload the --events trace executed",
+    )
+    parser.add_argument(
+        "--penalty-weight",
+        type=float,
+        default=1.0,
+        metavar="W",
+        help="penalty weight for --events mode policies (default: 1.0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget for the re-simulation",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the certifier rule catalog and exit",
+    )
+    return parser
+
+
+def certify_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_certify_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    if args.list_rules:
+        catalog = "\n".join(
+            f"{rule.code}  {rule.name}\n        {rule.summary}"
+            for rule in all_rules()
+        )
+        _print_report(catalog)
+        return 0
+    if args.events is not None:
+        return _certify_offline(args)
+    if args.experiment is None:
+        print(
+            "error: an experiment id (or --events FILE) is required",
+            file=sys.stderr,
+        )
+        return 2
+    return _certify_experiment(args)
+
+
+def _certify_offline(args) -> int:
+    """Certify a saved (events, workload) pair without simulating."""
+    from repro.tracing import EventLog
+    from repro.workload.serialization import load_workload
+    from repro.certify.certifier import certify_events
+
+    if args.workload is None or args.policy is None:
+        print(
+            "error: --events requires --workload FILE and --policy NAME",
+            file=sys.stderr,
+        )
+        return 2
+    for path in (args.events, args.workload):
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+    try:
+        log = EventLog.from_jsonl(args.events)
+        workload = load_workload(args.workload)
+        result = certify_events(
+            log.events,
+            workload,
+            args.policy,
+            penalty_weight=args.penalty_weight,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = (
+        render_json(result)
+        if args.format == "json"
+        else render_text(result)
+    )
+    _print_report(report)
+    return 0 if result.certified else 1
+
+
+def _certify_experiment(args) -> int:
+    """Re-simulate and certify experiment cells."""
+    from repro.cli import _resolve_scale
+    from repro.certify.runner import (
+        DEFAULT_POLICIES,
+        certify_cell,
+        default_cells,
+        find_cell,
+    )
+    from repro.experiments.figures import FIGURE_SWEEPS
+
+    if args.experiment not in FIGURE_SWEEPS:
+        print(
+            f"error: unknown experiment {args.experiment!r}; "
+            f"known: {', '.join(sorted(FIGURE_SWEEPS))}",
+            file=sys.stderr,
+        )
+        return 2
+    scale = _resolve_scale(args.scale)
+    try:
+        if args.cell is not None:
+            parts = args.cell.split(",")
+            if len(parts) != 3:
+                print(
+                    f"error: --cell must be X,SEED,POLICY, got {args.cell!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                want_x, want_seed = float(parts[0]), int(parts[1])
+            except ValueError:
+                print(
+                    "error: --cell X must be a number and SEED an "
+                    f"integer, got {args.cell!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            cell = find_cell(
+                args.experiment, scale, want_x, want_seed, parts[2].strip()
+            )
+            if cell is None:
+                print(
+                    f"error: no cell at x={want_x:g} seed={want_seed} in "
+                    f"{args.experiment} at scale={scale.name}",
+                    file=sys.stderr,
+                )
+                return 2
+            cells = [cell]
+        else:
+            policies = (
+                [p.strip() for p in args.policy.split(",") if p.strip()]
+                if args.policy is not None
+                else DEFAULT_POLICIES
+            )
+            cells = default_cells(args.experiment, scale, policies)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    samples = [
+        certify_cell(args.experiment, cell, max_wall_s=args.timeout)
+        for cell in cells
+    ]
+    if args.format == "json":
+        _print_report(render_cells_json(args.experiment, scale.name, samples))
+    else:
+        blocks = []
+        for sample in samples:
+            header = (
+                f"== {args.experiment} cell x={sample.cell.x:g} "
+                f"seed={sample.cell.seed} policy={sample.cell.policy} "
+                f"(scale={scale.name}) =="
+            )
+            blocks.append(header + "\n" + render_text(sample.result))
+        _print_report("\n\n".join(blocks))
+    return 0 if all(sample.result.certified for sample in samples) else 1
+
+
+def _print_report(text: str) -> None:
+    try:
+        print(text)
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe; the exit status
+        # still carries the verdict.
+        sys.stderr.close()
+
+
+if __name__ == "__main__":
+    sys.exit(certify_main())

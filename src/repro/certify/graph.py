@@ -1,0 +1,130 @@
+"""The conflict/precedence graph over committed transactions.
+
+Nodes are committed tids; an edge ``a -> b`` witnesses that ``a``
+touched some item before ``b`` did, in incompatible modes, so any
+equivalent serial order must run ``a`` before ``b``.  A history is
+(conflict-)serializable iff this graph is acyclic; the topological
+order is then a valid serialization, and a cycle is the counterexample.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeWitness:
+    """Why an edge exists: the item and the two access times."""
+
+    item: int
+    first_time: float
+    second_time: float
+
+
+class PrecedenceGraph:
+    """A directed graph with per-edge witnesses and deterministic walks."""
+
+    def __init__(self) -> None:
+        self.nodes: set[int] = set()
+        self._succ: dict[int, set[int]] = {}
+        self.witness: dict[tuple[int, int], EdgeWitness] = {}
+
+    def add_node(self, node: int) -> None:
+        self.nodes.add(node)
+
+    def add_edge(self, a: int, b: int, witness: EdgeWitness) -> None:
+        """Add ``a -> b``; the earliest witness per edge is kept."""
+        if a == b:
+            raise ValueError(f"self-edge on transaction {a}")
+        self.nodes.add(a)
+        self.nodes.add(b)
+        self._succ.setdefault(a, set()).add(b)
+        key = (a, b)
+        prior = self.witness.get(key)
+        if prior is None or witness.second_time < prior.second_time:
+            self.witness[key] = witness
+
+    def successors(self, node: int) -> list[int]:
+        return sorted(self._succ.get(node, ()))
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(succ) for succ in self._succ.values())
+
+    def topological_order(self) -> Optional[list[int]]:
+        """Kahn's algorithm with a min-heap: the smallest-tid valid
+        serialization order, or ``None`` when a cycle exists."""
+        indegree = {node: 0 for node in self.nodes}
+        for a, succ in self._succ.items():
+            for b in succ:
+                indegree[b] += 1
+        ready = [node for node, deg in sorted(indegree.items()) if deg == 0]
+        heapq.heapify(ready)
+        order: list[int] = []
+        while ready:
+            node = heapq.heappop(ready)
+            order.append(node)
+            for nxt in self.successors(node):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    heapq.heappush(ready, nxt)
+        if len(order) != len(self.nodes):
+            return None
+        return order
+
+    def find_cycle(self) -> Optional[list[int]]:
+        """A minimal counterexample cycle, as ``[t1, t2, ..., t1]``.
+
+        First Kahn-strips every node not on (or feeding) a cycle, then
+        BFSes from each surviving node for the shortest path back to
+        itself; ties break toward the smaller starting tid.  Returns
+        ``None`` on acyclic graphs.
+        """
+        indegree = {node: 0 for node in self.nodes}
+        for a, succ in self._succ.items():
+            for b in succ:
+                indegree[b] += 1
+        ready = [node for node, deg in indegree.items() if deg == 0]
+        remaining = set(self.nodes)
+        while ready:
+            node = ready.pop()
+            remaining.discard(node)
+            for nxt in self.successors(node):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if not remaining:
+            return None
+        best: Optional[list[int]] = None
+        for start in sorted(remaining):
+            parent: dict[int, int] = {}
+            frontier = [start]
+            found = False
+            while frontier and not found:
+                nxt_frontier: list[int] = []
+                for node in frontier:
+                    for succ in self.successors(node):
+                        if succ == start:
+                            parent[start] = node
+                            found = True
+                            break
+                        if succ in remaining and succ not in parent:
+                            parent[succ] = node
+                            nxt_frontier.append(succ)
+                    if found:
+                        break
+                frontier = nxt_frontier
+            if not found:
+                continue
+            cycle = [start]
+            node = parent[start]
+            while node != start:
+                cycle.append(node)
+                node = parent[node]
+            cycle.append(start)
+            cycle.reverse()
+            if best is None or len(cycle) < len(best):
+                best = cycle
+        return best

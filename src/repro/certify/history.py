@@ -1,0 +1,242 @@
+"""Reconstructing transaction histories from a trace event stream.
+
+The certifier works on *incarnations*: one life of a transaction id
+between (re)start and commit/abort/drop.  A wounded transaction's id
+appears in several incarnations, but commits at most once, so the
+committed incarnation of a tid is unique — which is what lets the
+serializability graph use tids as nodes.
+
+:func:`parse_history` is a single forward pass over the (flattened)
+event dictionaries an :class:`~repro.tracing.EventLog` records; nothing
+here touches the simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+#: Event kinds that end the current incarnation of their transaction.
+TERMINAL_KINDS = ("commit", "abort", "drop")
+
+#: Event kinds recorded into the incarnation's own stream.  IO and CPU
+#: events (io_start, preempt, ...) are irrelevant to lock discipline and
+#: are skipped; ``io_stale`` in particular arrives *after* the abort
+#: that killed its epoch and must not open a ghost incarnation.
+_TRACKED_KINDS = (
+    "arrival",
+    "dispatch",
+    "lock_acquire",
+    "lock_release",
+    "lock_wait",
+    "lock_wake",
+    "decision",
+    "deadlock_break",
+) + TERMINAL_KINDS
+
+
+@dataclasses.dataclass(frozen=True)
+class Acquire:
+    """One granted lock: item + mode at a point in time.
+
+    ``seq`` is the event's position in the stream — the tiebreaker for
+    ordering checks when several events share a timestamp.
+    """
+
+    time: float
+    item: int
+    exclusive: bool
+    seq: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class Release:
+    """One all-at-end lock release (strict 2PL releases exactly once)."""
+
+    time: float
+    items: tuple[int, ...]
+    reason: str
+    seq: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class Wait:
+    """One lock wait: who blocked on what, behind whom."""
+
+    time: float
+    item: int
+    holders: tuple[int, ...]
+    seq: int = 0
+
+
+@dataclasses.dataclass
+class Incarnation:
+    """One life of a transaction id."""
+
+    tid: int
+    index: int
+    start_time: float
+    acquires: list[Acquire] = dataclasses.field(default_factory=list)
+    releases: list[Release] = dataclasses.field(default_factory=list)
+    waits: list[Wait] = dataclasses.field(default_factory=list)
+    wakes: list[float] = dataclasses.field(default_factory=list)
+    node_label: Optional[str] = None
+    end_kind: Optional[str] = None
+    end_time: Optional[float] = None
+    end_by: Optional[int] = None
+    end_cause: Optional[str] = None
+
+    @property
+    def committed(self) -> bool:
+        return self.end_kind == "commit"
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.tid, self.index)
+
+    def held_items(self) -> dict[int, Acquire]:
+        """Item -> first acquire, exclusive-if-ever-exclusive."""
+        held: dict[int, Acquire] = {}
+        for acq in self.acquires:
+            prior = held.get(acq.item)
+            if prior is None:
+                held[acq.item] = acq
+            elif acq.exclusive and not prior.exclusive:
+                held[acq.item] = Acquire(prior.time, prior.item, True)
+        return held
+
+    def acquires_until(self, time: float) -> list[Acquire]:
+        """Acquires up to and including ``time`` (the state a wound saw:
+        the victim holds everything it locked before being wounded, and
+        a zero-length operation can share the wound's timestamp)."""
+        return [acq for acq in self.acquires if acq.time <= time]
+
+
+@dataclasses.dataclass(frozen=True)
+class Wound:
+    """One abort event, joined to the victim incarnation it ended."""
+
+    time: float
+    victim: int
+    by: int
+    cause: str
+    incarnation: Incarnation
+    deadlock_break: bool
+
+
+@dataclasses.dataclass
+class History:
+    """Everything the certifier needs, reconstructed from one stream."""
+
+    incarnations: list[Incarnation]
+    wounds: list[Wound]
+    n_events: int
+    last_time: float = 0.0
+
+    def by_tid(self) -> dict[int, list[Incarnation]]:
+        out: dict[int, list[Incarnation]] = {}
+        for inc in self.incarnations:
+            out.setdefault(inc.tid, []).append(inc)
+        return out
+
+    def committed(self) -> dict[int, Incarnation]:
+        """The committed incarnation per tid (unique: a tid commits once)."""
+        out: dict[int, Incarnation] = {}
+        for inc in self.incarnations:
+            if inc.committed:
+                if inc.tid in out:
+                    raise ValueError(
+                        f"transaction {inc.tid} committed more than once"
+                    )
+                out[inc.tid] = inc
+        return out
+
+
+def parse_history(events: Iterable[dict]) -> History:
+    """One forward pass: events -> incarnations + wounds.
+
+    ``events`` are the flattened dictionaries an
+    :class:`~repro.tracing.EventLog` holds (``tx`` already a tid).
+    Raises :class:`ValueError` on records that are not trace events.
+    """
+    open_inc: dict[int, Incarnation] = {}
+    next_index: dict[int, int] = {}
+    incarnations: list[Incarnation] = []
+    wounds: list[Wound] = []
+    # deadlock_break precedes the abort it causes (same requester,
+    # same victim); remember pending breaks to label those wounds.
+    pending_breaks: set[tuple[int, int]] = set()
+    n_events = 0
+
+    def current(tid: int, time: float) -> Incarnation:
+        inc = open_inc.get(tid)
+        if inc is None:
+            index = next_index.get(tid, 0)
+            next_index[tid] = index + 1
+            inc = Incarnation(tid=tid, index=index, start_time=time)
+            open_inc[tid] = inc
+            incarnations.append(inc)
+        return inc
+
+    last_time = 0.0
+    for event in events:
+        kind = event.get("event")
+        if kind is None:
+            raise ValueError(f"not a trace event record: {event!r}")
+        seq = n_events
+        n_events += 1
+        last_time = max(last_time, float(event.get("time", 0.0)))
+        if kind not in _TRACKED_KINDS:
+            continue
+        tid = event["tx"]
+        time = float(event.get("time", 0.0))
+        inc = current(tid, time)
+        if kind == "lock_acquire":
+            inc.acquires.append(
+                Acquire(time, event["item"], bool(event["exclusive"]), seq)
+            )
+        elif kind == "lock_release":
+            inc.releases.append(
+                Release(time, tuple(event["items"]), event["reason"], seq)
+            )
+        elif kind == "lock_wait":
+            inc.waits.append(
+                Wait(time, event["item"], tuple(event["holders"]), seq)
+            )
+        elif kind == "lock_wake":
+            inc.wakes.append(time)
+        elif kind == "decision":
+            inc.node_label = event["node"]
+        elif kind == "deadlock_break":
+            # tx = the holder about to be wounded, by = the requester;
+            # the matching abort follows with the same (by, victim).
+            pending_breaks.add((event["by"], tid))
+        elif kind in TERMINAL_KINDS:
+            inc.end_kind = kind
+            inc.end_time = time
+            if kind == "abort":
+                by = event["by"]
+                cause = event["cause"]
+                inc.end_by = by
+                inc.end_cause = cause
+                wounds.append(
+                    Wound(
+                        time=time,
+                        victim=tid,
+                        by=by,
+                        cause=cause,
+                        incarnation=inc,
+                        deadlock_break=(by, tid) in pending_breaks,
+                    )
+                )
+                pending_breaks.discard((by, tid))
+            del open_inc[tid]
+        if kind == "arrival":
+            inc.start_time = time
+
+    return History(
+        incarnations=incarnations,
+        wounds=wounds,
+        n_events=n_events,
+        last_time=last_time,
+    )

@@ -1,0 +1,166 @@
+"""Certifying experiment cells: selection, execution, sampling.
+
+``repro certify <exp>`` re-simulates sweep cells with an event log
+attached and runs the certifier over each.  Cell selection mirrors
+``repro trace`` (middle x, first seed by default) but fans out over
+*policies*: the acceptance question is "does every policy's schedule
+certify", so the default sample takes one cell per policy.
+
+Experiments without sweeps (table1/table2) certify a synthesized cell
+at the base configuration — the tables describe exactly one parameter
+point, which is as deterministic as a sweep cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.core.policy import make_policy
+from repro.certify.certifier import CertificationResult, certify_events
+from repro.core.simulator import SimulationResult
+from repro.experiments.config import DISK_BASE, MAIN_MEMORY_BASE, ExperimentScale
+from repro.experiments.figures import FIGURE_SWEEPS, experiment_cells
+from repro.experiments.parallel import SweepCell, simulate_cell_traced
+from repro.obs.registry import MetricsRegistry
+
+#: Base configuration behind each sweep-less experiment.
+_TABLE_BASES = {"table1": MAIN_MEMORY_BASE, "table2": DISK_BASE}
+
+#: The acceptance matrix: one cell per policy in the default sample.
+DEFAULT_POLICIES = ("EDF-HP", "EDF-Wait", "CCA")
+
+
+@dataclasses.dataclass(frozen=True)
+class CellCertification:
+    """One certified cell: where it came from plus the verdict."""
+
+    experiment: str
+    cell: SweepCell
+    result: CertificationResult
+    simulation: SimulationResult
+
+    def to_dict(self) -> dict:
+        return {
+            "cell": {
+                "x": self.cell.x,
+                "seed": self.cell.seed,
+                "policy": self.cell.policy,
+            },
+            "certified": self.result.certified,
+            "violations": [v.to_dict() for v in self.result.violations],
+            "rules_skipped": dict(self.result.skipped),
+        }
+
+
+def default_cells(
+    experiment: str,
+    scale: ExperimentScale,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+) -> list[SweepCell]:
+    """The deterministic certification sample: one cell per policy.
+
+    Sweep experiments use the middle x-value with the first seed;
+    policies outside the sweep's own matrix reuse that x's config (a
+    certifier question is well-posed for any policy at any cell).
+    ``table1``/``table2`` synthesize the base-parameter cell.
+    """
+    canonical = [
+        make_policy(name, penalty_weight=1.0).name for name in policies
+    ]
+    base = _TABLE_BASES.get(experiment)
+    if base is not None and not FIGURE_SWEEPS.get(experiment):
+        config = scale.scale_config(base)
+        seed = scale.seeds_for(base)[0]
+        return [
+            SweepCell(
+                x=config.arrival_rate, policy=name, seed=seed, config=config
+            )
+            for name in canonical
+        ]
+    cells = experiment_cells(experiment, scale)
+    xs = sorted({cell.x for cell in cells})
+    mid_x = xs[len(xs) // 2]
+    template = next(cell for cell in cells if cell.x == mid_x)
+    return [
+        dataclasses.replace(template, policy=name) for name in canonical
+    ]
+
+
+def find_cell(
+    experiment: str,
+    scale: ExperimentScale,
+    x: float,
+    seed: int,
+    policy: str,
+) -> Optional[SweepCell]:
+    """The sweep cell at ``(x, seed)`` under ``policy``.
+
+    The policy need not be in the sweep's own matrix — any policy can
+    be certified at any (x, seed) point; the axis point and seed must
+    exist though, so the workload is one the experiment actually runs.
+    """
+    cells = experiment_cells(experiment, scale)
+    canonical = make_policy(policy, penalty_weight=1.0).name
+    for cell in cells:
+        if cell.x == x and cell.seed == seed:
+            return dataclasses.replace(cell, policy=canonical)
+    return None
+
+
+def certify_cell(
+    experiment: str,
+    cell: SweepCell,
+    *,
+    max_wall_s: Optional[float] = None,
+) -> CellCertification:
+    """Re-simulate one cell with tracing on and certify its schedule."""
+    simulation, log, workload = simulate_cell_traced(
+        cell.config, cell.seed, cell.policy, max_wall_s=max_wall_s
+    )
+    result = certify_events(
+        log.events,
+        workload,
+        cell.policy,
+        penalty_weight=cell.config.penalty_weight,
+    )
+    return CellCertification(
+        experiment=experiment, cell=cell, result=result, simulation=simulation
+    )
+
+
+def certify_sample(
+    experiment: str,
+    scale: ExperimentScale,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+    max_wall_s: Optional[float] = None,
+) -> list[CellCertification]:
+    """Certify the default cell sample; feeds per-policy ``certify.*``
+    counters into ``registry`` when given."""
+    out: list[CellCertification] = []
+    for cell in default_cells(experiment, scale, policies):
+        certified = certify_cell(experiment, cell, max_wall_s=max_wall_s)
+        out.append(certified)
+        if registry is not None:
+            registry.counter("certify.cells", policy=cell.policy).inc()
+            if not certified.result.certified:
+                registry.counter(
+                    "certify.uncertified_cells", policy=cell.policy
+                ).inc()
+            for code, count in certified.result.violations_by_rule().items():
+                registry.counter(
+                    "certify.violations", policy=cell.policy, rule=code
+                ).inc(count)
+    return out
+
+
+def certification_section(
+    samples: Sequence[CellCertification],
+) -> dict:
+    """The run manifest's ``certification`` section (schema v3)."""
+    return {
+        "enabled": True,
+        "cells": [sample.to_dict() for sample in samples],
+    }

@@ -14,6 +14,10 @@ Examples::
     repro trace fig5b --cell 4,2,EDF-HP
     repro lint                     # determinism-lint the repro package
     repro lint src/repro --format json
+    repro certify fig4a            # certify serializability, 2PL, and
+                                   # pre-analysis soundness of a sample
+    repro fig4a --certify          # run + certify; verdicts also land
+                                   # in the manifest under --report
     repro fig4a --sanitize         # validate every event against the
                                    # paper's invariants (RTSan)
 
@@ -172,6 +176,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--certify",
+        action="store_true",
+        help=(
+            "after each experiment, certify a deterministic sample of "
+            "cells (one per policy: EDF-HP, EDF-Wait, CCA) with the "
+            "offline schedule certifier and record the verdicts in the "
+            "run manifest; exits nonzero if any cell fails "
+            "certification (see docs/CERTIFY.md)"
+        ),
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help=(
@@ -217,6 +232,7 @@ def _write_report(
     elapsed: float,
     failures: Sequence[parallel.CellFailure] = (),
     notes: str = "",
+    certification: Optional[dict] = None,
 ) -> Path:
     manifest = build_manifest(
         experiment=figure_id,
@@ -229,6 +245,7 @@ def _write_report(
         cache_misses=int(registry.counter("sweep.cells_run").value),
         failures=[failure.to_dict() for failure in failures],
         notes=notes,
+        certification=certification,
     )
     return write_manifest(manifest, report_dir)
 
@@ -261,6 +278,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.checks.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "certify":
+        from repro.certify.cli import certify_main
+
+        return certify_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
@@ -340,10 +361,16 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
         sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
     any_dropped = False
+    any_uncertified = False
+    want_certify = getattr(args, "certify", False)
     for figure_id in ids:
         started = time.time()
         counters = TraceCounters()
-        registry = MetricsRegistry() if args.report is not None else None
+        registry = (
+            MetricsRegistry()
+            if args.report is not None or want_certify
+            else None
+        )
         try:
             with parallel.execution(
                 trace=counters,
@@ -370,6 +397,31 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
             return 130
         failures = parallel.take_failures()
         print(render_figure(result))
+        certification_section = None
+        if want_certify:
+            if figure_id in FIGURE_SWEEPS:
+                from repro.certify.runner import (
+                    certification_section as build_certification,
+                    certify_sample,
+                )
+                from repro.experiments.report import render_certification
+
+                samples = certify_sample(
+                    figure_id,
+                    scale,
+                    registry=registry,
+                    max_wall_s=args.timeout,
+                )
+                certification_section = build_certification(samples)
+                print(render_certification(samples))
+                any_uncertified = any_uncertified or any(
+                    not sample.result.certified for sample in samples
+                )
+            else:
+                print(
+                    f"[certify: {figure_id} has no enumerable cells; "
+                    "skipped]"
+                )
         elapsed = time.time() - started
         print(f"[{figure_id} done in {elapsed:.1f}s at scale={scale.name}]")
         if counters.count("sweep_end"):
@@ -379,7 +431,7 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
             any_dropped = any_dropped or any(
                 not failure.recovered for failure in failures
             )
-        if registry is not None:
+        if args.report is not None and registry is not None:
             path = _write_report(
                 figure_id,
                 scale,
@@ -388,15 +440,17 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
                 jobs=parallel.resolve_jobs(args.jobs),
                 elapsed=elapsed,
                 failures=failures,
+                certification=certification_section,
             )
             print(f"wrote manifest {path}")
         print()
         if args.csv is not None:
             path = write_csv(result, args.csv)
             print(f"wrote {path}")
-    # Dropped cells mean the figures above are incomplete: make the run
-    # fail loudly even though each surviving series rendered fine.
-    return 1 if any_dropped else 0
+    # Dropped cells mean the figures above are incomplete, and an
+    # uncertified schedule means the numbers rest on a broken property:
+    # make the run fail loudly even though each series rendered fine.
+    return 1 if any_dropped or any_uncertified else 0
 
 
 # ---------------------------------------------------------------------------

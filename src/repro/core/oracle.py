@@ -27,9 +27,31 @@ from __future__ import annotations
 
 import abc
 
+from typing import Iterable
+
 from repro.analysis.relations import Conflict, Safety
 from repro.analysis.table import RelationTable
-from repro.rtdb.transaction import Transaction
+from repro.rtdb.transaction import Transaction, TransactionSpec
+
+
+def replay_transaction(
+    spec: TransactionSpec,
+    accessed: Iterable[int] = (),
+    accessed_writes: Iterable[int] = (),
+) -> Transaction:
+    """A :class:`Transaction` reconstructed in a given access state.
+
+    Offline analyses (``repro certify``) replay trace events and need to
+    ask the oracle the question the scheduler faced *at that moment*,
+    which depends only on the spec and which items the transaction had
+    locked so far.  Items in ``accessed_writes`` are recorded as writes;
+    the rest of ``accessed`` as reads.
+    """
+    tx = Transaction(spec)
+    writes = frozenset(accessed_writes)
+    for item in sorted(frozenset(accessed) | writes):
+        tx.record_access(item, write=item in writes)
+    return tx
 
 
 class ConflictOracle(abc.ABC):

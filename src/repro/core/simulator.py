@@ -501,6 +501,7 @@ class RTDBSimulator:
             self.disk.remove_queued(tx)
         elif tx.state is TxState.LOCK_BLOCKED and tx.blocked_on is not None:
             self.lockmgr.remove_waiter(tx, tx.blocked_on)
+        self._trace_release(tx, reason="drop")
         woken = self.lockmgr.release_all(tx)
         tx.state = TxState.DROPPED
         tx.epoch += 1  # invalidate any in-flight disk completion
@@ -722,6 +723,7 @@ class RTDBSimulator:
         if not self.lockmgr.acquire(tx, op.item, exclusive=op.is_write):
             raise RuntimeError(f"lock {op.item} not grantable after resolution")
         tx.record_access(op.item, write=op.is_write)
+        self._trace("lock_acquire", tx=tx, item=op.item, exclusive=op.is_write)
         self._advance_node(tx)
         self._note_partially_executed(tx)
         tx.remaining_compute = op.compute_time
@@ -788,6 +790,7 @@ class RTDBSimulator:
     def _commit(self, tx: Transaction) -> None:
         self._release_cpu(tx)
         tx.commit(self.sim.now)
+        self._trace_release(tx, reason="commit")
         woken = self.lockmgr.release_all(tx)
         del self.live[tx.tid]
         self._plist_discard(tx)
@@ -832,6 +835,7 @@ class RTDBSimulator:
             self.disk.remove_queued(victim)
         elif victim.state is TxState.LOCK_BLOCKED and victim.blocked_on is not None:
             self.lockmgr.remove_waiter(victim, victim.blocked_on)
+        self._trace_release(victim, reason="abort")
         woken = self.lockmgr.release_all(victim)
         if self._m is not None:
             # CPU the victim consumed and must redo — the paper's
@@ -877,3 +881,25 @@ class RTDBSimulator:
     def _trace(self, name: str, **fields) -> None:
         if self.trace is not None:
             self.trace(name, time=self.sim.now, **fields)
+
+    def _trace_release(self, tx: Transaction, reason: str) -> None:
+        """Emit ``lock_release`` for every lock ``tx`` still holds.
+
+        Called immediately *before* ``release_all`` at each of its three
+        call sites (commit, abort, firm-deadline drop), so offline
+        analyses see the release on rollback paths too — strict 2PL's
+        "locks held to commit/abort" is checkable from the stream alone.
+        Emitted only when locks are actually held (a transaction dropped
+        before its first operation holds none).
+        """
+        if self.trace is None:
+            return
+        held = sorted(self.lockmgr.held_items(tx))
+        if held:
+            self.trace(
+                "lock_release",
+                time=self.sim.now,
+                tx=tx,
+                items=held,
+                reason=reason,
+            )

@@ -252,6 +252,31 @@ def simulate_cell(
     return RTDBSimulator(config, workload, policy, max_wall_s=max_wall_s).run()
 
 
+def simulate_cell_traced(
+    config: SimulationConfig,
+    seed: int,
+    policy_name: str,
+    *,
+    max_wall_s: Optional[float] = None,
+):
+    """Run one cell with a full :class:`~repro.tracing.EventLog` attached.
+
+    Returns ``(result, log, workload)`` — everything offline analyses
+    (``repro trace``, ``repro certify``) need: the aggregate outcome,
+    the complete event stream, and the exact specs it was generated
+    from.  Same determinism contract as :func:`simulate_cell`.
+    """
+    from repro.tracing import EventLog
+
+    workload = generate_workload(config, seed)
+    policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
+    log = EventLog()
+    result = RTDBSimulator(
+        config, workload, policy, trace=log, max_wall_s=max_wall_s
+    ).run()
+    return result, log, workload
+
+
 def simulate_cell_observed(
     config: SimulationConfig,
     seed: int,

@@ -47,6 +47,34 @@ def render_figure(result: FigureResult) -> str:
     return "\n".join(lines)
 
 
+def render_certification(samples) -> str:
+    """One summary line per certified cell of a ``--certify`` sample.
+
+    ``samples`` is a sequence of
+    :class:`~repro.certify.runner.CellCertification`; the full verdicts
+    live in the run manifest — this is the console digest.
+    """
+    if not samples:
+        return "[certify: no cells certified]"
+    lines = []
+    for sample in samples:
+        result = sample.result
+        verdict = "certified" if result.certified else "NOT CERTIFIED"
+        detail = ""
+        if not result.certified:
+            by_rule = result.violations_by_rule()
+            detail = " (" + ", ".join(
+                f"{code}:{count}" for code, count in sorted(by_rule.items())
+            ) + ")"
+        lines.append(
+            f"[certify {sample.experiment} x={sample.cell.x:g} "
+            f"seed={sample.cell.seed} policy={sample.cell.policy}: "
+            f"{verdict}{detail} — {result.n_committed} committed, "
+            f"{result.n_wounds} wounds, {result.n_graph_edges} edges]"
+        )
+    return "\n".join(lines)
+
+
 def write_csv(result: FigureResult, directory: Path) -> Path:
     """Write one experiment's series to ``<directory>/<figure_id>.csv``."""
     directory = Path(directory)

@@ -34,6 +34,7 @@ from repro.experiments.parallel import (
     cells_for_sweep,
     execute_cells,
     simulate_cell,
+    simulate_cell_traced,
 )
 from repro.obs.registry import MetricsRegistry
 from repro.metrics.summary import RunSummary, summarize
@@ -183,5 +184,6 @@ __all__ = [
     "policy_factory",
     "run_policy",
     "simulate_cell",
+    "simulate_cell_traced",
     "sweep",
 ]

@@ -26,7 +26,10 @@ from typing import Mapping, Optional, Sequence
 #: Bump when the manifest document layout changes incompatibly.
 #: v2: added the required ``failures`` section (per-cell failure
 #: records from fault-tolerant sweep execution).
-MANIFEST_SCHEMA_VERSION = 2
+#: v3: added the required ``certification`` section (offline schedule
+#: certification results from ``--certify``; ``enabled: false`` with no
+#: cells when the flag was off).
+MANIFEST_SCHEMA_VERSION = 3
 
 #: Document type marker, so a manifest is self-identifying.
 MANIFEST_KIND = "repro-run-manifest"
@@ -51,6 +54,7 @@ _REQUIRED_FIELDS: dict[str, type | tuple[type, ...]] = {
     "cache": dict,
     "metrics": dict,
     "failures": list,
+    "certification": dict,
 }
 
 
@@ -107,6 +111,7 @@ def build_manifest(
     cache_misses: int = 0,
     failures: Sequence[Mapping] = (),
     notes: str = "",
+    certification: Optional[Mapping] = None,
 ) -> dict:
     """Assemble a manifest document (JSON-ready dict).
 
@@ -119,6 +124,9 @@ def build_manifest(
     :meth:`repro.experiments.parallel.CellFailure.to_dict`) — cells
     that crashed, hung, or returned corrupt payloads, whether a retry
     later recovered them (``recovered: true``) or they were dropped.
+    ``certification`` is the ``--certify`` section (see
+    :func:`repro.certify.runner.certification_section`); ``None`` means
+    certification was off and records ``{"enabled": false, "cells": []}``.
     """
     histograms = metrics_snapshot.get("histograms", {})
     return {
@@ -136,6 +144,11 @@ def build_manifest(
         "elapsed_s": elapsed_s,
         "cache": {"hits": cache_hits, "misses": cache_misses},
         "failures": [dict(failure) for failure in failures],
+        "certification": (
+            dict(certification)
+            if certification is not None
+            else {"enabled": False, "cells": []}
+        ),
         "cell_wall_ms": histograms.get("sweep.cell_wall_ms"),
         "metrics": dict(metrics_snapshot),
         "notes": notes,
@@ -209,4 +222,22 @@ def validate_manifest(manifest: Mapping) -> list[str]:
             for key in ("cell", "attempts", "exception"):
                 if key not in failure:
                     problems.append(f"failures[{index}] missing {key!r}")
+        certification = manifest["certification"]
+        if not isinstance(certification.get("enabled"), bool):
+            problems.append("certification.enabled missing or not a bool")
+        cells = certification.get("cells")
+        if not isinstance(cells, list):
+            problems.append("certification.cells missing or not a list")
+        else:
+            for index, cell in enumerate(cells):
+                if not isinstance(cell, dict):
+                    problems.append(
+                        f"certification.cells[{index}] is not an object"
+                    )
+                    continue
+                for key in ("cell", "certified", "violations"):
+                    if key not in cell:
+                        problems.append(
+                            f"certification.cells[{index}] missing {key!r}"
+                        )
     return problems

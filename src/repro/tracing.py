@@ -40,8 +40,10 @@ EVENT_SCHEMA: dict[str, tuple[str, ...]] = {
     "io_start": ("time", "tx"),
     "io_complete": ("time", "tx"),
     "io_stale": ("time", "tx"),
+    "lock_acquire": ("time", "tx", "item", "exclusive"),
     "lock_wait": ("time", "tx", "item", "holders"),
     "lock_wake": ("time", "tx"),
+    "lock_release": ("time", "tx", "items", "reason"),
     "deadlock_break": ("time", "tx", "by"),
     "decision": ("time", "tx", "node"),
     "commit": ("time", "tx"),
@@ -176,6 +178,24 @@ class EventLog:
             for event in self.events:
                 handle.write(json.dumps(event) + "\n")
         return path
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "EventLog":
+        """Read a log written by :meth:`to_jsonl` — already flattened, so
+        it replays straight into offline analyses (``repro certify``)."""
+        log = cls()
+        with open(path) as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if not isinstance(record, dict) or "event" not in record:
+                    raise ValueError(
+                        f"{path}:{line_no}: not a trace event record"
+                    )
+                log.events.append(record)
+        return log
 
     # -- schedule reconstruction -----------------------------------------
 

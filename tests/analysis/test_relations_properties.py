@@ -1,0 +1,114 @@
+"""Property tests for the pre-analysis relations.
+
+Three invariants the certifier (and the scheduler) lean on:
+
+* ``conflict_between`` is symmetric over arbitrary trees and nodes;
+* a subject that is UNSAFE (or conditionally unsafe) wrt a runner must
+  also *conflict* with it — safety violations imply conflict, which is
+  why CERT006 findings are always a subset of CERT005's universe;
+* for flat (decision-point-free) write-only programs the
+  :class:`~repro.core.oracle.TreeOracle` backed by the full tree
+  machinery agrees exactly with the :class:`~repro.core.oracle.SetOracle`
+  the simulation uses — the paper's "the relations collapse to set
+  algebra" claim.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.program import (
+    ProgramNode,
+    TransactionProgram,
+    linear_program,
+)
+from repro.analysis.relations import conflict_between, safety_of
+from repro.analysis.table import RelationTable
+from repro.analysis.tree import TransactionTree
+from repro.core.oracle import SetOracle, TreeOracle, replay_transaction
+
+from tests.conftest import make_spec
+
+access_sets = st.frozensets(
+    st.integers(min_value=0, max_value=8), max_size=4
+)
+
+
+@st.composite
+def analyzed_trees(draw, name: str):
+    """A random analyzed tree (depth <= 3, fanout <= 2) and one of its
+    node labels."""
+    counter = [0]
+
+    def build(depth: int) -> ProgramNode:
+        label = f"{name}{counter[0]}"
+        counter[0] += 1
+        accesses = draw(access_sets)
+        n_children = 0 if depth >= 2 else draw(
+            st.integers(min_value=0, max_value=2)
+        )
+        children = [build(depth + 1) for _ in range(n_children)]
+        return ProgramNode(label, accesses, children)
+
+    tree = TransactionTree(TransactionProgram(name, build(0)))
+    label = draw(st.sampled_from(sorted(tree.labels())))
+    return tree, label
+
+
+class TestRelationProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(analyzed_trees("P"), analyzed_trees("Q"))
+    def test_conflict_is_symmetric(self, state_a, state_b):
+        tree_a, label_a = state_a
+        tree_b, label_b = state_b
+        assert conflict_between(
+            tree_a, label_a, tree_b, label_b
+        ) is conflict_between(tree_b, label_b, tree_a, label_a)
+
+    @settings(max_examples=120, deadline=None)
+    @given(analyzed_trees("P"), analyzed_trees("Q"))
+    def test_unsafe_implies_conflict_possible(self, subject, runner):
+        tree_s, label_s = subject
+        tree_r, label_r = runner
+        safety = safety_of(tree_s, label_s, tree_r, label_r)
+        if safety.needs_rollback:
+            assert conflict_between(
+                tree_s, label_s, tree_r, label_r
+            ).possible
+
+
+item_sets = st.frozensets(
+    st.integers(min_value=0, max_value=8), min_size=1, max_size=5
+)
+
+
+class TestFlatProgramsCollapseToSets:
+    @settings(max_examples=120, deadline=None)
+    @given(item_sets, item_sets)
+    def test_tree_oracle_matches_set_oracle(self, items_a, items_b):
+        spec_a = make_spec(1, sorted(items_a), type_id=0)
+        spec_b = make_spec(2, sorted(items_b), type_id=1)
+        table = RelationTable([
+            TransactionTree(linear_program("type0", items_a)),
+            TransactionTree(linear_program("type1", items_b)),
+        ])
+        tree_oracle = TreeOracle(table)
+        set_oracle = SetOracle()
+        # Fully accessed: for a flat write-only program, "has accessed"
+        # equals the declared set only once every item has been locked.
+        tx_a = replay_transaction(
+            spec_a, accessed=spec_a.data_set, accessed_writes=spec_a.write_set
+        )
+        tx_b = replay_transaction(
+            spec_b, accessed=spec_b.data_set, accessed_writes=spec_b.write_set
+        )
+        assert tree_oracle.conflict(tx_a, tx_b) is set_oracle.conflict(
+            tx_a, tx_b
+        )
+        assert tree_oracle.safety(tx_a, tx_b) is set_oracle.safety(
+            tx_a, tx_b
+        )
+        assert tree_oracle.safety(tx_b, tx_a) is set_oracle.safety(
+            tx_b, tx_a
+        )

@@ -71,3 +71,22 @@ class TestPrecompute:
                     table.tree(name_a), label_a, table.tree(name_b), label_b
                 )
                 assert table.conflict(name_a, label_a, name_b, label_b) is expected
+
+    def test_symmetric_precompute_equals_exhaustive(self, table):
+        """The unordered-pair precompute produces exactly the tables the
+        naive ordered double loop would have."""
+        table.precompute()
+        reference = RelationTable(
+            [table.tree(name) for name in table.programs]
+        )
+        states = [
+            (name, node.label)
+            for name in table.programs
+            for node in table.tree(name).program.root.walk()
+        ]
+        for name_a, label_a in states:
+            for name_b, label_b in states:
+                reference.conflict(name_a, label_a, name_b, label_b)
+                reference.safety(name_a, label_a, name_b, label_b)
+        assert table._conflict == reference._conflict
+        assert table._safety == reference._safety

@@ -1,0 +1,44 @@
+"""Shared builders for certifier tests: hand-built event streams.
+
+Events here are the flattened dictionaries an
+:class:`~repro.tracing.EventLog` records.  The baseline is a perfectly
+serial two-transaction schedule that certifies clean under every rule;
+mutation tests copy it and perturb exactly one aspect, so each CERT
+rule's firing is pinned to a known defect.
+"""
+
+from __future__ import annotations
+
+from tests.conftest import make_spec
+
+
+def ev(kind: str, time: float, **fields) -> dict:
+    """One flattened trace event."""
+    return {"event": kind, "time": float(time), **fields}
+
+
+def serial_specs():
+    """T1 then T2, both write items 1 and 2; T1's deadline is earlier
+    (so T1 outranks T2 under EDF)."""
+    return [
+        make_spec(1, [1, 2], arrival=0.0, deadline=100.0),
+        make_spec(2, [1, 2], arrival=6.0, deadline=200.0),
+    ]
+
+
+def serial_events():
+    """The clean strict-2PL serial schedule for :func:`serial_specs`."""
+    return [
+        ev("arrival", 0.0, tx=1),
+        ev("dispatch", 0.0, tx=1),
+        ev("lock_acquire", 1.0, tx=1, item=1, exclusive=True),
+        ev("lock_acquire", 2.0, tx=1, item=2, exclusive=True),
+        ev("lock_release", 5.0, tx=1, items=[1, 2], reason="commit"),
+        ev("commit", 5.0, tx=1),
+        ev("arrival", 6.0, tx=2),
+        ev("dispatch", 6.0, tx=2),
+        ev("lock_acquire", 7.0, tx=2, item=1, exclusive=True),
+        ev("lock_acquire", 8.0, tx=2, item=2, exclusive=True),
+        ev("lock_release", 10.0, tx=2, items=[1, 2], reason="commit"),
+        ev("commit", 10.0, tx=2),
+    ]

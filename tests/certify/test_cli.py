@@ -1,0 +1,153 @@
+"""``repro certify`` CLI: exit codes, report formats, offline mode.
+
+Exit contract (shared with ``repro lint``): 0 = certified,
+1 = violations found, 2 = usage error.  The known-bad fixture pair under
+``fixtures/`` is the same one the CI smoke step feeds through
+``--events``; it must always fail certification.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.certify.cli import certify_main
+from repro.certify.report import JSON_SCHEMA_VERSION
+from repro.workload.serialization import save_workload
+
+from tests.certify.conftest import serial_events, serial_specs
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD_TRACE = FIXTURES / "bad_trace.jsonl"
+BAD_WORKLOAD = FIXTURES / "bad_workload.jsonl"
+
+
+def write_events(path, events):
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+    return path
+
+
+class TestUsageErrors:
+    def test_no_arguments(self, capsys):
+        assert certify_main([]) == 2
+        assert "experiment id" in capsys.readouterr().err
+
+    def test_unknown_experiment(self, capsys):
+        assert certify_main(["fig9z"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_malformed_cell(self, capsys):
+        assert certify_main(["fig4a", "--cell", "nope"]) == 2
+        assert certify_main(["fig4a", "--cell", "x,y,EDF-HP"]) == 2
+
+    def test_cell_not_in_sweep(self, capsys):
+        assert certify_main(
+            ["fig4a", "--scale", "quick", "--cell", "999,1,EDF-HP"]
+        ) == 2
+        assert "no cell at" in capsys.readouterr().err
+
+    def test_events_requires_workload_and_policy(self, capsys):
+        assert certify_main(["--events", str(BAD_TRACE)]) == 2
+        assert "--workload" in capsys.readouterr().err
+
+    def test_missing_files(self, tmp_path):
+        assert certify_main([
+            "--events", str(tmp_path / "no.jsonl"),
+            "--workload", str(BAD_WORKLOAD),
+            "--policy", "EDF-HP",
+        ]) == 2
+
+
+class TestListRules:
+    def test_catalog_covers_all_rules(self, capsys):
+        assert certify_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("CERT001", "CERT002", "CERT003",
+                     "CERT004", "CERT005", "CERT006"):
+            assert code in out
+
+
+class TestOfflineMode:
+    def test_clean_trace_certifies(self, tmp_path, capsys):
+        events = write_events(tmp_path / "trace.jsonl", serial_events())
+        workload = save_workload(serial_specs(), tmp_path / "load.jsonl")
+        code = certify_main([
+            "--events", str(events),
+            "--workload", str(workload),
+            "--policy", "EDF-HP",
+        ])
+        assert code == 0
+        assert "CERTIFIED" in capsys.readouterr().out
+
+    def test_known_bad_fixture_fails(self, capsys):
+        code = certify_main([
+            "--events", str(BAD_TRACE),
+            "--workload", str(BAD_WORKLOAD),
+            "--policy", "EDF-HP",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "NOT CERTIFIED" in out
+        assert "CERT001" in out
+
+    def test_json_report_schema(self, capsys):
+        code = certify_main([
+            "--events", str(BAD_TRACE),
+            "--workload", str(BAD_WORKLOAD),
+            "--policy", "EDF-HP",
+            "--format", "json",
+        ])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-certification"
+        assert payload["schema"] == JSON_SCHEMA_VERSION == 1
+        assert payload["certified"] is False
+        assert payload["cycle"] is not None
+        assert any(
+            v["code"] == "CERT001" for v in payload["violations"]
+        )
+
+    def test_corrupt_trace_is_a_usage_error(self, tmp_path, capsys):
+        events = tmp_path / "trace.jsonl"
+        events.write_text('{"no_event_key": 1}\n')
+        workload = save_workload(serial_specs(), tmp_path / "load.jsonl")
+        assert certify_main([
+            "--events", str(events),
+            "--workload", str(workload),
+            "--policy", "EDF-HP",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExperimentMode:
+    @pytest.mark.parametrize("fmt", ["text", "json"])
+    def test_table1_certifies(self, capsys, fmt):
+        code = certify_main([
+            "table1", "--scale", "quick", "--policy", "EDF-HP",
+            "--format", fmt,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        if fmt == "text":
+            assert "CERTIFIED" in out
+            assert "serialization order" in out
+        else:
+            payload = json.loads(out)
+            assert payload["certified"] is True
+            assert payload["schema"] == JSON_SCHEMA_VERSION
+            (cell,) = payload["cells"]
+            assert cell["cell"]["policy"] == "EDF-HP"
+
+    def test_specific_cell(self, capsys):
+        from repro.certify.runner import default_cells
+        from repro.experiments.config import ExperimentScale
+
+        (cell,) = default_cells("fig4a", ExperimentScale.quick(), ["EDF-HP"])
+        code = certify_main([
+            "fig4a", "--scale", "quick",
+            "--cell", f"{cell.x:g},{cell.seed},EDF-HP",
+        ])
+        assert code == 0
+        assert f"x={cell.x:g}" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Precedence graph: deterministic topological orders and minimal cycles."""
+
+import pytest
+
+from repro.certify.graph import EdgeWitness, PrecedenceGraph
+
+
+def w(item=1, first=0.0, second=1.0):
+    return EdgeWitness(item, first, second)
+
+
+class TestTopologicalOrder:
+    def test_isolated_nodes_sort_by_tid(self):
+        graph = PrecedenceGraph()
+        for node in (3, 1, 2):
+            graph.add_node(node)
+        assert graph.topological_order() == [1, 2, 3]
+
+    def test_edges_constrain_the_order(self):
+        graph = PrecedenceGraph()
+        graph.add_node(3)
+        graph.add_edge(2, 1, w())
+        assert graph.topological_order() == [2, 1, 3]
+
+    def test_cycle_yields_no_order(self):
+        graph = PrecedenceGraph()
+        graph.add_edge(1, 2, w())
+        graph.add_edge(2, 1, w())
+        assert graph.topological_order() is None
+
+
+class TestEdges:
+    def test_self_edge_rejected(self):
+        graph = PrecedenceGraph()
+        with pytest.raises(ValueError, match="self-edge"):
+            graph.add_edge(1, 1, w())
+
+    def test_earliest_witness_wins(self):
+        graph = PrecedenceGraph()
+        graph.add_edge(1, 2, w(item=5, second=9.0))
+        graph.add_edge(1, 2, w(item=7, second=3.0))
+        assert graph.n_edges == 1
+        assert graph.witness[(1, 2)].item == 7
+
+    def test_n_edges_counts_distinct_pairs(self):
+        graph = PrecedenceGraph()
+        graph.add_edge(1, 2, w())
+        graph.add_edge(1, 2, w())
+        graph.add_edge(2, 3, w())
+        assert graph.n_edges == 2
+
+
+class TestFindCycle:
+    def test_acyclic_graph_has_no_cycle(self):
+        graph = PrecedenceGraph()
+        graph.add_edge(1, 2, w())
+        graph.add_edge(2, 3, w())
+        assert graph.find_cycle() is None
+
+    def test_cycle_closed_and_stripped_of_tails(self):
+        graph = PrecedenceGraph()
+        graph.add_edge(5, 1, w())  # tail feeding the cycle
+        graph.add_edge(1, 2, w())
+        graph.add_edge(2, 1, w())
+        graph.add_edge(2, 6, w())  # tail leaving the cycle
+        cycle = graph.find_cycle()
+        assert cycle == [1, 2, 1]
+
+    def test_shortest_cycle_is_preferred(self):
+        graph = PrecedenceGraph()
+        graph.add_edge(1, 2, w())
+        graph.add_edge(2, 3, w())
+        graph.add_edge(3, 1, w())
+        graph.add_edge(4, 5, w())
+        graph.add_edge(5, 4, w())
+        assert graph.find_cycle() == [4, 5, 4]

@@ -1,0 +1,108 @@
+"""History reconstruction: incarnations, wounds, and event bookkeeping."""
+
+import pytest
+
+from repro.certify.history import parse_history
+
+from tests.certify.conftest import ev, serial_events
+
+
+def restart_events():
+    """T1 is wounded once, restarts, and commits on its second life."""
+    return [
+        ev("arrival", 0.0, tx=1),
+        ev("lock_acquire", 1.0, tx=1, item=1, exclusive=True),
+        ev("lock_release", 2.0, tx=1, items=[1], reason="abort"),
+        ev("abort", 2.0, tx=1, by=2, cause="dispatch"),
+        ev("dispatch", 3.0, tx=1),
+        ev("lock_acquire", 4.0, tx=1, item=1, exclusive=True),
+        ev("lock_release", 6.0, tx=1, items=[1], reason="commit"),
+        ev("commit", 6.0, tx=1),
+    ]
+
+
+class TestIncarnations:
+    def test_serial_history_has_one_incarnation_per_tid(self):
+        history = parse_history(serial_events())
+        assert [inc.key for inc in history.incarnations] == [(1, 0), (2, 0)]
+        assert sorted(history.committed()) == [1, 2]
+        assert history.n_events == 12
+        assert history.last_time == 10.0
+
+    def test_restart_splits_incarnations(self):
+        history = parse_history(restart_events())
+        assert [inc.key for inc in history.incarnations] == [(1, 0), (1, 1)]
+        by_tid = history.by_tid()
+        assert len(by_tid[1]) == 2
+        assert history.committed()[1].index == 1
+
+    def test_wound_joined_to_the_incarnation_it_ended(self):
+        history = parse_history(restart_events())
+        (wound,) = history.wounds
+        assert wound.victim == 1 and wound.by == 2
+        assert wound.cause == "dispatch"
+        assert wound.incarnation.index == 0
+        assert not wound.deadlock_break
+
+    def test_double_commit_rejected(self):
+        events = serial_events() + [
+            ev("dispatch", 11.0, tx=1),
+            ev("commit", 12.0, tx=1),
+        ]
+        history = parse_history(events)
+        with pytest.raises(ValueError, match="committed more than once"):
+            history.committed()
+
+    def test_untracked_kinds_do_not_open_ghost_incarnations(self):
+        # io_stale arrives after the abort that killed its epoch; it must
+        # not resurrect the tid as a new incarnation.
+        events = restart_events()
+        events.insert(4, ev("io_stale", 2.5, tx=1, item=1))
+        history = parse_history(events)
+        assert [inc.key for inc in history.incarnations] == [(1, 0), (1, 1)]
+        assert history.n_events == len(events)
+
+    def test_non_event_record_rejected(self):
+        with pytest.raises(ValueError, match="not a trace event"):
+            parse_history([{"foo": 1}])
+
+
+class TestDeadlockBreaks:
+    def test_break_marks_the_matching_wound(self):
+        events = restart_events()
+        events.insert(2, ev("deadlock_break", 2.0, tx=1, by=2))
+        (wound,) = parse_history(events).wounds
+        assert wound.deadlock_break
+
+    def test_break_for_another_pair_does_not_match(self):
+        events = restart_events()
+        events.insert(2, ev("deadlock_break", 2.0, tx=1, by=7))
+        (wound,) = parse_history(events).wounds
+        assert not wound.deadlock_break
+
+
+class TestIncarnationState:
+    def test_seq_breaks_same_timestamp_ties(self):
+        history = parse_history(serial_events())
+        (inc1, inc2) = history.incarnations
+        seqs = [acq.seq for acq in inc1.acquires + inc2.acquires]
+        assert seqs == sorted(seqs)
+        assert inc1.releases[0].seq > inc1.acquires[-1].seq
+
+    def test_held_items_upgrades_shared_to_exclusive(self):
+        events = [
+            ev("arrival", 0.0, tx=1),
+            ev("lock_acquire", 1.0, tx=1, item=1, exclusive=False),
+            ev("lock_acquire", 2.0, tx=1, item=1, exclusive=True),
+            ev("lock_release", 3.0, tx=1, items=[1], reason="commit"),
+            ev("commit", 3.0, tx=1),
+        ]
+        (inc,) = parse_history(events).incarnations
+        held = inc.held_items()
+        assert held[1].exclusive
+        assert held[1].time == 1.0  # the first grant's time survives
+
+    def test_acquires_until_is_inclusive(self):
+        (inc,) = parse_history(restart_events()).incarnations[:1]
+        assert [a.item for a in inc.acquires_until(1.0)] == [1]
+        assert inc.acquires_until(0.5) == []

@@ -1,0 +1,354 @@
+"""Mutation tests: every certifier rule demonstrably fires.
+
+Each test copies the clean serial baseline (which certifies under all
+six rules) and injects exactly one defect — a non-serializable history,
+a 2PL breach, a phantom lock holder, a priority-inverted wound, an
+unpredicted conflict, an unnecessary rollback — then asserts the
+matching CERT rule reports it.
+"""
+
+from repro.certify.certifier import certify_events
+from repro.rtdb.transaction import Operation, TransactionSpec
+
+from tests.certify.conftest import ev, serial_events, serial_specs
+
+
+def certify(events, specs=None, policy="EDF-HP"):
+    return certify_events(events, specs or serial_specs(), policy)
+
+
+class TestBaseline:
+    def test_serial_history_certifies_clean(self):
+        result = certify(serial_events())
+        assert result.certified
+        assert result.checked == (
+            "CERT001", "CERT002", "CERT003", "CERT004", "CERT005", "CERT006",
+        )
+        assert result.serialization_order == (1, 2)
+        assert result.cycle is None
+        # One deduplicated t1 -> t2 edge (witnessed by items 1 and 2).
+        assert result.n_graph_edges == 1
+
+
+class TestCert001Serializability:
+    def test_crossed_write_order_is_a_cycle(self):
+        events = [
+            ev("arrival", 0.0, tx=1),
+            ev("lock_acquire", 1.0, tx=1, item=1, exclusive=True),
+            ev("arrival", 0.5, tx=2),
+            ev("lock_acquire", 2.0, tx=2, item=2, exclusive=True),
+            ev("lock_acquire", 8.0, tx=1, item=2, exclusive=True),
+            ev("lock_release", 10.0, tx=1, items=[1, 2], reason="commit"),
+            ev("commit", 10.0, tx=1),
+            ev("lock_acquire", 11.0, tx=2, item=1, exclusive=True),
+            ev("lock_release", 12.0, tx=2, items=[1, 2], reason="commit"),
+            ev("commit", 12.0, tx=2),
+        ]
+        result = certify(events)
+        assert not result.certified
+        assert "CERT001" in result.violations_by_rule()
+        assert result.serialization_order is None
+        assert set(result.cycle) == {1, 2}
+        assert result.cycle[0] == result.cycle[-1]
+        (violation,) = [
+            v for v in result.violations if v.code == "CERT001"
+        ]
+        assert "precedence cycle" in violation.message
+
+    def test_shared_readers_do_not_conflict(self):
+        # r1 r2 in parallel then a later writer: serializable, and the
+        # two readers must not get an edge between them.
+        specs = [
+            TransactionSpec(
+                tid=tid,
+                type_id=0,
+                arrival_time=0.0,
+                deadline=100.0,
+                operations=(
+                    Operation(item=1, compute_time=4.0, is_write=False),
+                ),
+            )
+            for tid in (1, 2)
+        ] + [TransactionSpec(
+            tid=3,
+            type_id=0,
+            arrival_time=0.0,
+            deadline=100.0,
+            operations=(Operation(item=1, compute_time=4.0),),
+        )]
+        events = [
+            ev("arrival", 0.0, tx=1),
+            ev("arrival", 0.0, tx=2),
+            ev("lock_acquire", 1.0, tx=1, item=1, exclusive=False),
+            ev("lock_acquire", 1.5, tx=2, item=1, exclusive=False),
+            ev("lock_release", 3.0, tx=1, items=[1], reason="commit"),
+            ev("commit", 3.0, tx=1),
+            ev("lock_release", 4.0, tx=2, items=[1], reason="commit"),
+            ev("commit", 4.0, tx=2),
+            ev("arrival", 5.0, tx=3),
+            ev("lock_acquire", 6.0, tx=3, item=1, exclusive=True),
+            ev("lock_release", 8.0, tx=3, items=[1], reason="commit"),
+            ev("commit", 8.0, tx=3),
+        ]
+        result = certify(events, specs)
+        assert result.certified
+        # Both readers precede the writer, no reader-reader edge.
+        assert result.n_graph_edges == 2
+        assert result.serialization_order == (1, 2, 3)
+
+
+class TestCert002Strict2PL:
+    def messages(self, events, specs=None):
+        result = certify(events, specs)
+        return [v.message for v in result.violations if v.code == "CERT002"]
+
+    def test_acquire_after_release_fires(self):
+        events = serial_events()
+        events.insert(5, ev("lock_acquire", 5.0, tx=1, item=2, exclusive=True))
+        assert any("after releasing" in m for m in self.messages(events))
+
+    def test_missing_release_fires(self):
+        events = [e for e in serial_events()
+                  if not (e["event"] == "lock_release" and e["tx"] == 1)]
+        assert any("no release event" in m for m in self.messages(events))
+
+    def test_double_release_fires(self):
+        events = serial_events()
+        events.insert(5, ev("lock_release", 5.0, tx=1, items=[], reason="commit"))
+        assert any("released locks 2 times" in m for m in self.messages(events))
+
+    def test_release_reason_must_match_terminal(self):
+        events = serial_events()
+        events[4] = ev("lock_release", 5.0, tx=1, items=[1, 2], reason="abort")
+        assert any(
+            "does not match its terminal event" in m
+            for m in self.messages(events)
+        )
+
+    def test_release_of_unacquired_item_fires(self):
+        events = serial_events()
+        events[4] = ev("lock_release", 5.0, tx=1, items=[1, 2, 3],
+                       reason="commit")
+        assert any("never acquired" in m for m in self.messages(events))
+
+    def test_unreleased_item_fires(self):
+        events = serial_events()
+        events[4] = ev("lock_release", 5.0, tx=1, items=[1], reason="commit")
+        assert any("never released item 2" in m for m in self.messages(events))
+
+    def test_overlapping_exclusive_holds_fire(self):
+        events = serial_events()
+        # T2 grabs item 1 while T1 still holds it exclusively.
+        events.insert(4, ev("lock_acquire", 3.0, tx=2, item=1, exclusive=True))
+        del events[9]  # drop T2's original acquire of item 1
+        assert any("conflicting modes" in m for m in self.messages(events))
+
+    def test_truncated_trace_fires(self):
+        events = serial_events()[:4]  # T1 acquired both items, then EOF
+        assert any("end of the trace" in m for m in self.messages(events))
+
+
+class TestCert003ConflictResolution:
+    def test_phantom_holder_fires(self):
+        events = serial_events()
+        events.insert(4, ev("lock_wait", 3.0, tx=2, item=1, holders=[9]))
+        events.insert(7, ev("lock_wake", 5.0, tx=2))
+        result = certify(events)
+        assert any(
+            v.code == "CERT003" and "did not hold it" in v.message
+            for v in result.violations
+        )
+
+    def test_unresolved_wait_fires(self):
+        events = serial_events()
+        events.insert(4, ev("lock_wait", 3.0, tx=2, item=1, holders=[1]))
+        result = certify(events)
+        assert any(
+            v.code == "CERT003" and "never" in v.message
+            for v in result.violations
+        )
+
+    def test_wait_resolved_by_wake_passes(self):
+        events = serial_events()
+        events.insert(4, ev("lock_wait", 3.0, tx=2, item=1, holders=[1]))
+        events.insert(7, ev("lock_wake", 5.0, tx=2))
+        assert certify(events).certified
+
+    def test_pre_analysis_policy_must_not_wait(self):
+        # Theorem 1: under CCA scheduling no transaction ever waits on a
+        # lock; the same (otherwise valid) waiting history fails.
+        events = serial_events()
+        events.insert(4, ev("lock_wait", 3.0, tx=2, item=1, holders=[1]))
+        events.insert(7, ev("lock_wake", 5.0, tx=2))
+        result = certify(events, policy="CCA")
+        assert any(
+            v.code == "CERT003" and "Theorem 1" in v.message
+            for v in result.violations
+        )
+
+
+def wound_events(break_first=False):
+    """T2 wounds T1 at dispatch before T1 finishes; T2 then commits."""
+    events = [
+        ev("arrival", 0.0, tx=1),
+        ev("lock_acquire", 1.0, tx=1, item=1, exclusive=True),
+        ev("arrival", 2.0, tx=2),
+    ]
+    if break_first:
+        events.append(ev("deadlock_break", 3.0, tx=1, by=2))
+    events += [
+        ev("lock_release", 3.0, tx=1, items=[1], reason="abort"),
+        ev("abort", 3.0, tx=1, by=2, cause="dispatch"),
+        ev("lock_acquire", 4.0, tx=2, item=1, exclusive=True),
+        ev("lock_acquire", 5.0, tx=2, item=2, exclusive=True),
+        ev("lock_release", 7.0, tx=2, items=[1, 2], reason="commit"),
+        ev("commit", 7.0, tx=2),
+    ]
+    return events
+
+
+def wound_specs(victim_deadline, by_deadline):
+    from tests.conftest import make_spec
+
+    return [
+        make_spec(1, [1, 2], arrival=0.0, deadline=victim_deadline),
+        make_spec(2, [1, 2], arrival=2.0, deadline=by_deadline),
+    ]
+
+
+class TestCert004WoundOrder:
+    def test_priority_inverted_wound_fires(self):
+        # The victim's deadline is earlier: under EDF-HP it outranks the
+        # wounder, so the wound runs uphill.
+        result = certify(wound_events(), wound_specs(100.0, 900.0))
+        assert [v.code for v in result.violations] == ["CERT004"]
+        assert "High Priority resolution inverted" in result.violations[0].message
+
+    def test_downhill_wound_passes(self):
+        result = certify(wound_events(), wound_specs(900.0, 100.0))
+        assert result.certified
+
+    def test_deadlock_break_excuses_the_inversion(self):
+        # Breaking a wait-for cycle legitimately wounds regardless of
+        # priority order.
+        result = certify(
+            wound_events(break_first=True), wound_specs(100.0, 900.0)
+        )
+        assert result.certified
+
+    def test_skipped_for_non_static_policies(self):
+        result = certify(wound_events(), wound_specs(100.0, 900.0),
+                         policy="EDF-Wait")
+        assert "CERT004" in result.skipped
+        assert "CERT004" not in result.checked
+        assert "not statically recomputable" in result.skipped["CERT004"]
+
+
+class TestCert005ConflictPrediction:
+    def test_access_outside_declared_data_set_fires(self):
+        events = serial_events()
+        events.insert(4, ev("lock_acquire", 3.0, tx=1, item=9, exclusive=True))
+        events[5] = ev("lock_release", 5.0, tx=1, items=[1, 2, 9],
+                       reason="commit")
+        result = certify(events)
+        assert any(
+            v.code == "CERT005" and "outside its declared data set" in v.message
+            for v in result.violations
+        )
+
+    def test_write_lock_outside_write_set_fires(self):
+        specs = serial_specs()
+        specs[0] = TransactionSpec(
+            tid=1,
+            type_id=0,
+            arrival_time=0.0,
+            deadline=100.0,
+            operations=(
+                Operation(item=1, compute_time=4.0),
+                Operation(item=2, compute_time=4.0, is_write=False),
+            ),
+        )
+        result = certify(serial_events(), specs)
+        assert any(
+            v.code == "CERT005" and "outside its declared write set" in v.message
+            for v in result.violations
+        )
+
+    def test_unknown_transaction_fires(self):
+        events = serial_events() + [
+            ev("arrival", 11.0, tx=7),
+            ev("commit", 12.0, tx=7),
+        ]
+        result = certify(events)
+        assert any(
+            v.code == "CERT005" and "not in the workload" in v.message
+            for v in result.violations
+        )
+
+    def test_unpredicted_runtime_conflict_fires(self):
+        # T2's declared sets are disjoint from T1's, so the oracle says
+        # "don't conflict" — yet the trace shows T2 waiting behind T1.
+        from tests.conftest import make_spec
+
+        specs = [
+            make_spec(1, [1, 2], arrival=0.0, deadline=100.0),
+            make_spec(2, [3, 4], arrival=1.0, deadline=200.0),
+        ]
+        events = [
+            ev("arrival", 0.0, tx=1),
+            ev("lock_acquire", 1.0, tx=1, item=1, exclusive=True),
+            ev("lock_acquire", 1.5, tx=1, item=2, exclusive=True),
+            ev("arrival", 1.0, tx=2),
+            ev("lock_wait", 2.0, tx=2, item=1, holders=[1]),
+            ev("lock_release", 5.0, tx=1, items=[1, 2], reason="commit"),
+            ev("commit", 5.0, tx=1),
+            ev("lock_wake", 5.0, tx=2),
+            ev("lock_acquire", 5.5, tx=2, item=3, exclusive=True),
+            ev("lock_acquire", 6.0, tx=2, item=4, exclusive=True),
+            ev("lock_release", 8.0, tx=2, items=[3, 4], reason="commit"),
+            ev("commit", 8.0, tx=2),
+        ]
+        result = certify(events, specs)
+        (violation,) = [
+            v for v in result.violations if v.code == "CERT005"
+        ]
+        assert "conflicted at runtime (lock wait)" in violation.message
+        assert violation.tids == (1, 2)
+
+
+class TestCert006SafetyPrediction:
+    def test_unnecessary_rollback_fires(self):
+        # T1 is wounded before acquiring anything: safety says SAFE
+        # (blocking suffices), so the rollback was unjustified.
+        events = [
+            ev("arrival", 0.0, tx=1),
+            ev("abort", 0.5, tx=1, by=2, cause="dispatch"),
+            ev("arrival", 0.2, tx=2),
+            ev("lock_acquire", 1.0, tx=2, item=1, exclusive=True),
+            ev("lock_acquire", 2.0, tx=2, item=2, exclusive=True),
+            ev("lock_release", 4.0, tx=2, items=[1, 2], reason="commit"),
+            ev("commit", 4.0, tx=2),
+        ]
+        result = certify(events, wound_specs(200.0, 100.0))
+        assert [v.code for v in result.violations] == ["CERT006"]
+        assert "blocking would have sufficed" in result.violations[0].message
+
+    def test_justified_rollback_passes(self):
+        # In wound_events the victim had write-locked item 1, which the
+        # wounder accesses: UNSAFE, rollback required.
+        result = certify(wound_events(), wound_specs(900.0, 100.0))
+        assert result.certified
+
+    def test_deadlock_break_is_not_a_safety_wound(self):
+        events = [
+            ev("arrival", 0.0, tx=1),
+            ev("deadlock_break", 0.5, tx=1, by=2),
+            ev("abort", 0.5, tx=1, by=2, cause="dispatch"),
+            ev("arrival", 0.2, tx=2),
+            ev("lock_acquire", 1.0, tx=2, item=1, exclusive=True),
+            ev("lock_acquire", 2.0, tx=2, item=2, exclusive=True),
+            ev("lock_release", 4.0, tx=2, items=[1, 2], reason="commit"),
+            ev("commit", 4.0, tx=2),
+        ]
+        result = certify(events, wound_specs(200.0, 100.0))
+        assert result.certified

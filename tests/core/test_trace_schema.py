@@ -141,8 +141,8 @@ def all_events() -> list[dict]:
 
 
 class TestEventSchema:
-    def test_schema_covers_thirteen_kinds(self):
-        assert len(EVENT_SCHEMA) == 13
+    def test_schema_covers_fifteen_kinds(self):
+        assert len(EVENT_SCHEMA) == 15
 
     def test_scenarios_produce_every_kind(self, all_events):
         seen = {event["event"] for event in all_events}
@@ -172,6 +172,33 @@ class TestScenarioDetails:
         assert log.of("preempt")
         aborts = log.of("abort")
         assert aborts and all(a["cause"] == "dispatch" for a in aborts)
+
+    def test_lock_acquire_records_item_and_mode(self):
+        log = scenario_lock_wait_and_wake()
+        acquires = log.of("lock_acquire")
+        assert acquires
+        assert acquires[0]["tx"] == 1 and acquires[0]["item"] == 1
+        assert all(isinstance(a["exclusive"], bool) for a in acquires)
+
+    def test_lock_release_on_commit(self):
+        log = scenario_lock_wait_and_wake()
+        releases = log.of("lock_release")
+        commits = log.of("commit")
+        assert len(releases) == len(commits)
+        assert all(r["reason"] == "commit" for r in releases)
+        by_tid = {r["tx"]: r for r in releases}
+        assert sorted(by_tid[1]["items"]) == [1, 2]
+
+    def test_lock_release_on_abort(self):
+        log = scenario_lock_abort()
+        aborted = [r for r in log.of("lock_release") if r["reason"] == "abort"]
+        assert aborted and aborted[0]["tx"] == 1
+        assert 1 in aborted[0]["items"]
+
+    def test_lock_release_on_drop(self):
+        log = scenario_drop()
+        dropped = [r for r in log.of("lock_release") if r["reason"] == "drop"]
+        assert dropped and dropped[0]["tx"] == 1
 
     def test_lock_wait_records_item_and_holders(self):
         log = scenario_lock_wait_and_wake()

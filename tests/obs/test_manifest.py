@@ -165,6 +165,80 @@ class TestFailuresSection:
         )
 
 
+class TestCertificationSection:
+    def test_schema_version_is_pinned_at_three(self):
+        # v3 introduced the required certification section; bumping the
+        # constant without updating this pin is a schema change that
+        # needs the validation rules revisited.
+        assert MANIFEST_SCHEMA_VERSION == 3
+
+    def test_defaults_to_disabled(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        assert manifest["certification"] == {"enabled": False, "cells": []}
+        assert validate_manifest(manifest) == []
+
+    def test_embedded_section_validates(self):
+        section = {
+            "enabled": True,
+            "cells": [
+                {
+                    "cell": {"x": 4.0, "seed": 1, "policy": "CCA"},
+                    "certified": True,
+                    "violations": [],
+                    "rules_skipped": {"CERT004": "not static"},
+                }
+            ],
+        }
+        manifest = build_manifest(
+            "fig4a",
+            "quick",
+            triples(),
+            registry_with_data().snapshot(),
+            certification=section,
+        )
+        assert validate_manifest(manifest) == []
+        assert manifest["certification"] == section
+
+    def test_missing_section_flagged(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        del manifest["certification"]
+        assert any(
+            "certification" in problem
+            for problem in validate_manifest(manifest)
+        )
+
+    def test_malformed_section_flagged(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        manifest["certification"] = {"enabled": "yes", "cells": {}}
+        problems = validate_manifest(manifest)
+        assert any("certification.enabled" in p for p in problems)
+        assert any("certification.cells" in p for p in problems)
+
+    def test_malformed_cell_entries_flagged(self):
+        manifest = build_manifest(
+            "fig4a",
+            "quick",
+            triples(),
+            registry_with_data().snapshot(),
+            certification={
+                "enabled": True,
+                "cells": [
+                    "not-a-dict",
+                    {"cell": {"x": 1.0}},  # no certified / violations
+                ],
+            },
+        )
+        problems = validate_manifest(manifest)
+        assert any("cells[0] is not an object" in p for p in problems)
+        assert any("cells[1] missing 'certified'" in p for p in problems)
+
+
 class TestWriteAndLoad:
     def test_round_trip(self, tmp_path):
         manifest = build_manifest(

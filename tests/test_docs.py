@@ -37,9 +37,11 @@ class TestReadme:
             first, second = match
             if first in ("all", "validate", "lint"):
                 continue  # subcommands/batch ids, not experiment ids
-            if first == "trace":  # `repro trace <experiment> ...`
-                assert second in ALL_RUNNABLE, (
-                    f"README traces unknown id {second}"
+            if first in ("trace", "certify"):
+                # `repro trace|certify <experiment> ...` (certify also
+                # accepts flag-only forms like `--list-rules`)
+                assert second in ALL_RUNNABLE or second.startswith("-"), (
+                    f"README {first}s unknown id {second}"
                 )
                 continue
             assert first in ALL_RUNNABLE, f"README references unknown id {first}"
