@@ -1,0 +1,65 @@
+"""Regression gate for the kernel engine's speedup over the reference.
+
+The committed baseline (``BENCH_kernel.json``, maintained with
+``repro bench --update``) records the kernel/reference wall-clock ratio
+per fig4a cell.  These tests re-measure the CI-sized ``quick`` grid and
+fail if any ratio — per cell or geomean — drops more than 20% below the
+committed baseline, and pin the acceptance property that the committed
+paper-scale (``full``) baseline shows a ≥5x geomean speedup.
+
+Ratios, not absolute times, are compared: the speedup is a property of
+the two engines, not of the host running CI.  Run explicitly::
+
+    pytest benchmarks/test_kernel_speedup.py -q
+
+or via the CLI: ``repro bench --profile quick --check``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_TOLERANCE,
+    PROFILES,
+    SCHEMA_VERSION,
+    compare,
+    run_profile,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_kernel.json"
+
+
+@pytest.fixture(scope="module")
+def baseline() -> dict:
+    doc = json.loads(BASELINE_PATH.read_text())
+    assert doc["schema"] == SCHEMA_VERSION
+    return doc
+
+
+def test_committed_full_baseline_meets_5x_target(baseline):
+    """The paper-scale baseline must record the ≥5x acceptance speedup."""
+    summary = baseline["profiles"]["full"]["summary"]
+    assert summary["geomean_speedup"] >= 5.0, (
+        "committed full-profile baseline no longer shows the 5x speedup; "
+        "re-measure with `repro bench --update` only after fixing the kernel"
+    )
+    assert summary["min_speedup"] >= 4.0
+
+
+def test_baseline_cells_cover_both_fig4a_policies(baseline):
+    for section in baseline["profiles"].values():
+        policies = {cell["policy"] for cell in section["cells"]}
+        assert policies == {"EDF-HP", "CCA"}
+
+
+def test_quick_profile_speedup_has_not_regressed(baseline):
+    """Re-measure the quick grid; ratios must stay within tolerance."""
+    current = run_profile(PROFILES["quick"])
+    problems = compare(
+        current, baseline["profiles"]["quick"], tolerance=DEFAULT_TOLERANCE
+    )
+    assert not problems, "\n".join(problems)

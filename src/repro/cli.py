@@ -20,6 +20,10 @@ Examples::
                                    # in the manifest under --report
     repro fig4a --sanitize         # validate every event against the
                                    # paper's invariants (RTSan)
+    repro bench                    # time reference vs kernel engine on
+                                   # fig4a cells (see repro.bench)
+    repro bench --check            # gate against the committed
+                                   # benchmarks/BENCH_kernel.json
 
 Sweep cells are cached on disk (``~/.cache/repro`` or
 ``$REPRO_CACHE_DIR``) keyed by the full configuration, seed, policy and
@@ -282,6 +286,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.certify.cli import certify_main
 
         return certify_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench import bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)

@@ -63,6 +63,17 @@ class SimulationConfig:
     uniform class in 0..k-1 (higher = more critical), which the
     ``CriticalnessCCAPolicy`` orders lexicographically above deadlines."""
 
+    # --- engine selection ---
+    engine: str = "auto"
+    """Which simulation engine runs the cell: "auto" (default) picks the
+    array-oriented kernel engine (:mod:`repro.core.kernel`) whenever the
+    configuration supports it and silently falls back to the reference
+    engine otherwise (sanitized runs, samplers, custom components);
+    "kernel" requires the kernel engine and raises if unsupported;
+    "reference" forces the original object-graph engine.  The two
+    engines are bit-identical (tests/sim/test_kernel_parity.py), so this
+    choice affects wall-clock speed only."""
+
     # --- validation (repro.checks) ---
     sanitize: bool = False
     """Attach the RTSan invariant sanitizer to every simulation run:
@@ -122,6 +133,11 @@ class SimulationConfig:
             )
         if self.criticalness_levels < 1:
             raise ValueError("need at least one criticalness level")
+        if self.engine not in ("auto", "kernel", "reference"):
+            raise ValueError(
+                f"engine must be 'auto', 'kernel' or 'reference', "
+                f"got {self.engine!r}"
+            )
         if self.update_time_classes is not None and not self.update_time_classes:
             raise ValueError("update_time_classes must be non-empty when given")
 

@@ -1,0 +1,253 @@
+"""Flat bitmask conflict/safety tables — the kernel engine's oracle.
+
+The reference oracles (:mod:`repro.core.oracle`) answer safety/conflict
+questions with set algebra over freshly built ``frozenset`` objects:
+every call to ``SetOracle.safety`` materializes up to four sets from the
+transaction specs.  On the CCA hot path that work dominates the whole
+simulation — the penalty-of-conflict scan asks the question once per
+P-list member per candidate per scheduling point.
+
+This module replaces the sets with integers:
+
+* an **item mask** packs a set of item ids into one Python int
+  (bit ``i`` set ⇔ item ``i`` in the set), so every intersection test
+  is a single ``&``;
+* :class:`SpecMasks` precomputes the static ``data``/``write`` masks of
+  a workload once, plus a per-slot **conflict slot mask** (bit ``j``
+  set ⇔ slot ``j``'s declared sets conflict with slot ``i``'s), making
+  ``IOwait-schedule`` compatibility one ``&`` against the P-list mask;
+* a parallel ``numpy`` ``uint64`` word matrix of the same masks backs
+  the batched penalty scan in :mod:`repro.core.kernel`;
+* :class:`StateTable` flattens a pre-analysis
+  :class:`~repro.analysis.table.RelationTable` into dense integer
+  matrices indexed by (program, node)-state ids, so the tree-program
+  oracle becomes two array lookups.
+
+Equality with the reference oracles over randomized access sets —
+including shared locks and tree programs — is property-tested in
+``tests/core/test_masks.py``.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.relations import Conflict, Safety
+from repro.analysis.table import RelationTable
+from repro.rtdb.transaction import TransactionSpec
+
+#: Integer codes for the ternary relations, ordered by "badness" so the
+#: kernel can compare with plain ``>``/``==``.
+SAFETY_SAFE, SAFETY_CONDITIONAL, SAFETY_UNSAFE = 0, 1, 2
+CONFLICT_NONE, CONFLICT_CONDITIONAL, CONFLICT_CERTAIN = 0, 1, 2
+
+SAFETY_FROM_CODE = (Safety.SAFE, Safety.CONDITIONALLY_UNSAFE, Safety.UNSAFE)
+CONFLICT_FROM_CODE = (Conflict.NONE, Conflict.CONDITIONAL, Conflict.CERTAIN)
+
+_SAFETY_TO_CODE = {
+    Safety.SAFE: SAFETY_SAFE,
+    Safety.CONDITIONALLY_UNSAFE: SAFETY_CONDITIONAL,
+    Safety.UNSAFE: SAFETY_UNSAFE,
+}
+_CONFLICT_TO_CODE = {
+    Conflict.NONE: CONFLICT_NONE,
+    Conflict.CONDITIONAL: CONFLICT_CONDITIONAL,
+    Conflict.CERTAIN: CONFLICT_CERTAIN,
+}
+
+
+def items_mask(items: Iterable[int]) -> int:
+    """Pack item ids into a bitmask (bit ``i`` ⇔ item ``i``)."""
+    mask = 0
+    for item in items:
+        mask |= 1 << item
+    return mask
+
+
+def mask_items(mask: int) -> list[int]:
+    """Unpack a bitmask back into its (ascending) item ids."""
+    items = []
+    while mask:
+        low = mask & -mask
+        items.append(low.bit_length() - 1)
+        mask ^= low
+    return items
+
+
+def mask_to_words(mask: int, n_words: int) -> np.ndarray:
+    """Split a Python-int mask into ``n_words`` little-endian uint64 words."""
+    words = np.zeros(n_words, dtype=np.uint64)
+    index = 0
+    while mask and index < n_words:
+        words[index] = mask & 0xFFFFFFFFFFFFFFFF
+        mask >>= 64
+        index += 1
+    if mask:
+        raise ValueError("mask has bits beyond the declared word count")
+    return words
+
+
+def flat_safety(
+    subject_accessed: int,
+    subject_accessed_writes: int,
+    runner_data: int,
+    runner_write: int,
+) -> int:
+    """Mask form of :meth:`repro.core.oracle.SetOracle.safety`.
+
+    The subject must be rolled back iff the runner's execution would
+    invalidate one of its locks: the subject *wrote* something in the
+    runner's data set, or *accessed* (read or wrote) something the
+    runner will write.
+    """
+    if subject_accessed_writes & runner_data:
+        return SAFETY_UNSAFE
+    if subject_accessed & runner_write:
+        return SAFETY_UNSAFE
+    return SAFETY_SAFE
+
+
+def flat_conflict(a_data: int, a_write: int, b_data: int, b_write: int) -> int:
+    """Mask form of :meth:`repro.core.oracle.SetOracle.conflict`."""
+    if a_write & b_data or a_data & b_write:
+        return CONFLICT_CERTAIN
+    return CONFLICT_NONE
+
+
+def _pairwise_conflicts(
+    data_words: np.ndarray, write_words: np.ndarray
+) -> list[int]:
+    """Slot-mask rows of the certain-conflict relation.
+
+    Bit ``j`` of row ``i`` is set iff slots ``i`` and ``j`` (``i != j``)
+    certainly conflict: either one's declared write set intersects the
+    other's data set.  Computed as a blocked numpy broadcast so workload
+    construction stays linear-ish in wall time (the relation itself is
+    quadratic) without materializing the full (n, n, n_words) cube.
+    """
+    n = data_words.shape[0]
+    if n == 0:
+        return []
+    n_words = data_words.shape[1]
+    hits = np.zeros((n, n), dtype=bool)
+    # ~2M uint64 scratch elements per block.
+    block = max(1, (1 << 21) // max(1, n * n_words))
+    for lo in range(0, n, block):
+        hi = min(n, lo + block)
+        hits[lo:hi] = (
+            write_words[lo:hi, None, :] & data_words[None, :, :]
+        ).any(axis=2) | (
+            data_words[lo:hi, None, :] & write_words[None, :, :]
+        ).any(axis=2)
+    np.fill_diagonal(hits, False)
+    packed = np.packbits(hits, axis=1, bitorder="little")
+    return [int.from_bytes(row.tobytes(), "little") for row in packed]
+
+
+class SpecMasks:
+    """Static per-slot masks for one workload, in workload (slot) order.
+
+    ``data``/``write`` are item masks of each spec's declared sets;
+    ``conflict_slots[i]`` has bit ``j`` set iff slots ``i`` and ``j``
+    certainly conflict under the flat (SetOracle) relations.  The
+    ``*_words`` matrices are the same masks as ``(n_slots, n_words)``
+    uint64 arrays for numpy-batched scans.
+
+    ``conflict_slots`` (quadratic in the workload size) and the word
+    matrices are built lazily on first access: only the IOwait
+    scheduler and the multi-word batched penalty scan consume them, so
+    plain-policy simulations never pay for either.
+    """
+
+    def __init__(self, data: list[int], write: list[int], n_words: int) -> None:
+        self.data = data
+        self.write = write
+        self.n_words = n_words
+
+    @classmethod
+    def from_specs(
+        cls, specs: Sequence[TransactionSpec], db_size: int
+    ) -> "SpecMasks":
+        data: list[int] = []
+        write: list[int] = []
+        for spec in specs:
+            data_mask = 0
+            write_mask = 0
+            for op in spec.operations:
+                bit = 1 << op.item
+                data_mask |= bit
+                if op.is_write:
+                    write_mask |= bit
+            data.append(data_mask)
+            write.append(write_mask)
+        return cls(data, write, max(1, (db_size + 63) // 64))
+
+    def _words_of(self, masks: list[int]) -> np.ndarray:
+        words = np.zeros((len(masks), self.n_words), dtype=np.uint64)
+        for i, mask in enumerate(masks):
+            words[i] = mask_to_words(mask, self.n_words)
+        return words
+
+    @functools.cached_property
+    def data_words(self) -> np.ndarray:
+        return self._words_of(self.data)
+
+    @functools.cached_property
+    def write_words(self) -> np.ndarray:
+        return self._words_of(self.write)
+
+    @functools.cached_property
+    def conflict_slots(self) -> list[int]:
+        return _pairwise_conflicts(self.data_words, self.write_words)
+
+
+class StateTable:
+    """A :class:`~repro.analysis.table.RelationTable` flattened to arrays.
+
+    Every (program, node) pair a transaction can be in becomes one
+    integer *state id*; ``safety[s, r]`` / ``conflict[a, b]`` are dense
+    int8 matrices of the relation codes.  Building the table forces the
+    full precompute the paper prescribes — all analysis cost moves to
+    start-up and the scheduler does two array reads per question.
+    """
+
+    def __init__(self, table: RelationTable) -> None:
+        self.table = table
+        states: list[tuple[str, str]] = []
+        for name in table.programs:
+            tree = table.tree(name)
+            for node in tree.program.root.walk():
+                states.append((name, node.label))
+        self.states = tuple(states)
+        self.state_index: dict[tuple[str, str], int] = {
+            state: index for index, state in enumerate(states)
+        }
+        n = len(states)
+        self.safety = np.zeros((n, n), dtype=np.int8)
+        self.conflict = np.zeros((n, n), dtype=np.int8)
+        for i, (name_a, label_a) in enumerate(states):
+            for j, (name_b, label_b) in enumerate(states):
+                self.safety[i, j] = _SAFETY_TO_CODE[
+                    table.safety(name_a, label_a, name_b, label_b)
+                ]
+                self.conflict[i, j] = _CONFLICT_TO_CODE[
+                    table.conflict(name_a, label_a, name_b, label_b)
+                ]
+
+    def index_of(self, program: str, label: str) -> int:
+        """State id of (program, node label); KeyError if unanalyzed."""
+        try:
+            return self.state_index[(program, label)]
+        except KeyError:
+            raise KeyError(
+                f"no analyzed state ({program!r}, {label!r})"
+            ) from None
+
+    def safety_code(self, subject_state: int, runner_state: int) -> int:
+        return int(self.safety[subject_state, runner_state])
+
+    def conflict_code(self, state_a: int, state_b: int) -> int:
+        return int(self.conflict[state_a, state_b])

@@ -47,8 +47,9 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterator, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig
+from repro.core.factory import make_simulator
 from repro.core.policy import make_policy
-from repro.core.simulator import RTDBSimulator, SimulationResult
+from repro.core.simulator import SimulationResult
 from repro.experiments import faults
 from repro.experiments.cache import ResultCache, cache_key
 from repro.obs.registry import MetricsRegistry
@@ -249,7 +250,7 @@ def simulate_cell(
     """
     workload = generate_workload(config, seed)
     policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
-    return RTDBSimulator(config, workload, policy, max_wall_s=max_wall_s).run()
+    return make_simulator(config, workload, policy, max_wall_s=max_wall_s).run()
 
 
 def simulate_cell_traced(
@@ -271,7 +272,7 @@ def simulate_cell_traced(
     workload = generate_workload(config, seed)
     policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
     log = EventLog()
-    result = RTDBSimulator(
+    result = make_simulator(
         config, workload, policy, trace=log, max_wall_s=max_wall_s
     ).run()
     return result, log, workload
@@ -297,7 +298,7 @@ def simulate_cell_observed(
     policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
     registry = MetricsRegistry()
     started = time.perf_counter()
-    result = RTDBSimulator(
+    result = make_simulator(
         config, workload, policy, metrics=registry, max_wall_s=max_wall_s
     ).run()
     wall_ms = (time.perf_counter() - started) * 1000.0

@@ -23,8 +23,9 @@ from __future__ import annotations
 from typing import Callable, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig
+from repro.core.factory import make_simulator
 from repro.core.policy import PriorityPolicy, make_policy
-from repro.core.simulator import RTDBSimulator, SimulationResult
+from repro.core.simulator import SimulationResult
 from repro.experiments.cache import ResultCache
 from repro.experiments.parallel import (
     CellFailure,
@@ -93,7 +94,7 @@ def run_policy(
     out = []
     for seed in seeds:
         workload = generate_workload(config, seed)
-        simulator = RTDBSimulator(config, workload, factory(config))
+        simulator = make_simulator(config, workload, factory(config))
         out.append(simulator.run())
     return out
 

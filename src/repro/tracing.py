@@ -127,15 +127,17 @@ class EventLog:
         self.events: list[dict] = []
 
     def __call__(self, name: str, **fields) -> None:
+        # Transaction-like values (the reference engine's Transaction,
+        # the kernel engine's slot views) are flattened to their tid by
+        # duck-typing, so both engines produce byte-identical records.
         record: dict = {"event": name}
         for key, value in fields.items():
-            if isinstance(value, Transaction):
-                record[key] = value.tid
-            elif isinstance(value, (tuple, list)):
+            if isinstance(value, (tuple, list)):
                 record[key] = [
-                    item.tid if isinstance(item, Transaction) else item
-                    for item in value
+                    item.tid if hasattr(item, "tid") else item for item in value
                 ]
+            elif hasattr(value, "tid"):
+                record[key] = value.tid
             else:
                 record[key] = value
         self.events.append(record)

@@ -34,6 +34,7 @@ _SPECIAL_TWEAKS = {
     "disk_scheduling": "priority",
     "arrival_model": "bursty",
     "disk_access_prob": 0.7,
+    "engine": "reference",
 }
 
 
