@@ -1,0 +1,130 @@
+"""Profiler overhead: profiled vs bare runs of both engines.
+
+The span profiler promises the same pay-for-what-you-use deal as the
+metrics layer:
+
+* With no profiler attached, every instrumented site is one
+  ``is not None`` check (the kernel's event dispatch keeps a separate
+  unprofiled branch, so the off path is byte-for-byte the old code).
+* With a profiler attached, per-event cost is two ``perf_counter``
+  reads into a pre-bound :class:`~repro.obs.prof.AggregateTimer`; the
+  scalar penalty scan is *counted but never timed* (it is sub-µs, so
+  clock reads would dominate), and counter tracks sample every few
+  hundred events.  Budget: <= 5 % wall time on kernel runs.
+
+As in ``test_obs_overhead.py``, the CI assertion uses a deliberately
+loose multiple of the budget so shared-runner noise cannot flake the
+suite; the printed ratio is the number to watch.  Run with ``pytest
+benchmarks/test_prof_overhead.py -s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import SimulationConfig
+from repro.core.kernel import KernelSimulator
+from repro.core.policy import make_policy
+from repro.core.simulator import RTDBSimulator
+from repro.obs.prof import SpanProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.workload.generator import generate_workload
+
+#: Documented overhead budget (fraction of bare runtime).
+OVERHEAD_BUDGET = 0.05
+
+#: CI assertion threshold — 5x the budget, same rationale as the
+#: metrics overhead gate.
+ASSERT_THRESHOLD = 0.25
+
+CONFIG = SimulationConfig(n_transactions=400, arrival_rate=10.0)
+
+SEEDS = (1, 2, 3)
+
+
+def run_all(engine, **kwargs) -> float:
+    """Total wall time of one ``engine`` pass over every seed."""
+    started = time.perf_counter()
+    for seed in SEEDS:
+        workload = generate_workload(CONFIG, seed)
+        policy = make_policy("CCA", penalty_weight=CONFIG.penalty_weight)
+        engine(CONFIG, workload, policy, **kwargs).run()
+    return time.perf_counter() - started
+
+
+def paired_best(engine, runs: int = 3, **kwargs) -> tuple[float, float]:
+    """Minimum wall time of bare and profiled passes, interleaved."""
+    run_all(engine)  # warm-up: imports, allocator, branch caches
+    bare = run_all(engine)
+    treated = float("inf")
+    for _ in range(runs):
+        bare = min(bare, run_all(engine))
+        treated = min(treated, run_all(engine, **kwargs))
+    return bare, treated
+
+
+def test_kernel_profiling_overhead_within_budget():
+    bare, profiled = paired_best(KernelSimulator, profile=SpanProfiler())
+    overhead = profiled / bare - 1.0
+    print(
+        f"\nkernel bare={bare * 1000:.1f}ms profiled={profiled * 1000:.1f}ms "
+        f"overhead={overhead * 100:+.1f}% (budget {OVERHEAD_BUDGET * 100:.0f}%)"
+    )
+    assert overhead < ASSERT_THRESHOLD
+
+
+def test_kernel_introspection_overhead_within_budget():
+    # Introspection rides on a metrics registry, so compare against an
+    # observed (metrics-only) baseline: the marginal cost of the
+    # kernel.* counter family alone must fit the budget.
+    registry = MetricsRegistry()
+    run_all(KernelSimulator)  # warm-up
+    observed = run_all(KernelSimulator, metrics=registry)
+    introspected = float("inf")
+    for _ in range(3):
+        observed = min(observed, run_all(KernelSimulator, metrics=registry))
+        introspected = min(
+            introspected,
+            run_all(KernelSimulator, metrics=registry, introspect=True),
+        )
+    overhead = introspected / observed - 1.0
+    print(
+        f"\nkernel observed={observed * 1000:.1f}ms "
+        f"introspected={introspected * 1000:.1f}ms "
+        f"overhead={overhead * 100:+.1f}%"
+    )
+    assert overhead < ASSERT_THRESHOLD
+
+
+def test_reference_profiling_overhead_within_budget():
+    bare, profiled = paired_best(RTDBSimulator, profile=SpanProfiler())
+    overhead = profiled / bare - 1.0
+    print(
+        f"\nreference bare={bare * 1000:.1f}ms "
+        f"profiled={profiled * 1000:.1f}ms overhead={overhead * 100:+.1f}%"
+    )
+    assert overhead < ASSERT_THRESHOLD
+
+
+def test_disabled_profiling_binds_nothing():
+    """With profiling off neither engine holds profiler state — the
+    zero-overhead guarantee is structural, not statistical."""
+    workload = generate_workload(CONFIG, 1)
+    policy = make_policy("CCA", penalty_weight=CONFIG.penalty_weight)
+    kernel = KernelSimulator(CONFIG, workload, policy)
+    assert kernel._prof is None
+    assert kernel._ik is None
+    assert kernel._ev_timers is None
+    assert kernel._masks.on_build is None
+    reference = RTDBSimulator(CONFIG, workload, policy)
+    assert reference._prof is None
+
+
+def test_introspection_requires_metrics():
+    """``introspect=True`` without a registry is a no-op, never a
+    half-bound counter bundle."""
+    workload = generate_workload(CONFIG, 1)
+    policy = make_policy("CCA", penalty_weight=CONFIG.penalty_weight)
+    kernel = KernelSimulator(CONFIG, workload, policy, introspect=True)
+    assert kernel._ik is None
+    kernel.run()

@@ -43,9 +43,13 @@ from repro.config import SimulationConfig
 from repro.core.kernel import KernelSimulator
 from repro.core.policy import make_policy
 from repro.core.simulator import RTDBSimulator
+from repro.obs.prof import SpanProfiler, host_provenance
 from repro.workload.generator import generate_workload
 
-SCHEMA_VERSION = 1
+#: v2: added the top-level ``host`` provenance block (interpreter,
+#: numpy, CPU model, core count) and the per-profile ``phases`` section
+#: (kernel wall-time attribution from one profiled pass per cell).
+SCHEMA_VERSION = 2
 
 #: Committed baseline location (repo checkout layout).
 DEFAULT_BASELINE = (
@@ -122,8 +126,16 @@ def geomean(values: Sequence[float]) -> float:
 
 
 def run_profile(profile: BenchProfile, verbose: bool = False) -> dict[str, Any]:
-    """Measure every cell of ``profile``; returns its baseline section."""
+    """Measure every cell of ``profile``; returns its baseline section.
+
+    The timed repetitions run both engines bare (no profiler — its
+    overhead must not leak into the speedup ratio); one extra *profiled*
+    kernel pass per cell then attributes kernel wall time across phases
+    (event handlers by type, penalty scans, mask builds), summed into
+    the section's ``phases`` block.
+    """
     cells: list[dict[str, Any]] = []
+    prof = SpanProfiler()
     for arrival_rate in profile.arrival_rates:
         config = profile.config_for(arrival_rate)
         for seed in profile.seeds:
@@ -141,6 +153,10 @@ def run_profile(profile: BenchProfile, verbose: bool = False) -> dict[str, Any]:
                         best_kernel,
                         _time_cell(KernelSimulator, config, workload, policy_name),
                     )
+                policy = make_policy(
+                    policy_name, penalty_weight=config.penalty_weight
+                )
+                KernelSimulator(config, workload, policy, profile=prof).run()
                 cell = {
                     "arrival_rate": arrival_rate,
                     "policy": policy_name,
@@ -165,6 +181,7 @@ def run_profile(profile: BenchProfile, verbose: bool = False) -> dict[str, Any]:
             "geomean_speedup": round(geomean(speedups), 3),
             "min_speedup": round(min(speedups), 3),
         },
+        "phases": prof.phase_totals(),
     }
 
 
@@ -285,14 +302,16 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
             f"min x{summary['min_speedup']:.2f}"
         )
 
+    document = {
+        "schema": SCHEMA_VERSION,
+        "host": host_provenance(),
+        "profiles": measured,
+    }
     if args.json:
-        print(json.dumps({"schema": SCHEMA_VERSION, "profiles": measured}, indent=2))
+        print(json.dumps(document, indent=2))
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
-        args.out.write_text(
-            json.dumps({"schema": SCHEMA_VERSION, "profiles": measured}, indent=2)
-            + "\n"
-        )
+        args.out.write_text(json.dumps(document, indent=2) + "\n")
 
     status = 0
     if args.check:
@@ -316,6 +335,7 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
             doc = load_baseline(args.baseline)
         else:
             doc = {"schema": SCHEMA_VERSION, "profiles": {}}
+        doc["host"] = document["host"]
         doc["profiles"].update(measured)
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(doc, indent=2) + "\n")

@@ -138,12 +138,21 @@ def certify_sample(
     max_wall_s: Optional[float] = None,
 ) -> list[CellCertification]:
     """Certify the default cell sample; feeds per-policy ``certify.*``
-    counters into ``registry`` when given."""
+    counters into ``registry`` when given (plus the ``certify`` stage's
+    wall time, for manifest timing sections)."""
+    import time as _time
+
+    from repro.obs.prof import observe_stage
+
     out: list[CellCertification] = []
     for cell in default_cells(experiment, scale, policies):
+        started = _time.perf_counter()
         certified = certify_cell(experiment, cell, max_wall_s=max_wall_s)
         out.append(certified)
         if registry is not None:
+            observe_stage(
+                registry, "certify", (_time.perf_counter() - started) * 1000.0
+            )
             registry.counter("certify.cells", policy=cell.policy).inc()
             if not certified.result.certified:
                 registry.counter(

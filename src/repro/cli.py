@@ -12,6 +12,9 @@ Examples::
     repro fig4a --report           # also write a run manifest
     repro trace fig4a              # schedule trace of one sweep cell
     repro trace fig5b --cell 4,2,EDF-HP
+    repro profile fig4a            # span-profile a whole sweep; writes
+                                   # a Chrome-trace JSON for Perfetto
+    repro profile fig4a --cell 4,2,CCA --out trace.json
     repro lint                     # determinism-lint the repro package
     repro lint src/repro --format json
     repro certify fig4a            # certify serializability, 2PL, and
@@ -278,6 +281,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     if argv and argv[0] == "lint":
         from repro.checks.cli import lint_main
 
@@ -332,15 +337,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _run_experiments(args, scale: ExperimentScale) -> int:
     parallel.take_failures()  # drop records left over from earlier calls
     if args.experiment == "validate":
+        from repro.experiments.report import render_kernel_digest
         from repro.experiments.validation import render_report, validate_all
 
         started = time.time()
         counters = TraceCounters()
-        registry = MetricsRegistry() if args.report is not None else None
-        with parallel.execution(
-            trace=counters,
-            metrics=registry if registry is not None else parallel.UNSET,
-        ):
+        # validate always carries a registry: the kernel digest below
+        # shows which engine ran and what its machinery did, whether or
+        # not a manifest was requested.
+        registry = MetricsRegistry()
+        with parallel.execution(trace=counters, metrics=registry):
             checks = validate_all(scale)
         failures = parallel.take_failures()
         print(render_report(checks))
@@ -348,9 +354,12 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
         print(f"[validated in {elapsed:.1f}s at scale={scale.name}]")
         if counters.count("sweep_end"):
             print(f"[validate sweeps: {counters.sweep_summary()}]")
+        digest = render_kernel_digest(registry.snapshot())
+        if digest:
+            print(digest)
         if failures:
             print(_failure_summary("validate", failures))
-        if registry is not None:
+        if args.report is not None:
             path = _write_report(
                 "validate",
                 scale,
@@ -434,6 +443,12 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
         print(f"[{figure_id} done in {elapsed:.1f}s at scale={scale.name}]")
         if counters.count("sweep_end"):
             print(f"[{figure_id} sweeps: {counters.sweep_summary()}]")
+        if registry is not None:
+            from repro.experiments.report import render_kernel_digest
+
+            digest = render_kernel_digest(registry.snapshot())
+            if digest:
+                print(digest)
         if failures:
             print(_failure_summary(figure_id, failures))
             any_dropped = any_dropped or any(
@@ -459,6 +474,52 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
     # uncertified schedule means the numbers rest on a broken property:
     # make the run fail loudly even though each series rendered fine.
     return 1 if any_dropped or any_uncertified else 0
+
+
+def _select_cell(experiment: str, scale: ExperimentScale, cells, spec: str):
+    """Resolve a ``--cell X,SEED,POLICY`` spec against ``cells``.
+
+    Returns the matching cell, or ``None`` after printing a usage error
+    (with the valid axis values) to stderr.
+    """
+    parts = spec.split(",")
+    if len(parts) != 3:
+        print(
+            f"error: --cell must be X,SEED,POLICY, got {spec!r}",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        want_x, want_seed = float(parts[0]), int(parts[1])
+    except ValueError:
+        print(
+            f"error: --cell X must be a number and SEED an integer, "
+            f"got {spec!r}",
+            file=sys.stderr,
+        )
+        return None
+    want_policy = parts[2].strip().lower()
+    matches = [
+        cell
+        for cell in cells
+        if cell.x == want_x
+        and cell.seed == want_seed
+        and cell.policy.lower() == want_policy
+    ]
+    if not matches:
+        xs = sorted({cell.x for cell in cells})
+        seeds = sorted({cell.seed for cell in cells})
+        policies = sorted({cell.policy for cell in cells})
+        print(
+            f"error: no cell {spec!r} in {experiment} at "
+            f"scale={scale.name}.\n"
+            f"  x values: {', '.join(f'{x:g}' for x in xs)}\n"
+            f"  seeds:    {', '.join(str(seed) for seed in seeds)}\n"
+            f"  policies: {', '.join(policies)}",
+            file=sys.stderr,
+        )
+        return None
+    return matches[0]
 
 
 # ---------------------------------------------------------------------------
@@ -526,44 +587,9 @@ def trace_main(argv: Sequence[str]) -> int:
     cells = experiment_cells(args.experiment, scale)
 
     if args.cell is not None:
-        parts = args.cell.split(",")
-        if len(parts) != 3:
-            print(
-                f"error: --cell must be X,SEED,POLICY, got {args.cell!r}",
-                file=sys.stderr,
-            )
+        cell = _select_cell(args.experiment, scale, cells, args.cell)
+        if cell is None:
             return 2
-        try:
-            want_x, want_seed = float(parts[0]), int(parts[1])
-        except ValueError:
-            print(
-                f"error: --cell X must be a number and SEED an integer, "
-                f"got {args.cell!r}",
-                file=sys.stderr,
-            )
-            return 2
-        want_policy = parts[2].strip().lower()
-        matches = [
-            cell
-            for cell in cells
-            if cell.x == want_x
-            and cell.seed == want_seed
-            and cell.policy.lower() == want_policy
-        ]
-        if not matches:
-            xs = sorted({cell.x for cell in cells})
-            seeds = sorted({cell.seed for cell in cells})
-            policies = sorted({cell.policy for cell in cells})
-            print(
-                f"error: no cell {args.cell!r} in {args.experiment} at "
-                f"scale={scale.name}.\n"
-                f"  x values: {', '.join(f'{x:g}' for x in xs)}\n"
-                f"  seeds:    {', '.join(str(seed) for seed in seeds)}\n"
-                f"  policies: {', '.join(policies)}",
-                file=sys.stderr,
-            )
-            return 2
-        cell = matches[0]
     else:
         # Middle of the axis, first seed, first policy — a cell under
         # moderate load, which is where schedules are interesting.
@@ -600,6 +626,155 @@ def trace_main(argv: Sequence[str]) -> int:
     if args.jsonl is not None:
         path = log.to_jsonl(args.jsonl)
         print(f"wrote {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# `repro profile` — span-profile an experiment, export a Chrome trace
+# ---------------------------------------------------------------------------
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description=(
+            "Run a paper experiment's sweep (or one cell of it) with the "
+            "span profiler attached, print the wall-time attribution "
+            "(pipeline stages, engine phases, kernel internals, "
+            "introspection digest), and write a Chrome Trace Event "
+            "Format JSON loadable in Perfetto or chrome://tracing.  "
+            "Profiling never changes results; the cache is bypassed so "
+            "every cell is really simulated."
+        ),
+    )
+    profilable = sorted(
+        figure_id for figure_id, specs in FIGURE_SWEEPS.items() if specs
+    )
+    parser.add_argument(
+        "experiment",
+        choices=profilable,
+        help="which paper experiment's sweep to profile",
+    )
+    parser.add_argument(
+        "--cell",
+        default=None,
+        metavar="X,SEED,POLICY",
+        help=(
+            "profile just this cell, in-process (e.g. '4,2,EDF-HP'; "
+            "default: the whole sweep through the parallel executor)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "default", "full"],
+        default=None,
+        help="run scale (default: $REPRO_SCALE or 'default')",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for whole-sweep profiling; the trace gets "
+            "one track per worker (default: $REPRO_JOBS or 1)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "Chrome-trace JSON path "
+            "(default: results/trace-<experiment>.json)"
+        ),
+    )
+    return parser
+
+
+def profile_main(argv: Sequence[str]) -> int:
+    from repro.experiments.report import render_kernel_digest
+    from repro.obs.prof import SpanProfiler, timing_section, validate_chrome_trace
+
+    args = build_profile_parser().parse_args(argv)
+    scale = _resolve_scale(args.scale)
+    cells = experiment_cells(args.experiment, scale)
+    prof = SpanProfiler()
+    registry = MetricsRegistry()
+    started = time.time()
+
+    if args.cell is not None:
+        cell = _select_cell(args.experiment, scale, cells, args.cell)
+        if cell is None:
+            return 2
+        result, wall_ms, deltas = parallel.simulate_cell_observed(
+            cell.config, cell.seed, cell.policy, profile=prof
+        )
+        registry.merge_snapshot(deltas)
+        print(
+            f"{args.experiment} cell x={cell.x:g} seed={cell.seed} "
+            f"policy={cell.policy} (scale={scale.name}): "
+            f"miss {result.miss_percent:.1f}%, wall {wall_ms:.1f} ms"
+        )
+    else:
+        # Bypass the result cache: a cache hit records no timing, and a
+        # profile of replayed results would be an empty lie.
+        with parallel.execution(cache=None):
+            results = parallel.execute_cells(
+                cells, jobs=args.jobs, metrics=registry, profile=prof
+            )
+        stats = parallel.last_stats()
+        print(
+            f"{args.experiment} scale={scale.name}: {len(results)} cells "
+            f"in {stats.elapsed:.1f}s "
+            f"({stats.sims_per_sec:.1f} sims/s, jobs={stats.jobs})"
+        )
+
+    snapshot = registry.snapshot()
+    timing = timing_section(snapshot)
+    if timing["enabled"]:
+        print("\nstage timing (wall clock, merged across workers):")
+        for stage, data in sorted(timing["stages"].items()):
+            print(
+                f"  {stage:<14s} count={data['count']:<6d} "
+                f"total={data['total_ms']:>10.2f} ms  "
+                f"mean={data['mean_ms']:>8.3f} ms  "
+                f"p95={data['p95_ms']:>8.3f} ms"
+            )
+    aggregates = prof.aggregate_summary()
+    if aggregates:
+        print("\naggregate timers (engine/kernel internals):")
+        for name, data in aggregates.items():
+            print(
+                f"  {name:<28s} total={data['total_ms']:>10.2f} ms  "
+                f"calls={data['calls']:<9d} mean={data['mean_us']:>8.2f} us"
+            )
+    digest = render_kernel_digest(snapshot)
+    if digest:
+        print()
+        print(digest)
+
+    out = (
+        args.out
+        if args.out is not None
+        else Path("results") / f"trace-{args.experiment}.json"
+    )
+    doc = prof.chrome_trace(
+        extra={"experiment": args.experiment, "scale": scale.name}
+    )
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"error: invalid trace: {problem}", file=sys.stderr)
+        return 1
+    path = prof.write_chrome_trace(
+        out, extra={"experiment": args.experiment, "scale": scale.name}
+    )
+    print(
+        f"\nwrote {path} ({len(doc['traceEvents'])} events; load in "
+        "Perfetto or chrome://tracing)"
+    )
+    print(f"[profiled in {time.time() - started:.1f}s]")
     return 0
 
 

@@ -34,6 +34,7 @@ from repro.rtdb.recovery import RecoveryModel
 from repro.rtdb.transaction import TransactionSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.prof import SpanProfiler
     from repro.obs.registry import MetricsRegistry
     from repro.obs.sampler import TimeSeriesSampler
 
@@ -54,12 +55,19 @@ def make_simulator(
     metrics: Optional["MetricsRegistry"] = None,
     sampler: Optional["TimeSeriesSampler"] = None,
     sanitize: Optional[bool] = None,
+    profile: Optional["SpanProfiler"] = None,
+    introspect: bool = False,
 ) -> Simulator:
     """Build the engine ``config.engine`` selects (see module docstring).
 
     Accepts exactly the :class:`RTDBSimulator` constructor arguments and
     returns an object with the same ``run() -> SimulationResult``
-    surface.
+    surface.  ``profile`` and ``introspect`` are supported by *both*
+    engines (the kernel does not fall back for them: profiling observes
+    wall time and introspection observes kernel machinery, neither
+    perturbs results), so attaching a profiler under ``engine="auto"``
+    keeps the kernel selected — unlike ``sampler``/``sanitize``, which
+    need reference-engine events.
     """
     kwargs = dict(
         oracle=oracle,
@@ -72,6 +80,8 @@ def make_simulator(
         metrics=metrics,
         sampler=sampler,
         sanitize=sanitize,
+        profile=profile,
+        introspect=introspect,
     )
     if config.engine != "reference":
         try:

@@ -90,7 +90,8 @@ from repro.sim.engine import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.obs.hooks import SimulatorMetrics
+    from repro.obs.hooks import KernelIntrospection, SimulatorMetrics
+    from repro.obs.prof import AggregateTimer, SpanProfiler
     from repro.obs.registry import MetricsRegistry
 
 _EPS = 1e-9
@@ -115,6 +116,12 @@ NUMPY_PENALTY_THRESHOLD = 12
 
 #: Events between wall-clock guard checks (mirrors the reference engine).
 _WALL_CHECK_INTERVAL = 512
+
+#: Events between profiler counter-track samples (sim time, live set,
+#: P-list size).  Coarse on purpose: sampling is for trace-viewer
+#: context, not statistics, and must stay far inside the <=5 % overhead
+#: budget.
+_PROF_SAMPLE_INTERVAL = 256
 
 
 class UnsupportedKernelFeature(RuntimeError):
@@ -243,6 +250,8 @@ class KernelSimulator:
         metrics: Optional["MetricsRegistry"] = None,
         sampler: object = None,
         sanitize: Optional[bool] = None,
+        profile: Optional["SpanProfiler"] = None,
+        introspect: bool = False,
     ) -> None:
         if sampler is not None:
             raise UnsupportedKernelFeature("time-series samplers need engine events")
@@ -294,6 +303,41 @@ class KernelSimulator:
             )
         else:
             self._m = None
+        # Span profiler and introspection bundle.  Both are observers
+        # only: profiling attributes wall time (results stay
+        # bit-identical), introspection adds the kernel.* counter family
+        # to the registry.  The kernel.* series have no reference-engine
+        # counterpart, so they are opt-in — a plain metrics run keeps
+        # kernel and reference snapshots identical for the differential
+        # parity suite.
+        self._prof = profile
+        if introspect and metrics is not None:
+            from repro.obs.hooks import KernelIntrospection
+
+            self._ik: Optional["KernelIntrospection"] = KernelIntrospection(
+                metrics, policy.name
+            )
+        else:
+            self._ik = None
+        if profile is not None:
+            # Pre-bound aggregate timers, indexed by event code
+            # (EV_ARRIVAL, EV_FIRM, EV_PHASE, EV_DISK): per-event timing
+            # is two clock reads through a bound handle, and the numpy
+            # penalty branch gets its own timer (the scalar branch is
+            # counted but not timed — at sub-microsecond per scan the
+            # clock reads themselves would blow the overhead budget).
+            self._ev_timers: Optional[tuple["AggregateTimer", ...]] = (
+                profile.timer("kernel.ev_arrival"),
+                profile.timer("kernel.ev_firm"),
+                profile.timer("kernel.ev_phase"),
+                profile.timer("kernel.ev_disk"),
+            )
+            self._t_scan: Optional["AggregateTimer"] = profile.timer(
+                "kernel.penalty_scan_numpy"
+            )
+        else:
+            self._ev_timers = None
+            self._t_scan = None
         self.max_events = (
             max_events if max_events is not None else 5000 * len(workload)
         )
@@ -353,6 +397,11 @@ class KernelSimulator:
         self._masks = SpecMasks(
             data_masks, write_masks, max(1, (config.db_size + 63) // 64)
         )
+        if profile is not None or (introspect and metrics is not None):
+            # Observe the lazy mask-matrix materializations (word
+            # matrices, conflict slot rows) without changing when they
+            # happen.
+            self._masks.on_build = self._on_mask_build
         self._n_words = self._masks.n_words
 
         # -- tree-oracle state ids ------------------------------------------
@@ -527,8 +576,23 @@ class KernelSimulator:
         self._seq = seq
         self._live_events += len(heap)
         heapify(heap)
-        self._event_loop()
+        prof = self._prof
+        if prof is None:
+            self._event_loop()
+        else:
+            t0 = prof.begin()
+            try:
+                self._event_loop()
+            finally:
+                prof.end(
+                    "kernel.event_loop",
+                    "engine",
+                    t0,
+                    args={"policy": self.policy.name, "events": self._fired},
+                )
         self._finished = True
+        if self._ik is not None:
+            self._ik.events_fired.inc(self._fired)
         if self.live:
             stuck = sorted(self._tid[slot] for slot in self.live)
             raise RuntimeError(
@@ -578,6 +642,7 @@ class KernelSimulator:
 
     def _event_loop(self) -> None:
         heap = self._heap
+        timers = self._ev_timers
         max_events = self.max_events
         deadline: Optional[float] = None
         if self.max_wall_s is not None:
@@ -612,17 +677,45 @@ class KernelSimulator:
             time, _seq, code, slot, token = heappop(heap)
             self._live_events -= 1
             self.now = time
-            if code == EV_PHASE:
-                self._on_phase_complete(slot)
-            elif code == EV_ARRIVAL:
-                self._on_arrival(slot)
-            elif code == EV_DISK:
-                self._on_disk_complete()
+            if timers is None:
+                if code == EV_PHASE:
+                    self._on_phase_complete(slot)
+                elif code == EV_ARRIVAL:
+                    self._on_arrival(slot)
+                elif code == EV_DISK:
+                    self._on_disk_complete()
+                else:
+                    self._on_firm_deadline(slot)
             else:
-                self._on_firm_deadline(slot)
+                # Profiled twin of the dispatch chain: attribute the
+                # handler's wall time to its event-kind aggregate, and
+                # drop a coarse counter sample (sim time, live set,
+                # P-list size) every few hundred events for the trace
+                # viewer's counter tracks.
+                timer = timers[code]
+                t0 = timer.start()
+                if code == EV_PHASE:
+                    self._on_phase_complete(slot)
+                elif code == EV_ARRIVAL:
+                    self._on_arrival(slot)
+                elif code == EV_DISK:
+                    self._on_disk_complete()
+                else:
+                    self._on_firm_deadline(slot)
+                timer.stop(t0)
+                if loops % _PROF_SAMPLE_INTERVAL == 0:
+                    self._prof_sample()
             self._fired += 1
             loops += 1
         self._events_fired = self._fired
+
+    def _prof_sample(self) -> None:
+        """One counter-track sample (sim time, live set, P-list size)."""
+        prof = self._prof
+        if prof is not None:
+            prof.counter("kernel.sim_time", self.now)
+            prof.counter("kernel.live", float(len(self.live)))
+            prof.counter("kernel.plist", float(len(self._plist)))
 
     # ------------------------------------------------------------------
     # Priority keys (integer-coded policy dispatch)
@@ -772,6 +865,7 @@ class KernelSimulator:
         include_rollback = self.include_rollback_in_penalty
         fixed = self._recovery_fixed
         total = 0.0
+        ik = self._ik
         if (
             self._o.flat
             and self._n_words > 1
@@ -779,6 +873,10 @@ class KernelSimulator:
         ):
             # Batched membership only pays off once masks span several
             # words; single-word masks are faster as plain int ops.
+            if ik is not None:
+                ik.scan_numpy.inc()
+            t_scan = self._t_scan
+            t0 = t_scan.start() if t_scan is not None else 0.0
             if self._words_dirty:
                 self._flush_words()
             rows = np.fromiter(plist, dtype=np.int64, count=len(plist))
@@ -798,10 +896,14 @@ class KernelSimulator:
                         else self._recovery_floor
                         + self._recovery_factor * self._service[victim]
                     )
+            if t_scan is not None:
+                t_scan.stop(t0)
             return total
         if self._o.flat:
             # Scalar bitmask membership, with _needs_rollback and
             # _effective_service inlined (same tests, same float order).
+            if ik is not None:
+                ik.scan_scalar.inc()
             acc_mask = self._acc_mask
             aw_mask = self._aw_mask
             service = self._service
@@ -828,6 +930,8 @@ class KernelSimulator:
                             + self._recovery_factor * service[victim]
                         )
             return total
+        if ik is not None:
+            ik.scan_table.inc()
         for victim in plist:
             if victim == slot:
                 continue
@@ -972,6 +1076,7 @@ class KernelSimulator:
         tx_key = self._priority_key(slot)
         if self._cca_bound:
             metrics = self._m
+            ik = self._ik
             deadline = self._deadline
             victims = []
             for other in self._plist:
@@ -981,6 +1086,8 @@ class KernelSimulator:
                     # Bounded below tx_key without the penalty scan.
                     if metrics is not None:
                         metrics.penalty_evals.inc()
+                    if ik is not None:
+                        ik.prune_dispatch.inc()
                     victims.append(other)
                 elif self._priority_key(other) < tx_key:
                     victims.append(other)
@@ -1005,6 +1112,7 @@ class KernelSimulator:
             cca_bound = self._cca_bound
             deadline = self._deadline
             metrics = self._m
+            ik = self._ik
             best: Optional[int] = None
             best_key: Optional[tuple] = None
             for slot in self.live:
@@ -1018,6 +1126,8 @@ class KernelSimulator:
                         # (still one logical penalty evaluation).
                         if metrics is not None:
                             metrics.penalty_evals.inc()
+                        if ik is not None:
+                            ik.prune_choose.inc()
                         continue
                     key = selection_key(slot)
                     if best_key is None or key > best_key:
@@ -1191,14 +1301,16 @@ class KernelSimulator:
             arr_order = self._arr_order
             arrival_t = self._arrival
             n_all = self._n
-            aidx = self._arr_ptr
+            aidx = aidx0 = self._arr_ptr
             next_arr = arrival_t[arr_order[aidx]] if aidx < n_all else math.inf
             horizon = math.inf
         else:
+            aidx = aidx0 = 0
             horizon = heap[0][0] if heap else math.inf
         start = self.now
         end = start + remaining
         fused = 0
+        free = False
         if end < horizon:
             # At the span's completion the loop will have counted
             # self._fired + 1 events; the unfused engine fires boundary
@@ -1366,6 +1478,19 @@ class KernelSimulator:
                     acc_mask[slot] = acc
                     aw_mask[slot] = aw
                     self._words_dirty.add(slot)
+        ik = self._ik
+        if ik is not None and fused:
+            # One introspection record per span actually taken: its
+            # kind (conflict-free vs locked), length in absorbed
+            # boundaries, whether it stopped short of the final
+            # operation, and how many arrivals the cursor crossed.
+            (ik.span_free if free else ik.span_locked).inc()
+            ik.fused_ops.inc(fused)
+            ik.span_len.observe(float(fused))
+            if self._op_index[slot] + 1 < self._n_ops[slot]:
+                ik.fusion_truncated.inc()
+            if aidx > aidx0:
+                ik.fusion_crossings.inc(aidx - aidx0)
         self._remaining[slot] = remaining
         self._phase = PH_COMPUTE
         self._phase_start = start
@@ -1449,6 +1574,8 @@ class KernelSimulator:
             # the exact scan (still one logical penalty evaluation).
             if self._m is not None:
                 self._m.penalty_evals.inc()
+            if self._ik is not None:
+                self._ik.prune_wound.inc()
             return True
         if key > self._priority_key(holder):
             return True
@@ -1582,6 +1709,15 @@ class KernelSimulator:
             self._acc_words[slot] = mask_to_words(self._acc_mask[slot], n_words)
             self._aw_words[slot] = mask_to_words(self._aw_mask[slot], n_words)
         self._words_dirty.clear()
+
+    def _on_mask_build(self, kind: str, seconds: float) -> None:
+        """SpecMasks materialization hook: count it, attribute its time."""
+        ik = self._ik
+        if ik is not None:
+            ik.mask_builds[kind].inc()
+        prof = self._prof
+        if prof is not None:
+            prof.timer("kernel.mask_build." + kind).add(seconds)
 
     # ------------------------------------------------------------------
     # P-list bookkeeping

@@ -31,13 +31,16 @@ including shared locks and tree programs — is property-tested in
 from __future__ import annotations
 
 import functools
-from typing import Iterable, Sequence
+import time as _time
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
 import numpy as np
 
 from repro.analysis.relations import Conflict, Safety
 from repro.analysis.table import RelationTable
 from repro.rtdb.transaction import TransactionSpec
+
+_T = TypeVar("_T")
 
 #: Integer codes for the ternary relations, ordered by "badness" so the
 #: kernel can compare with plain ``>``/``==``.
@@ -160,12 +163,31 @@ class SpecMasks:
     matrices are built lazily on first access: only the IOwait
     scheduler and the multi-word batched penalty scan consume them, so
     plain-policy simulations never pay for either.
+
+    ``on_build`` is an optional observer ``(kind, seconds)`` called once
+    per lazy materialization — the kernel wires it to its introspection
+    counters and span profiler so "how often and how expensively do the
+    mask matrices materialize" is visible.  It observes; it never
+    changes what gets built or when.
     """
+
+    #: Materialization observer; ``None`` (the default) costs one
+    #: attribute check per *build*, i.e. at most three per workload.
+    on_build: Optional[Callable[[str, float], None]] = None
 
     def __init__(self, data: list[int], write: list[int], n_words: int) -> None:
         self.data = data
         self.write = write
         self.n_words = n_words
+
+    def _build(self, kind: str, builder: "Callable[[], _T]") -> "_T":
+        hook = self.on_build
+        if hook is None:
+            return builder()
+        t0 = _time.perf_counter()  # repro: allow[DET001] -- build timing feeds observability only, never simulation state
+        result = builder()
+        hook(kind, _time.perf_counter() - t0)  # repro: allow[DET001] -- build timing feeds observability only, never simulation state
+        return result
 
     @classmethod
     def from_specs(
@@ -193,15 +215,18 @@ class SpecMasks:
 
     @functools.cached_property
     def data_words(self) -> np.ndarray:
-        return self._words_of(self.data)
+        return self._build("data_words", lambda: self._words_of(self.data))
 
     @functools.cached_property
     def write_words(self) -> np.ndarray:
-        return self._words_of(self.write)
+        return self._build("write_words", lambda: self._words_of(self.write))
 
     @functools.cached_property
     def conflict_slots(self) -> list[int]:
-        return _pairwise_conflicts(self.data_words, self.write_words)
+        return self._build(
+            "conflict_slots",
+            lambda: _pairwise_conflicts(self.data_words, self.write_words),
+        )
 
 
 class StateTable:

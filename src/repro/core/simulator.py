@@ -83,6 +83,7 @@ from repro.rtdb.transaction import Transaction, TransactionSpec, TxState
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.prof import SpanProfiler
     from repro.obs.registry import MetricsRegistry
     from repro.obs.sampler import TimeSeriesSampler
 
@@ -244,6 +245,18 @@ class RTDBSimulator:
         breach.  ``None`` (default) defers to ``config.sanitize``.
         Sanitized runs produce bit-identical results; when off, the
         only cost is the trace hook's existing ``is not None`` check.
+    profile:
+        Optional :class:`~repro.obs.prof.SpanProfiler`; when set,
+        ``run()`` records wall-time spans for its phases
+        (``engine.schedule_arrivals``, ``engine.event_loop``) and the
+        event loop drops periodic sim-time counter samples.  Profiling
+        observes only — results are bit-identical with it attached.
+    introspect:
+        Accepted for constructor parity with
+        :class:`~repro.core.kernel.KernelSimulator` (the engine factory
+        passes one kwargs dict to either engine); the ``kernel.*``
+        introspection counters it enables describe kernel machinery
+        this engine does not have, so it is a no-op here.
     """
 
     def __init__(
@@ -261,6 +274,8 @@ class RTDBSimulator:
         metrics: Optional["MetricsRegistry"] = None,
         sampler: Optional["TimeSeriesSampler"] = None,
         sanitize: Optional[bool] = None,
+        profile: Optional["SpanProfiler"] = None,
+        introspect: bool = False,
     ) -> None:
         if not workload:
             raise ValueError("workload must contain at least one transaction")
@@ -294,6 +309,12 @@ class RTDBSimulator:
             )
         else:
             self._m = None
+        # Wall-time span profiler; phases recorded in run().  The
+        # ``introspect`` flag is accepted for constructor parity with
+        # the kernel (the factory passes one kwargs dict to whichever
+        # engine it selects) but names kernel-machinery counters this
+        # engine does not have, so it is a no-op here.
+        self._prof = profile
         self.sampler = sampler
         self.max_events = (
             max_events if max_events is not None else 5000 * len(workload)
@@ -357,6 +378,8 @@ class RTDBSimulator:
             raise RuntimeError("a simulator instance runs exactly once")
         if self.sampler is not None:
             self.sampler.attach(self)
+        prof = self._prof
+        t0 = prof.begin() if prof is not None else 0.0
         for spec in self.workload:
             self.sim.schedule_at(
                 spec.arrival_time, self._on_arrival, kind="arrival", payload=spec
@@ -370,7 +393,31 @@ class RTDBSimulator:
                     kind="firm_deadline",
                     payload=spec.tid,
                 )
-        self.sim.run(max_events=self.max_events, max_wall_s=self.max_wall_s)
+        if prof is not None:
+            prof.end(
+                "engine.schedule_arrivals",
+                "engine",
+                t0,
+                args={"n": len(self.workload)},
+            )
+            t0 = prof.begin()
+        try:
+            self.sim.run(
+                max_events=self.max_events,
+                max_wall_s=self.max_wall_s,
+                profile=prof,
+            )
+        finally:
+            if prof is not None:
+                prof.end(
+                    "engine.event_loop",
+                    "engine",
+                    t0,
+                    args={
+                        "policy": self.policy.name,
+                        "events": self.sim.events_processed,
+                    },
+                )
         self._finished = True
         if self.live:
             stuck = sorted(self.live)

@@ -48,10 +48,12 @@ from typing import Callable, Iterator, Mapping, Optional, Sequence
 
 from repro.config import SimulationConfig
 from repro.core.factory import make_simulator
+from repro.core.kernel import KernelSimulator
 from repro.core.policy import make_policy
 from repro.core.simulator import SimulationResult
 from repro.experiments import faults
 from repro.experiments.cache import ResultCache, cache_key
+from repro.obs.prof import SpanProfiler, observe_stage
 from repro.obs.registry import MetricsRegistry
 from repro.workload.generator import generate_workload
 
@@ -284,25 +286,76 @@ def simulate_cell_observed(
     policy_name: str,
     *,
     max_wall_s: Optional[float] = None,
+    profile: Optional[SpanProfiler] = None,
 ) -> tuple[SimulationResult, float, dict]:
     """Run one cell with a private metrics registry attached.
 
     Returns ``(result, wall_ms, counter_deltas)`` where
     ``counter_deltas`` is the cell's registry snapshot — the per-cell
     delta a worker process ships back for the parent to merge.  Apart
-    from wall time the deltas are deterministic in the cell (simulated
-    time only), which is what makes parallel manifest counters equal
-    serial ones.
+    from wall time (the ``prof.stage_ms`` stage histograms and the
+    cell's own wall clock) the deltas are deterministic in the cell
+    (simulated time only), which is what makes parallel manifest
+    counters equal serial ones.
+
+    Observed cells run with kernel introspection on (``kernel.*``
+    counters — fusion spans, penalty-scan modes, CCA prunes; see
+    docs/OBSERVABILITY.md) and tally which engine actually ran under
+    ``sweep.engine{engine=...}``.  Both are deterministic.
+
+    ``profile`` optionally attaches a :class:`SpanProfiler`: the stage
+    intervals become spans and the engine records its internal phases
+    into the same recording (:func:`simulate_cell_profiled` is the
+    worker-facing wrapper that ships the recording back).
     """
-    workload = generate_workload(config, seed)
-    policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
     registry = MetricsRegistry()
     started = time.perf_counter()
-    result = make_simulator(
-        config, workload, policy, metrics=registry, max_wall_s=max_wall_s
-    ).run()
-    wall_ms = (time.perf_counter() - started) * 1000.0
-    return result, wall_ms, registry.snapshot()
+    workload = generate_workload(config, seed)
+    policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
+    generated = time.perf_counter()
+    observe_stage(registry, "workload_gen", (generated - started) * 1000.0)
+    simulator = make_simulator(
+        config,
+        workload,
+        policy,
+        metrics=registry,
+        max_wall_s=max_wall_s,
+        profile=profile,
+        introspect=True,
+    )
+    engine = "kernel" if isinstance(simulator, KernelSimulator) else "reference"
+    registry.counter("sweep.engine", engine=engine).inc()
+    result = simulator.run()
+    finished = time.perf_counter()
+    observe_stage(registry, "simulate", (finished - generated) * 1000.0)
+    if profile is not None:
+        cell_args = {"policy": policy_name, "seed": seed, "engine": engine}
+        profile.add_span(
+            "cell.workload_gen", "stage", started, generated, {"n": len(workload)}
+        )
+        profile.add_span("cell.simulate", "stage", generated, finished, cell_args)
+    return result, (finished - started) * 1000.0, registry.snapshot()
+
+
+def simulate_cell_profiled(
+    config: SimulationConfig,
+    seed: int,
+    policy_name: str,
+    *,
+    max_wall_s: Optional[float] = None,
+) -> tuple[SimulationResult, float, dict, dict]:
+    """Run one cell observed *and* span-profiled.
+
+    Returns ``(result, wall_ms, counter_deltas, prof_state)`` — the
+    observed payload plus this worker's profiler recording
+    (:meth:`SpanProfiler.export_state`), which the parent folds into
+    its own profiler in cell-key order.
+    """
+    prof = SpanProfiler()
+    result, wall_ms, deltas = simulate_cell_observed(
+        config, seed, policy_name, max_wall_s=max_wall_s, profile=prof
+    )
+    return result, wall_ms, deltas, prof.export_state()
 
 
 def _worker_entry(
@@ -311,6 +364,7 @@ def _worker_entry(
     policy_name: str,
     attempt: int,
     observed: bool,
+    profiled: bool,
     max_wall_s: Optional[float],
 ):
     """Pool/serial worker entry: fault injection, then the simulation."""
@@ -318,6 +372,10 @@ def _worker_entry(
         injected = faults.maybe_inject(cache_key(config, seed, policy_name), attempt)
         if injected is not None:
             return injected  # CORRUPT_PAYLOAD passes through as-is
+    if profiled:
+        return simulate_cell_profiled(
+            config, seed, policy_name, max_wall_s=max_wall_s
+        )
     if observed:
         return simulate_cell_observed(
             config, seed, policy_name, max_wall_s=max_wall_s
@@ -325,22 +383,25 @@ def _worker_entry(
     return simulate_cell(config, seed, policy_name, max_wall_s=max_wall_s)
 
 
-def _validate_outcome(cell: SweepCell, outcome, observed: bool):
+def _validate_outcome(cell: SweepCell, outcome, observed: bool, profiled: bool):
     """Reject corrupt worker payloads (wrong shape, wrong cell).
 
     Raises :class:`CorruptResultError`, which the retry machinery treats
     like any other per-cell failure.
     """
-    if observed:
+    if observed or profiled:
+        width = 4 if profiled else 3
         if (
             not isinstance(outcome, tuple)
-            or len(outcome) != 3
+            or len(outcome) != width
             or not isinstance(outcome[0], SimulationResult)
             or not isinstance(outcome[1], (int, float))
             or not isinstance(outcome[2], dict)
+            or (profiled and not isinstance(outcome[3], dict))
         ):
             raise CorruptResultError(
-                f"cell {cell.key}: malformed observed payload "
+                f"cell {cell.key}: malformed "
+                f"{'profiled' if profiled else 'observed'} payload "
                 f"({type(outcome).__name__})"
             )
         result = outcome[0]
@@ -378,6 +439,11 @@ class ExecutionDefaults:
     (``config.sanitize=True``); results are identical, but cells are
     addressed separately in the cache so a sanitized pass really
     re-validates every simulation."""
+    profile: Optional[SpanProfiler] = None
+    """Span profiler the sweep records into: workers run profiled and
+    ship their recordings back; the parent folds them in (cell-key
+    order) together with its own sweep-stage spans.  Results are
+    bit-identical with or without it."""
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -394,6 +460,7 @@ def configure(
     metrics: object = UNSET,
     retry: object = UNSET,
     sanitize: object = UNSET,
+    profile: object = UNSET,
 ) -> None:
     """Set process-wide execution defaults (omitted fields keep theirs)."""
     if jobs is not UNSET:
@@ -408,6 +475,8 @@ def configure(
         _DEFAULTS.retry = retry  # type: ignore[assignment]
     if sanitize is not UNSET:
         _DEFAULTS.sanitize = sanitize  # type: ignore[assignment]
+    if profile is not UNSET:
+        _DEFAULTS.profile = profile  # type: ignore[assignment]
 
 
 @contextlib.contextmanager
@@ -418,6 +487,7 @@ def execution(
     metrics: object = UNSET,
     retry: object = UNSET,
     sanitize: object = UNSET,
+    profile: object = UNSET,
 ) -> Iterator[None]:
     """Temporarily override execution defaults (nestable).
 
@@ -434,6 +504,7 @@ def execution(
             metrics=metrics,
             retry=retry,
             sanitize=sanitize,
+            profile=profile,
         )
         yield
     finally:
@@ -444,6 +515,7 @@ def execution(
             metrics=saved.metrics,
             retry=saved.retry,
             sanitize=saved.sanitize,
+            profile=saved.profile,
         )
 
 
@@ -482,6 +554,10 @@ def resolve_retry(retry: Optional[RetryPolicy]) -> RetryPolicy:
 
 def resolve_sanitize() -> bool:
     return _DEFAULTS.sanitize
+
+
+def resolve_profile(profile: Optional[SpanProfiler]) -> Optional[SpanProfiler]:
+    return profile if profile is not None else _DEFAULTS.profile
 
 
 _LAST_STATS = SweepStats()
@@ -529,6 +605,7 @@ class _SweepRunner:
         metrics: Optional[MetricsRegistry],
         retry: RetryPolicy,
         stats: SweepStats,
+        profile: Optional[SpanProfiler] = None,
     ) -> None:
         self.pending = list(pending)
         self.jobs = jobs
@@ -537,6 +614,8 @@ class _SweepRunner:
         self.metrics = metrics
         self.retry = retry
         self.stats = stats
+        self.profile = profile
+        self.profiled = profile is not None
         self.observed = metrics is not None
         self.results: dict[CellKey, SimulationResult] = {}
         self.attempts: dict[CellKey, int] = {cell.key: 0 for cell in pending}
@@ -582,9 +661,12 @@ class _SweepRunner:
                     cell.policy,
                     self.attempts[cell.key],
                     self.observed,
+                    self.profiled,
                     self.retry.timeout,
                 )
-                outcome = _validate_outcome(cell, outcome, self.observed)
+                outcome = _validate_outcome(
+                    cell, outcome, self.observed, self.profiled
+                )
             except Exception as exc:
                 self._attempt_failed(cell, exc, retry_next)
             else:
@@ -606,6 +688,7 @@ class _SweepRunner:
                     cell.policy,
                     self.attempts[cell.key],
                     self.observed,
+                    self.profiled,
                     self.retry.timeout,
                 )
             except BrokenProcessPool as exc:
@@ -622,7 +705,9 @@ class _SweepRunner:
                 future = futures[cell.key]
                 try:
                     outcome = future.result(timeout=self.retry.timeout)
-                    outcome = _validate_outcome(cell, outcome, self.observed)
+                    outcome = _validate_outcome(
+                        cell, outcome, self.observed, self.profiled
+                    )
                 except (_FuturesTimeout, TimeoutError) as exc:
                     # The hung worker keeps its slot until it finishes;
                     # taint the pool so the next round starts fresh.
@@ -661,12 +746,26 @@ class _SweepRunner:
     # -- per-cell outcomes -------------------------------------------------
 
     def _complete(self, cell: SweepCell, outcome) -> None:
-        if self.observed:
+        prof = self.profile
+        prof_state: Optional[dict] = None
+        if self.profiled:
+            result, wall_ms, deltas, prof_state = outcome
+        elif self.observed:
             result, wall_ms, deltas = outcome
+        else:
+            result, wall_ms, deltas = outcome, 0.0, None
+        if deltas is not None and self.metrics is not None:
+            t0 = time.perf_counter()
             self.metrics.merge_snapshot(deltas)
             self.metrics.histogram("sweep.cell_wall_ms").observe(wall_ms)
-        else:
-            result = outcome
+            merge_s = time.perf_counter() - t0
+            observe_stage(self.metrics, "merge", merge_s * 1000.0)
+            if prof is not None:
+                prof.timer("sweep.merge", "stage").add(merge_s)
+        if prof is not None and prof_state is not None:
+            # Called in cell-key order within each round, so the merged
+            # recording's structure is worker-count-independent.
+            prof.extend(prof_state)
         self.results[cell.key] = result
         self.stats.cells_run += 1
         if cell.key in self.failures:
@@ -678,7 +777,16 @@ class _SweepRunner:
             # sweep resumes from here.  Cache write errors degrade to a
             # counter (the cache disables itself after the first one).
             before = self.cache.counters.put_errors
-            self.cache.safe_put(cell.config, cell.seed, cell.policy, result)
+            if self.metrics is None and prof is None:
+                self.cache.safe_put(cell.config, cell.seed, cell.policy, result)
+            else:
+                t0 = time.perf_counter()
+                self.cache.safe_put(cell.config, cell.seed, cell.policy, result)
+                put_s = time.perf_counter() - t0
+                if self.metrics is not None:
+                    observe_stage(self.metrics, "cache_put", put_s * 1000.0)
+                if prof is not None:
+                    prof.timer("sweep.cache_put", "stage").add(put_s)
             self.stats.cache_put_errors += self.cache.counters.put_errors - before
 
     def _attempt_failed(
@@ -728,7 +836,9 @@ class _SweepRunner:
             ):
                 continue
             try:
-                outcome = _validate_outcome(cell, future.result(), self.observed)
+                outcome = _validate_outcome(
+                    cell, future.result(), self.observed, self.profiled
+                )
             except Exception:
                 continue
             processed.add(cell.key)
@@ -757,6 +867,7 @@ def execute_cells(
     trace: Optional[TraceHook] = None,
     metrics: Optional[MetricsRegistry] = None,
     retry: Optional[RetryPolicy] = None,
+    profile: Optional[SpanProfiler] = None,
 ) -> dict[CellKey, SimulationResult]:
     """Run every cell, in parallel where possible; results keyed and
     ordered by :data:`CellKey`.
@@ -782,6 +893,14 @@ def execute_cells(
     and parallel runs of the same cells (wall-time histograms aside).
     Cached cells contribute no simulator counters — they were never
     simulated — but are tallied in ``sweep.cache_hits``.
+
+    With ``profile`` set (directly or via :func:`configure`), workers
+    additionally record span profiles (engine phases, kernel aggregate
+    timers, stage spans) and ship them back for the parent to fold in —
+    again in cell-key order — alongside the parent's own sweep-stage
+    spans.  Export with :meth:`SpanProfiler.chrome_trace` (the ``repro
+    profile`` command wires this up).  Results are bit-identical with
+    profiling on or off.
     """
     global _LAST_STATS
     jobs = resolve_jobs(jobs)
@@ -789,6 +908,7 @@ def execute_cells(
     trace = resolve_trace(trace)
     metrics = resolve_metrics(metrics)
     retry = resolve_retry(retry)
+    profile = resolve_profile(profile)
 
     if resolve_sanitize():
         # Sanitized cells carry config.sanitize=True, which flows to the
@@ -812,6 +932,7 @@ def execute_cells(
 
     results: dict[CellKey, SimulationResult] = {}
     pending: list[SweepCell] = []
+    lookup_t0 = time.perf_counter()
     for cell in ordered:
         hit = (
             cache.get(cell.config, cell.seed, cell.policy)
@@ -823,6 +944,18 @@ def execute_cells(
             stats.cache_hits += 1
         else:
             pending.append(cell)
+    if cache is not None:
+        lookup_t1 = time.perf_counter()
+        if metrics is not None:
+            observe_stage(metrics, "cache_lookup", (lookup_t1 - lookup_t0) * 1000.0)
+        if profile is not None:
+            profile.add_span(
+                "sweep.cache_lookup",
+                "stage",
+                lookup_t0,
+                lookup_t1,
+                {"cells": len(ordered), "hits": stats.cache_hits},
+            )
 
     runner: Optional[_SweepRunner] = None
     try:
@@ -835,6 +968,7 @@ def execute_cells(
                 metrics=metrics,
                 retry=retry,
                 stats=stats,
+                profile=profile,
             )
             runner.run()
             results.update(runner.results)
@@ -868,6 +1002,19 @@ def execute_cells(
     merged = {
         cell.key: results[cell.key] for cell in ordered if cell.key in results
     }
+    if profile is not None:
+        profile.add_span(
+            "sweep.execute_cells",
+            "stage",
+            started,
+            time.perf_counter(),
+            {
+                "cells": stats.cells_total,
+                "run": stats.cells_run,
+                "cache_hits": stats.cache_hits,
+                "jobs": jobs,
+            },
+        )
     if trace is not None:
         pending_keys = {cell.key for cell in pending}
         for cell in ordered:

@@ -9,13 +9,21 @@ The subsystem has three pieces, each usable alone:
   stream (:class:`MetricsTraceHook`);
 * :mod:`repro.obs.sampler` — clock-driven time series of scheduler
   state (queue depths, CPU utilization, restarts in flight);
+* :mod:`repro.obs.prof` — span profiler with Chrome-trace export,
+  aggregate timers for kernel internals, and host provenance;
 * :mod:`repro.obs.manifest` — structured JSON provenance reports for
   figure/sweep runs.
 
 See docs/OBSERVABILITY.md for the metrics catalog and manifest schema.
 """
 
-from repro.obs.hooks import MetricsTraceHook, SimulatorMetrics, fanout, slack_band
+from repro.obs.hooks import (
+    KernelIntrospection,
+    MetricsTraceHook,
+    SimulatorMetrics,
+    fanout,
+    slack_band,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     build_manifest,
@@ -23,23 +31,38 @@ from repro.obs.manifest import (
     validate_manifest,
     write_manifest,
 )
+from repro.obs.prof import (
+    AggregateTimer,
+    SpanProfiler,
+    host_provenance,
+    observe_stage,
+    timing_section,
+    validate_chrome_trace,
+)
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.sampler import Sample, TimeSeriesSampler
 
 __all__ = [
     "MANIFEST_SCHEMA_VERSION",
+    "AggregateTimer",
     "Counter",
     "Gauge",
     "Histogram",
+    "KernelIntrospection",
     "MetricsRegistry",
     "MetricsTraceHook",
     "Sample",
     "SimulatorMetrics",
+    "SpanProfiler",
     "TimeSeriesSampler",
     "build_manifest",
     "fanout",
+    "host_provenance",
     "load_manifest",
+    "observe_stage",
     "slack_band",
+    "timing_section",
+    "validate_chrome_trace",
     "validate_manifest",
     "write_manifest",
 ]

@@ -114,6 +114,90 @@ class SimulatorMetrics:
         self._miss_by_band[slack_band(arrival_time, deadline, resource_time)].inc()
 
 
+class KernelIntrospection:
+    """Pre-bound kernel-internals instruments (the ``kernel.*`` family).
+
+    Where :class:`SimulatorMetrics` counts what the *schedule* did
+    (aborts, preempts, misses — identical across engines), this bundle
+    counts what the *kernel machinery* did: fusion spans taken and
+    truncated, arrival-cursor crossings, CCA bound-prune hits by site,
+    penalty-scan mode mix, and mask-matrix materializations.  Those are
+    engine implementation facts with no reference-engine counterpart,
+    so the kernel creates this bundle only when constructed with
+    ``introspect=True`` *and* a registry — by default the ``kernel.*``
+    series are absent and kernel/reference metric snapshots stay
+    byte-identical for the differential parity suite.
+
+    Every handle is pre-resolved here so each hot-path update is one
+    attribute load and an ``inc()`` behind the kernel's single
+    ``is not None`` check.
+    """
+
+    __slots__ = (
+        "span_free",
+        "span_locked",
+        "fused_ops",
+        "fusion_truncated",
+        "fusion_crossings",
+        "span_len",
+        "scan_scalar",
+        "scan_numpy",
+        "scan_table",
+        "prune_choose",
+        "prune_dispatch",
+        "prune_wound",
+        "mask_builds",
+        "events_fired",
+    )
+
+    def __init__(self, registry: MetricsRegistry, policy_name: str) -> None:
+        self.span_free = registry.counter(
+            "kernel.fusion_spans", policy=policy_name, kind="free"
+        )
+        self.span_locked = registry.counter(
+            "kernel.fusion_spans", policy=policy_name, kind="locked"
+        )
+        self.fused_ops = registry.counter("kernel.fused_ops", policy=policy_name)
+        self.fusion_truncated = registry.counter(
+            "kernel.fusion_truncated", policy=policy_name
+        )
+        self.fusion_crossings = registry.counter(
+            "kernel.fusion_arrival_crossings", policy=policy_name
+        )
+        self.span_len = registry.histogram(
+            "kernel.fusion_span_len",
+            buckets=(1, 2, 3, 5, 8, 13, 21, 34, 55),
+            policy=policy_name,
+        )
+        self.scan_scalar = registry.counter(
+            "kernel.penalty_scans", policy=policy_name, mode="scalar"
+        )
+        self.scan_numpy = registry.counter(
+            "kernel.penalty_scans", policy=policy_name, mode="numpy"
+        )
+        self.scan_table = registry.counter(
+            "kernel.penalty_scans", policy=policy_name, mode="table"
+        )
+        self.prune_choose = registry.counter(
+            "kernel.cca_prunes", policy=policy_name, site="choose"
+        )
+        self.prune_dispatch = registry.counter(
+            "kernel.cca_prunes", policy=policy_name, site="dispatch"
+        )
+        self.prune_wound = registry.counter(
+            "kernel.cca_prunes", policy=policy_name, site="wound"
+        )
+        self.mask_builds = {
+            kind: registry.counter(
+                "kernel.mask_builds", policy=policy_name, kind=kind
+            )
+            for kind in ("data_words", "write_words", "conflict_slots")
+        }
+        self.events_fired = registry.counter(
+            "kernel.events_fired", policy=policy_name
+        )
+
+
 class MetricsTraceHook:
     """A trace hook that tallies event kinds into a registry.
 

@@ -23,13 +23,23 @@ import time
 from pathlib import Path
 from typing import Mapping, Optional, Sequence
 
+from repro.obs.prof import timing_section
+
 #: Bump when the manifest document layout changes incompatibly.
 #: v2: added the required ``failures`` section (per-cell failure
 #: records from fault-tolerant sweep execution).
 #: v3: added the required ``certification`` section (offline schedule
 #: certification results from ``--certify``; ``enabled: false`` with no
 #: cells when the flag was off).
-MANIFEST_SCHEMA_VERSION = 3
+#: v4: added the required ``timing`` section (per-stage wall-time
+#: summaries derived from the ``prof.stage_ms`` histograms, merged
+#: deterministically across worker processes; ``enabled: false`` with
+#: no stages when the run recorded none).
+MANIFEST_SCHEMA_VERSION = 4
+
+#: Schema versions :func:`validate_manifest` accepts: the current one
+#: plus still-loadable older layouts (v3 manifests predate ``timing``).
+ACCEPTED_SCHEMA_VERSIONS = (3, 4)
 
 #: Document type marker, so a manifest is self-identifying.
 MANIFEST_KIND = "repro-run-manifest"
@@ -127,6 +137,9 @@ def build_manifest(
     ``certification`` is the ``--certify`` section (see
     :func:`repro.certify.runner.certification_section`); ``None`` means
     certification was off and records ``{"enabled": false, "cells": []}``.
+    The ``timing`` section is derived from the snapshot's
+    ``prof.stage_ms`` histograms (:func:`repro.obs.prof.timing_section`)
+    — per-stage wall-time summaries observed cells record as they run.
     """
     histograms = metrics_snapshot.get("histograms", {})
     return {
@@ -149,6 +162,7 @@ def build_manifest(
             if certification is not None
             else {"enabled": False, "cells": []}
         ),
+        "timing": timing_section(metrics_snapshot),
         "cell_wall_ms": histograms.get("sweep.cell_wall_ms"),
         "metrics": dict(metrics_snapshot),
         "notes": notes,
@@ -204,9 +218,10 @@ def validate_manifest(manifest: Mapping) -> list[str]:
     if not problems:
         if manifest["kind"] != MANIFEST_KIND:
             problems.append(f"kind is {manifest['kind']!r}, not {MANIFEST_KIND!r}")
-        if manifest["schema"] != MANIFEST_SCHEMA_VERSION:
+        if manifest["schema"] not in ACCEPTED_SCHEMA_VERSIONS:
             problems.append(
-                f"schema version {manifest['schema']} != {MANIFEST_SCHEMA_VERSION}"
+                f"schema version {manifest['schema']} not in "
+                f"{ACCEPTED_SCHEMA_VERSIONS}"
             )
         cache = manifest["cache"]
         for key in ("hits", "misses"):
@@ -240,4 +255,31 @@ def validate_manifest(manifest: Mapping) -> list[str]:
                         problems.append(
                             f"certification.cells[{index}] missing {key!r}"
                         )
+        if manifest["schema"] >= 4:
+            problems.extend(_validate_timing(manifest.get("timing")))
+    return problems
+
+
+def _validate_timing(timing: object) -> list[str]:
+    """Problems with a v4 ``timing`` section (empty = valid)."""
+    if not isinstance(timing, dict):
+        return ["timing missing or not an object (required by schema v4)"]
+    problems: list[str] = []
+    if not isinstance(timing.get("enabled"), bool):
+        problems.append("timing.enabled missing or not a bool")
+    stages = timing.get("stages")
+    if not isinstance(stages, dict):
+        problems.append("timing.stages missing or not an object")
+        return problems
+    for stage, data in stages.items():
+        if not isinstance(data, dict):
+            problems.append(f"timing.stages[{stage!r}] is not an object")
+            continue
+        for key in ("count", "total_ms", "mean_ms", "p95_ms"):
+            if not isinstance(data.get(key), (int, float)):
+                problems.append(
+                    f"timing.stages[{stage!r}].{key} missing or non-numeric"
+                )
+    if timing.get("enabled") is False and stages:
+        problems.append("timing.enabled is false but stages are present")
     return problems

@@ -14,10 +14,13 @@ moves backwards (scheduling into the past raises).
 from __future__ import annotations
 
 import time as _time
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.sim.calendar import EventCalendar
 from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.prof import SpanProfiler
 
 
 class SimulationError(RuntimeError):
@@ -126,6 +129,7 @@ class Simulator:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
         max_wall_s: Optional[float] = None,
+        profile: Optional["SpanProfiler"] = None,
     ) -> float:
         """Run the event loop and return the final clock value.
 
@@ -138,7 +142,10 @@ class Simulator:
         instead of hanging its process.  The loop also stops when only
         daemon events remain — a self-rescheduling sampler cannot keep a
         finished simulation alive or advance its clock past the last
-        real event.
+        real event.  ``profile`` attaches a span profiler whose counter
+        tracks get a (sim time, events fired) sample every few hundred
+        events — pure observation at the wall-clock guard's cadence,
+        never feeding simulation state.
         """
         if self._running:
             raise SimulationError("run() is not re-entrant")
@@ -175,6 +182,9 @@ class Simulator:
                     )
                 self.step()
                 fired += 1
+                if profile is not None and fired % _WALL_CHECK_INTERVAL == 0:
+                    profile.counter("engine.sim_time", self.now)
+                    profile.counter("engine.events", float(fired))
         finally:
             self._running = False
         return self.now

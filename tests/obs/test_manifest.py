@@ -1,6 +1,11 @@
 """Run manifests: hashing, schema validation, round trips."""
 
+from pathlib import Path
+
+import pytest
+
 from repro.obs.manifest import (
+    ACCEPTED_SCHEMA_VERSIONS,
     MANIFEST_KIND,
     MANIFEST_SCHEMA_VERSION,
     build_manifest,
@@ -10,6 +15,7 @@ from repro.obs.manifest import (
     validate_manifest,
     write_manifest,
 )
+from repro.obs.prof import observe_stage
 from repro.obs.registry import MetricsRegistry
 
 
@@ -166,11 +172,11 @@ class TestFailuresSection:
 
 
 class TestCertificationSection:
-    def test_schema_version_is_pinned_at_three(self):
-        # v3 introduced the required certification section; bumping the
+    def test_schema_version_is_pinned_at_four(self):
+        # v4 introduced the required timing section; bumping the
         # constant without updating this pin is a schema change that
         # needs the validation rules revisited.
-        assert MANIFEST_SCHEMA_VERSION == 3
+        assert MANIFEST_SCHEMA_VERSION == 4
 
     def test_defaults_to_disabled(self):
         manifest = build_manifest(
@@ -237,6 +243,102 @@ class TestCertificationSection:
         problems = validate_manifest(manifest)
         assert any("cells[0] is not an object" in p for p in problems)
         assert any("cells[1] missing 'certified'" in p for p in problems)
+
+
+class TestTimingSection:
+    @staticmethod
+    def registry_with_stages() -> MetricsRegistry:
+        registry = registry_with_data()
+        observe_stage(registry, "workload_gen", 1.5)
+        observe_stage(registry, "simulate", 20.0)
+        observe_stage(registry, "simulate", 30.0)
+        return registry
+
+    def test_built_from_stage_histograms(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), self.registry_with_stages().snapshot()
+        )
+        timing = manifest["timing"]
+        assert timing["enabled"] is True
+        assert set(timing["stages"]) == {"workload_gen", "simulate"}
+        assert timing["stages"]["simulate"]["count"] == 2
+        assert timing["stages"]["simulate"]["total_ms"] == pytest.approx(50.0)
+        assert timing["stages"]["simulate"]["mean_ms"] == pytest.approx(25.0)
+        assert validate_manifest(manifest) == []
+
+    def test_disabled_when_no_stage_timing(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        assert manifest["timing"] == {"enabled": False, "stages": {}}
+        assert validate_manifest(manifest) == []
+
+    def test_missing_timing_flagged_for_v4(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        del manifest["timing"]
+        assert any("timing" in p for p in validate_manifest(manifest))
+
+    def test_malformed_timing_flagged(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), self.registry_with_stages().snapshot()
+        )
+        manifest["timing"] = {"enabled": "yes", "stages": []}
+        problems = validate_manifest(manifest)
+        assert any("timing.enabled" in p for p in problems)
+        assert any("timing.stages" in p for p in problems)
+        manifest["timing"] = {
+            "enabled": True,
+            "stages": {"simulate": {"count": 2}},  # no total/mean/p95
+        }
+        problems = validate_manifest(manifest)
+        assert any("total_ms" in p for p in problems)
+        manifest["timing"] = {
+            "enabled": False,
+            "stages": {
+                "simulate": {
+                    "count": 1, "total_ms": 1.0, "mean_ms": 1.0, "p95_ms": 1.0
+                }
+            },
+        }
+        assert any(
+            "enabled is false" in p for p in validate_manifest(manifest)
+        )
+
+    def test_v3_manifest_without_timing_still_validates(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        del manifest["timing"]
+        manifest["schema"] = 3
+        assert validate_manifest(manifest) == []
+
+    def test_accepted_versions_pinned(self):
+        assert ACCEPTED_SCHEMA_VERSIONS == (3, 4)
+
+
+class TestGoldenFixtures:
+    """Committed manifest documents: v4 (current) and v3 (pre-timing).
+
+    These pin the on-disk layout — regenerating them is a conscious
+    schema change, not a side effect.
+    """
+
+    DATA = Path(__file__).parent / "data"
+
+    def test_golden_v4_validates(self):
+        doc = load_manifest(self.DATA / "manifest_v4.json")
+        assert doc["schema"] == 4
+        assert validate_manifest(doc) == []
+        assert doc["timing"]["enabled"] is True
+        assert "simulate" in doc["timing"]["stages"]
+
+    def test_golden_v3_still_loads_and_validates(self):
+        doc = load_manifest(self.DATA / "manifest_v3.json")
+        assert doc["schema"] == 3
+        assert "timing" not in doc
+        assert validate_manifest(doc) == []
 
 
 class TestWriteAndLoad:

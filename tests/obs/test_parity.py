@@ -3,7 +3,8 @@
 The executor promises that a registry fed by a parallel run holds the
 same counters as one fed by a serial run of the same cells — worker
 snapshots merge in cell-key order, never completion order.  Wall-clock
-series (``sweep.cell_wall_ms``) are the documented exception.
+series (``sweep.cell_wall_ms`` and the ``prof.stage_ms`` stage timing
+histograms) are the documented exception.
 """
 
 import pytest
@@ -13,7 +14,14 @@ from repro.experiments.cache import ResultCache
 from repro.experiments.parallel import SweepCell, execute_cells
 from repro.obs.registry import MetricsRegistry
 
+#: Series measuring real time: same structure (keys, counts) at any
+#: ``jobs``, but the recorded values necessarily differ run to run.
 WALL_CLOCK_SERIES = ("sweep.cell_wall_ms",)
+WALL_CLOCK_PREFIXES = ("prof.",)
+
+
+def _is_wall_clock(key: str) -> bool:
+    return key in WALL_CLOCK_SERIES or key.startswith(WALL_CLOCK_PREFIXES)
 
 
 def small_config(**overrides) -> SimulationConfig:
@@ -46,7 +54,7 @@ def deterministic_part(snapshot: dict) -> dict:
         "histograms": {
             key: data
             for key, data in snapshot["histograms"].items()
-            if key not in WALL_CLOCK_SERIES
+            if not _is_wall_clock(key)
         },
     }
 
