@@ -100,6 +100,19 @@ def build_certify_parser() -> argparse.ArgumentParser:
         help="penalty weight for --events mode policies (default: 1.0)",
     )
     parser.add_argument(
+        "--stream",
+        type=Path,
+        nargs="?",
+        const=Path("results") / "certify-stream",
+        default=None,
+        metavar="DIR",
+        help=(
+            "spill each cell's trace to a JSONL file under DIR while "
+            "simulating and certify from the stream — bounded memory, "
+            "identical verdicts (default DIR: results/certify-stream)"
+        ),
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -143,8 +156,13 @@ def certify_main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _certify_offline(args) -> int:
-    """Certify a saved (events, workload) pair without simulating."""
-    from repro.tracing import EventLog
+    """Certify a saved (events, workload) pair without simulating.
+
+    The event file is consumed as a lazy stream (one record in memory
+    at a time), so arbitrarily large spilled traces certify in bounded
+    memory.
+    """
+    from repro.sim.stream import iter_jsonl
     from repro.workload.serialization import load_workload
     from repro.certify.certifier import certify_events
 
@@ -159,10 +177,9 @@ def _certify_offline(args) -> int:
             print(f"error: no such file: {path}", file=sys.stderr)
             return 2
     try:
-        log = EventLog.from_jsonl(args.events)
         workload = load_workload(args.workload)
         result = certify_events(
-            log.events,
+            iter_jsonl(args.events),
             workload,
             args.policy,
             penalty_weight=args.penalty_weight,
@@ -239,9 +256,20 @@ def _certify_experiment(args) -> int:
         return 2
 
     samples = [
-        certify_cell(args.experiment, cell, max_wall_s=args.timeout)
+        certify_cell(
+            args.experiment,
+            cell,
+            max_wall_s=args.timeout,
+            stream_dir=args.stream,
+        )
         for cell in cells
     ]
+    if args.stream is not None:
+        # stderr so `--format json` output stays machine-parseable.
+        print(
+            f"[certify: trace streams spilled under {args.stream}]",
+            file=sys.stderr,
+        )
     if args.format == "json":
         _print_report(render_cells_json(args.experiment, scale.name, samples))
     else:

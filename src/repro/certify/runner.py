@@ -14,6 +14,7 @@ point, which is as deterministic as a sweep cell.
 from __future__ import annotations
 
 import dataclasses
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.policy import make_policy
@@ -108,18 +109,51 @@ def find_cell(
     return None
 
 
+def stream_path_for(
+    stream_dir: Path | str, experiment: str, cell: SweepCell
+) -> Path:
+    """Where one cell's spilled trace stream lives under ``stream_dir``."""
+    return Path(stream_dir) / (
+        f"{experiment}-x{cell.x:g}-s{cell.seed}-{cell.policy}.jsonl"
+    )
+
+
 def certify_cell(
     experiment: str,
     cell: SweepCell,
     *,
     max_wall_s: Optional[float] = None,
+    stream_dir: Optional[Path | str] = None,
 ) -> CellCertification:
-    """Re-simulate one cell with tracing on and certify its schedule."""
-    simulation, log, workload = simulate_cell_traced(
-        cell.config, cell.seed, cell.policy, max_wall_s=max_wall_s
-    )
+    """Re-simulate one cell with tracing on and certify its schedule.
+
+    With ``stream_dir`` set, the trace is spilled to a JSONL file as it
+    is produced and the certifier reads it back lazily — peak memory is
+    bounded by one event, not the whole log, and verdicts are identical
+    to the in-memory path (the stream carries the same flattened
+    records).  The spill file is left behind for inspection and
+    offline re-certification (``repro certify --events``).
+    """
+    if stream_dir is None:
+        simulation, log, workload = simulate_cell_traced(
+            cell.config, cell.seed, cell.policy, max_wall_s=max_wall_s
+        )
+        events = log.events
+    else:
+        from repro.sim.stream import JsonlSink, iter_jsonl
+
+        path = stream_path_for(stream_dir, experiment, cell)
+        with JsonlSink(path) as sink:
+            simulation, _, workload = simulate_cell_traced(
+                cell.config,
+                cell.seed,
+                cell.policy,
+                max_wall_s=max_wall_s,
+                sink=sink,
+            )
+        events = iter_jsonl(path)
     result = certify_events(
-        log.events,
+        events,
         workload,
         cell.policy,
         penalty_weight=cell.config.penalty_weight,
@@ -136,10 +170,13 @@ def certify_sample(
     *,
     registry: Optional[MetricsRegistry] = None,
     max_wall_s: Optional[float] = None,
+    stream_dir: Optional[Path | str] = None,
 ) -> list[CellCertification]:
     """Certify the default cell sample; feeds per-policy ``certify.*``
     counters into ``registry`` when given (plus the ``certify`` stage's
-    wall time, for manifest timing sections)."""
+    wall time, for manifest timing sections).  ``stream_dir`` spills
+    each cell's trace to JSONL and certifies from the stream (see
+    :func:`certify_cell`)."""
     import time as _time
 
     from repro.obs.prof import observe_stage
@@ -147,7 +184,9 @@ def certify_sample(
     out: list[CellCertification] = []
     for cell in default_cells(experiment, scale, policies):
         started = _time.perf_counter()
-        certified = certify_cell(experiment, cell, max_wall_s=max_wall_s)
+        certified = certify_cell(
+            experiment, cell, max_wall_s=max_wall_s, stream_dir=stream_dir
+        )
         out.append(certified)
         if registry is not None:
             observe_stage(

@@ -84,6 +84,10 @@ class Sanitizer:
             time=self.sim.now,
             tids=tids,
             trace=self.trail.tail(12),
+            progress={
+                "events_checked": self.events_checked,
+                "sim_time": self.sim.now,
+            },
         )
 
     # -- trace-hook half (schedule semantics) ------------------------------

@@ -35,6 +35,7 @@ class InvariantViolation(RuntimeError):
         time: float = 0.0,
         tids: Iterable[int] = (),
         trace: Sequence[tuple] = (),
+        progress: Optional[dict] = None,
     ) -> None:
         if code not in INVARIANT_CODES:
             raise ValueError(f"unknown invariant code {code!r}")
@@ -43,7 +44,26 @@ class InvariantViolation(RuntimeError):
         self.time = time
         self.tids = tuple(tids)
         self.trace = tuple(trace)
+        self.progress: dict = dict(progress) if progress else {}
+        self.raw_message = message
         super().__init__(self._format(message))
+
+    def __reduce__(self):  # type: ignore[override]
+        # The default reduce would re-call ``cls(formatted_message)``,
+        # which fails code validation; rebuild from the structured
+        # fields instead so violations survive worker pickling (and the
+        # fallback path's failure records keep their context).
+        return (
+            _rebuild_violation,
+            (
+                self.code,
+                self.raw_message,
+                self.time,
+                self.tids,
+                self.trace,
+                self.progress,
+            ),
+        )
 
     def _format(self, message: str) -> str:
         parts = [f"{self.code} ({self.invariant}) at t={self.time:g}: {message}"]
@@ -55,6 +75,20 @@ class InvariantViolation(RuntimeError):
                 detail = " ".join(f"{k}={v}" for k, v in fields)
                 parts.append(f"    t={time:<10g} {name:<16} {detail}")
         return "\n".join(parts)
+
+
+def _rebuild_violation(
+    code: str,
+    message: str,
+    time: float,
+    tids: tuple,
+    trace: tuple,
+    progress: dict,
+) -> "InvariantViolation":
+    """Pickle helper for :class:`InvariantViolation`."""
+    return InvariantViolation(
+        code, message, time=time, tids=tids, trace=trace, progress=progress
+    )
 
 
 class EventTrail:

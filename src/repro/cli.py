@@ -173,6 +173,39 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--memory-budget",
+        type=float,
+        default=None,
+        metavar="MB",
+        help=(
+            "per-cell resident-memory budget in MiB: the simulation "
+            "engine polls its RSS at event granularity and aborts the "
+            "cell with MemoryBudgetExceeded when it grows past the "
+            "budget (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--fallback",
+        action="store_true",
+        help=(
+            "self-heal kernel-engine cells: a cell that dies with an "
+            "unexpected exception is re-run on the sanitized reference "
+            "engine, a quarantine bundle capturing the failure is "
+            "written, and the run manifest records the fallback "
+            "(see docs/ROBUSTNESS.md)"
+        ),
+    )
+    parser.add_argument(
+        "--quarantine-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "where quarantine bundles land (implies --fallback; "
+            "default: results/quarantine)"
+        ),
+    )
+    parser.add_argument(
         "--faults",
         default=None,
         metavar="SPEC",
@@ -240,6 +273,7 @@ def _write_report(
     failures: Sequence[parallel.CellFailure] = (),
     notes: str = "",
     certification: Optional[dict] = None,
+    engine_fallbacks: Sequence[dict] = (),
 ) -> Path:
     manifest = build_manifest(
         experiment=figure_id,
@@ -253,6 +287,7 @@ def _write_report(
         failures=[failure.to_dict() for failure in failures],
         notes=notes,
         certification=certification,
+        engine_fallbacks=engine_fallbacks,
     )
     return write_manifest(manifest, report_dir)
 
@@ -269,10 +304,23 @@ def _failure_summary(
     for failure in failures:
         x, policy, seed = failure.key
         outcome = "recovered" if failure.recovered else "DROPPED"
+        progress = ""
+        if failure.progress:
+            parts = []
+            if "events" in failure.progress:
+                parts.append(f"reached {failure.progress['events']} events")
+            if "committed" in failure.progress:
+                parts.append(f"{failure.progress['committed']} committed")
+            if "rss_bytes" in failure.progress:
+                parts.append(
+                    f"rss {failure.progress['rss_bytes'] / 1048576.0:.0f} MB"
+                )
+            if parts:
+                progress = f" [{', '.join(parts)}]"
         lines.append(
             f"  cell x={x:g} policy={policy} seed={seed}: "
             f"{failure.exception} after {failure.attempts} attempt(s) "
-            f"({outcome})"
+            f"({outcome}){progress}"
         )
     return "\n".join(lines)
 
@@ -295,6 +343,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.bench import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "replay":
+        return replay_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
@@ -306,10 +356,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             on_error=args.on_error,
             max_attempts=args.retries,
             timeout=args.timeout,
+            memory_mb=args.memory_budget,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    fallback = None
+    if args.fallback or args.quarantine_dir is not None:
+        from repro.experiments.quarantine import FallbackPolicy
+
+        try:
+            fallback = (
+                FallbackPolicy(quarantine_dir=str(args.quarantine_dir))
+                if args.quarantine_dir is not None
+                else FallbackPolicy()
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     installed_faults = False
     if args.faults is not None:
@@ -326,7 +391,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         with parallel.execution(
-            jobs=args.jobs, cache=cache, retry=retry, sanitize=args.sanitize
+            jobs=args.jobs,
+            cache=cache,
+            retry=retry,
+            sanitize=args.sanitize,
+            fallback=fallback if fallback is not None else parallel.UNSET,
         ):
             return _run_experiments(args, scale)
     finally:
@@ -336,6 +405,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _run_experiments(args, scale: ExperimentScale) -> int:
     parallel.take_failures()  # drop records left over from earlier calls
+    parallel.take_fallbacks()
     if args.experiment == "validate":
         from repro.experiments.report import render_kernel_digest
         from repro.experiments.validation import render_report, validate_all
@@ -349,6 +419,7 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
         with parallel.execution(trace=counters, metrics=registry):
             checks = validate_all(scale)
         failures = parallel.take_failures()
+        fallbacks = parallel.take_fallbacks()
         print(render_report(checks))
         elapsed = time.time() - started
         print(f"[validated in {elapsed:.1f}s at scale={scale.name}]")
@@ -359,6 +430,10 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
             print(digest)
         if failures:
             print(_failure_summary("validate", failures))
+        if fallbacks:
+            from repro.experiments.report import render_engine_fallbacks
+
+            print(render_engine_fallbacks(fallbacks))
         if args.report is not None:
             path = _write_report(
                 "validate",
@@ -369,6 +444,7 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
                 elapsed=elapsed,
                 failures=failures,
                 notes="aggregate over every figure's validation sweeps",
+                engine_fallbacks=fallbacks,
             )
             print(f"wrote manifest {path}")
         dropped = any(not failure.recovered for failure in failures)
@@ -396,6 +472,7 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
                 result = ALL_RUNNABLE[figure_id](scale)
         except parallel.SweepError as exc:
             failures = parallel.take_failures()
+            parallel.take_fallbacks()  # don't leak into the next figure
             print(f"error: {figure_id} aborted: {exc}", file=sys.stderr)
             if failures:
                 print(_failure_summary(figure_id, failures), file=sys.stderr)
@@ -413,6 +490,7 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
             )
             return 130
         failures = parallel.take_failures()
+        fallbacks = parallel.take_fallbacks()
         print(render_figure(result))
         certification_section = None
         if want_certify:
@@ -454,6 +532,10 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
             any_dropped = any_dropped or any(
                 not failure.recovered for failure in failures
             )
+        if fallbacks:
+            from repro.experiments.report import render_engine_fallbacks
+
+            print(render_engine_fallbacks(fallbacks))
         if args.report is not None and registry is not None:
             path = _write_report(
                 figure_id,
@@ -464,6 +546,7 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
                 elapsed=elapsed,
                 failures=failures,
                 certification=certification_section,
+                engine_fallbacks=fallbacks,
             )
             print(f"wrote manifest {path}")
         print()
@@ -776,6 +859,91 @@ def profile_main(argv: Sequence[str]) -> int:
     )
     print(f"[profiled in {time.time() - started:.1f}s]")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# `repro replay` — reproduce a quarantined cell failure bit-for-bit
+# ---------------------------------------------------------------------------
+
+def build_replay_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description=(
+            "Replay a quarantine bundle written by the engine-fallback "
+            "path: rebuild the failed cell's exact configuration, seed, "
+            "policy, and fault schedule from the bundle, re-run it on "
+            "the kernel engine, and verify the failure reproduces "
+            "bit-for-bit (same exception, same message, same trace "
+            "tail).  Exit 0 when it matches, 1 when it does not "
+            "(the defect is fixed, or drifted), 2 on a bad bundle."
+        ),
+    )
+    parser.add_argument(
+        "bundle",
+        type=Path,
+        help=(
+            "a quarantine bundle directory (or its bundle.json) under "
+            "the sweep's --quarantine-dir (default results/quarantine/)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    return parser
+
+
+def replay_main(argv: Sequence[str]) -> int:
+    import json
+
+    from repro.experiments.quarantine import load_bundle, replay_bundle
+
+    args = build_replay_parser().parse_args(argv)
+    try:
+        doc = load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        report = replay_bundle(args.bundle)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["matched"] else 1
+    cell = doc["cell"]
+    print(
+        f"bundle {args.bundle}: policy={cell['policy']} "
+        f"seed={cell['seed']} attempt={doc['attempt']} "
+        f"scenario={doc['scenario_hash'][:12]}"
+    )
+    print(
+        f"quarantined failure: {doc['exception']}: {doc['message']}"
+    )
+    if not report["reproduced_at_capture"]:
+        print(
+            "note: the traced capture raised a different error than the "
+            "original (untraced) failure; the capture is the replay "
+            "reference point"
+        )
+    if report["matched"]:
+        print(
+            f"REPRODUCED: {report['actual']['exception'] or 'no error'} "
+            "— exception, message, and trace tail all match the bundle"
+        )
+        return 0
+    expected, actual = report["expected"], report["actual"]
+    print("NOT REPRODUCED:")
+    print(
+        f"  expected: {expected['exception']}: {expected['message']}"
+    )
+    print(f"  actual:   {actual['exception']}: {actual['message']}")
+    if not report["tail_matched"]:
+        print("  trace tails differ")
+    return 1
 
 
 if __name__ == "__main__":

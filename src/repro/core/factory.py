@@ -52,6 +52,7 @@ def make_simulator(
     trace: Optional[TraceHook] = None,
     max_events: Optional[int] = None,
     max_wall_s: Optional[float] = None,
+    max_memory_mb: Optional[float] = None,
     metrics: Optional["MetricsRegistry"] = None,
     sampler: Optional["TimeSeriesSampler"] = None,
     sanitize: Optional[bool] = None,
@@ -77,6 +78,7 @@ def make_simulator(
         trace=trace,
         max_events=max_events,
         max_wall_s=max_wall_s,
+        max_memory_mb=max_memory_mb,
         metrics=metrics,
         sampler=sampler,
         sanitize=sanitize,

@@ -83,8 +83,11 @@ from repro.core.simulator import (
 )
 from repro.rtdb.recovery import FixedRecovery, ProportionalRecovery, RecoveryModel
 from repro.rtdb.transaction import TransactionSpec
+from repro.sim import engine as _engine
 from repro.sim.engine import (
+    BudgetExceeded,
     EventBudgetExceeded,
+    MemoryBudgetExceeded,
     SimulationError,
     WallClockExceeded,
 )
@@ -247,6 +250,7 @@ class KernelSimulator:
         trace: Optional[TraceHook] = None,
         max_events: Optional[int] = None,
         max_wall_s: Optional[float] = None,
+        max_memory_mb: Optional[float] = None,
         metrics: Optional["MetricsRegistry"] = None,
         sampler: object = None,
         sanitize: Optional[bool] = None,
@@ -342,6 +346,7 @@ class KernelSimulator:
             max_events if max_events is not None else 5000 * len(workload)
         )
         self.max_wall_s = max_wall_s
+        self.max_memory_mb = max_memory_mb
 
         n = len(self.workload)
         self._n = n
@@ -577,19 +582,30 @@ class KernelSimulator:
         self._live_events += len(heap)
         heapify(heap)
         prof = self._prof
-        if prof is None:
-            self._event_loop()
-        else:
-            t0 = prof.begin()
-            try:
+        try:
+            if prof is None:
                 self._event_loop()
-            finally:
-                prof.end(
-                    "kernel.event_loop",
-                    "engine",
-                    t0,
-                    args={"policy": self.policy.name, "events": self._fired},
-                )
+            else:
+                t0 = prof.begin()
+                try:
+                    self._event_loop()
+                finally:
+                    prof.end(
+                        "kernel.event_loop",
+                        "engine",
+                        t0,
+                        args={"policy": self.policy.name, "events": self._fired},
+                    )
+        except BudgetExceeded as exc:
+            # Partial-progress accounting, mirroring the reference
+            # engine: sweep failure records report how far the cell got.
+            exc.progress.update(
+                committed=len(self._records),
+                restarts=self.total_restarts,
+                dropped=self.n_dropped,
+                live=len(self.live),
+            )
+            raise
         self._finished = True
         if self._ik is not None:
             self._ik.events_fired.inc(self._fired)
@@ -648,6 +664,9 @@ class KernelSimulator:
         if self.max_wall_s is not None:
             # Wall-clock guard only raises; mirrors the reference engine.
             deadline = _time.perf_counter() + self.max_wall_s  # repro: allow[DET001] -- guard only raises
+        mem_limit: Optional[int] = None
+        if self.max_memory_mb is not None:
+            mem_limit = int(self.max_memory_mb * 1024 * 1024)
         loops = 0
         while self._live_events > 0:
             # Lazily drop cancelled service-phase events (stale tokens),
@@ -663,7 +682,8 @@ class KernelSimulator:
             # the same point as strict per-boundary execution.
             if max_events is not None and self._fired >= max_events:
                 raise EventBudgetExceeded(
-                    f"exceeded max_events={max_events}; likely a runaway loop"
+                    f"exceeded max_events={max_events}; likely a runaway loop",
+                    {"events": self._fired, "sim_time": self.now},
                 )
             if (
                 deadline is not None
@@ -672,8 +692,23 @@ class KernelSimulator:
             ):
                 raise WallClockExceeded(
                     f"simulation exceeded max_wall_s={self.max_wall_s} "
-                    f"after {self._fired} events (sim time {self.now:g})"
+                    f"after {self._fired} events (sim time {self.now:g})",
+                    {"events": self._fired, "sim_time": self.now},
                 )
+            if mem_limit is not None and loops % _WALL_CHECK_INTERVAL == 0:
+                # Module-qualified so tests can monkeypatch the probe.
+                rss = _engine.rss_bytes()
+                if rss is not None and rss > mem_limit:
+                    raise MemoryBudgetExceeded(
+                        f"simulation exceeded max_memory_mb="
+                        f"{self.max_memory_mb:g} (rss {rss / 1048576.0:.1f} MB "
+                        f"after {self._fired} events, sim time {self.now:g})",
+                        {
+                            "events": self._fired,
+                            "sim_time": self.now,
+                            "rss_bytes": rss,
+                        },
+                    )
             time, _seq, code, slot, token = heappop(heap)
             self._live_events -= 1
             self.now = time

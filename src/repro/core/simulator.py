@@ -80,7 +80,7 @@ from repro.rtdb.disk import Disk
 from repro.rtdb.locks import LockManager
 from repro.rtdb.recovery import FixedRecovery, RecoveryModel
 from repro.rtdb.transaction import Transaction, TransactionSpec, TxState
-from repro.sim.engine import Simulator
+from repro.sim.engine import BudgetExceeded, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.prof import SpanProfiler
@@ -271,6 +271,7 @@ class RTDBSimulator:
         trace: Optional[TraceHook] = None,
         max_events: Optional[int] = None,
         max_wall_s: Optional[float] = None,
+        max_memory_mb: Optional[float] = None,
         metrics: Optional["MetricsRegistry"] = None,
         sampler: Optional["TimeSeriesSampler"] = None,
         sanitize: Optional[bool] = None,
@@ -320,6 +321,7 @@ class RTDBSimulator:
             max_events if max_events is not None else 5000 * len(workload)
         )
         self.max_wall_s = max_wall_s
+        self.max_memory_mb = max_memory_mb
 
         self.sim = Simulator()
         self.lockmgr = LockManager()
@@ -405,8 +407,20 @@ class RTDBSimulator:
             self.sim.run(
                 max_events=self.max_events,
                 max_wall_s=self.max_wall_s,
+                max_memory_mb=self.max_memory_mb,
                 profile=prof,
             )
+        except BudgetExceeded as exc:
+            # Partial-progress accounting: how far the cell got before
+            # the budget tripped, attached to the exception so sweep
+            # failure records (and ``repro validate``) can report it.
+            exc.progress.update(
+                committed=len(self.records),
+                restarts=self.total_restarts,
+                dropped=self.n_dropped,
+                live=len(self.live),
+            )
+            raise
         finally:
             if prof is not None:
                 prof.end(

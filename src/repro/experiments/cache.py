@@ -219,6 +219,12 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle, separators=(",", ":"))
+                # Flush user-space buffers and force the data to disk
+                # *before* the rename publishes the entry: a worker (or
+                # host) killed mid-write can leave a stale ``.tmp``
+                # file, never a truncated entry at the final path.
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:

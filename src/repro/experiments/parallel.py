@@ -53,6 +53,7 @@ from repro.core.policy import make_policy
 from repro.core.simulator import SimulationResult
 from repro.experiments import faults
 from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.quarantine import CellEnvelope, FallbackPolicy, run_cell_guarded
 from repro.obs.prof import SpanProfiler, observe_stage
 from repro.obs.registry import MetricsRegistry
 from repro.workload.generator import generate_workload
@@ -100,17 +101,24 @@ class CellFailure:
     message: str
     recovered: bool = False
     """``True`` if a later attempt of the same cell succeeded."""
+    progress: Optional[dict] = None
+    """Partial-progress snapshot for budget aborts (events fired,
+    committed/live counts, sim time) — how far the cell got before the
+    wall-clock/event/memory budget tripped."""
 
     def to_dict(self) -> dict:
         """JSON-ready form, as embedded in run manifests."""
         x, policy, seed = self.key
-        return {
+        record = {
             "cell": {"x": x, "policy": policy, "seed": seed},
             "attempts": self.attempts,
             "exception": self.exception,
             "message": self.message,
             "recovered": self.recovered,
         }
+        if self.progress:
+            record["progress"] = dict(self.progress)
+        return record
 
 
 class SweepError(RuntimeError):
@@ -169,7 +177,11 @@ class RetryPolicy:
     ``timeout`` bounds each cell's wall clock twice over: the parent
     waits at most ``timeout`` seconds per pool future, and workers run
     their simulation engine with ``max_wall_s=timeout`` so a livelocked
-    cell kills itself even in serial mode.
+    cell kills itself even in serial mode.  ``memory_mb`` bounds each
+    worker's resident memory via the engine's in-process guard
+    (:class:`~repro.sim.engine.MemoryBudgetExceeded`) — a cell that
+    would OOM fails with a partial-progress record instead of taking
+    its process down.
     """
 
     on_error: str = "fail"
@@ -178,6 +190,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     backoff_max_s: float = 2.0
     timeout: Optional[float] = None
+    memory_mb: Optional[float] = None
     max_pool_rebuilds: int = 2
     """Pool breakages tolerated before degrading to serial execution."""
 
@@ -190,6 +203,8 @@ class RetryPolicy:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.memory_mb is not None and self.memory_mb <= 0:
+            raise ValueError(f"memory_mb must be > 0, got {self.memory_mb}")
 
     @property
     def attempts_per_cell(self) -> int:
@@ -226,6 +241,9 @@ class SweepStats:
     cache_put_errors: int = 0
     failures: list[CellFailure] = dataclasses.field(default_factory=list)
     """Per-cell failure records (recovered and terminal), in key order."""
+    engine_fallbacks: list[dict] = dataclasses.field(default_factory=list)
+    """Kernel→reference fallback records (manifest ``engine_fallbacks``
+    section, schema v5), in cell-key order."""
 
     @property
     def sims_per_sec(self) -> float:
@@ -241,6 +259,7 @@ def simulate_cell(
     policy_name: str,
     *,
     max_wall_s: Optional[float] = None,
+    max_memory_mb: Optional[float] = None,
 ) -> SimulationResult:
     """Run one cell from scratch — the worker-process entry point.
 
@@ -248,11 +267,18 @@ def simulate_cell(
     ``(config, seed)`` and the simulator draws no further randomness,
     so the same cell yields the same result in any process.
     ``max_wall_s`` (when set) bounds the simulation's real run time via
-    the engine's wall-clock guard.
+    the engine's wall-clock guard; ``max_memory_mb`` bounds resident
+    memory the same way.
     """
     workload = generate_workload(config, seed)
     policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
-    return make_simulator(config, workload, policy, max_wall_s=max_wall_s).run()
+    return make_simulator(
+        config,
+        workload,
+        policy,
+        max_wall_s=max_wall_s,
+        max_memory_mb=max_memory_mb,
+    ).run()
 
 
 def simulate_cell_traced(
@@ -261,6 +287,8 @@ def simulate_cell_traced(
     policy_name: str,
     *,
     max_wall_s: Optional[float] = None,
+    max_memory_mb: Optional[float] = None,
+    sink: Optional[TraceHook] = None,
 ):
     """Run one cell with a full :class:`~repro.tracing.EventLog` attached.
 
@@ -268,15 +296,32 @@ def simulate_cell_traced(
     (``repro trace``, ``repro certify``) need: the aggregate outcome,
     the complete event stream, and the exact specs it was generated
     from.  Same determinism contract as :func:`simulate_cell`.
+
+    ``sink`` substitutes a streaming trace sink (a
+    :class:`~repro.sim.stream.JsonlSink` spilling to disk, a bounded
+    :class:`~repro.sim.stream.RingSink`) for the in-memory log; the
+    returned middle element is then that sink.  Whatever was attached
+    is closed before returning, so a spilled stream is complete and
+    flushed when the caller iterates it.
     """
     from repro.tracing import EventLog
 
     workload = generate_workload(config, seed)
     policy = make_policy(policy_name, penalty_weight=config.penalty_weight)
-    log = EventLog()
-    result = make_simulator(
-        config, workload, policy, trace=log, max_wall_s=max_wall_s
-    ).run()
+    log = sink if sink is not None else EventLog()
+    try:
+        result = make_simulator(
+            config,
+            workload,
+            policy,
+            trace=log,
+            max_wall_s=max_wall_s,
+            max_memory_mb=max_memory_mb,
+        ).run()
+    finally:
+        close = getattr(log, "close", None)
+        if close is not None:
+            close()
     return result, log, workload
 
 
@@ -286,6 +331,7 @@ def simulate_cell_observed(
     policy_name: str,
     *,
     max_wall_s: Optional[float] = None,
+    max_memory_mb: Optional[float] = None,
     profile: Optional[SpanProfiler] = None,
 ) -> tuple[SimulationResult, float, dict]:
     """Run one cell with a private metrics registry attached.
@@ -320,6 +366,7 @@ def simulate_cell_observed(
         policy,
         metrics=registry,
         max_wall_s=max_wall_s,
+        max_memory_mb=max_memory_mb,
         profile=profile,
         introspect=True,
     )
@@ -343,6 +390,7 @@ def simulate_cell_profiled(
     policy_name: str,
     *,
     max_wall_s: Optional[float] = None,
+    max_memory_mb: Optional[float] = None,
 ) -> tuple[SimulationResult, float, dict, dict]:
     """Run one cell observed *and* span-profiled.
 
@@ -353,7 +401,12 @@ def simulate_cell_profiled(
     """
     prof = SpanProfiler()
     result, wall_ms, deltas = simulate_cell_observed(
-        config, seed, policy_name, max_wall_s=max_wall_s, profile=prof
+        config,
+        seed,
+        policy_name,
+        max_wall_s=max_wall_s,
+        max_memory_mb=max_memory_mb,
+        profile=prof,
     )
     return result, wall_ms, deltas, prof.export_state()
 
@@ -366,21 +419,58 @@ def _worker_entry(
     observed: bool,
     profiled: bool,
     max_wall_s: Optional[float],
+    max_memory_mb: Optional[float] = None,
+    fallback: Optional[FallbackPolicy] = None,
 ):
-    """Pool/serial worker entry: fault injection, then the simulation."""
+    """Pool/serial worker entry: fault injection, then the simulation.
+
+    With ``fallback`` set the cell runs through the guarded runner
+    (kernel failures heal onto the reference engine, wrapped in a
+    :class:`CellEnvelope`); the default path is untouched — one
+    ``is not None`` check.
+    """
+    if fallback is not None:
+        return run_cell_guarded(
+            config,
+            seed,
+            policy_name,
+            attempt,
+            observed=observed,
+            profiled=profiled,
+            max_wall_s=max_wall_s,
+            max_memory_mb=max_memory_mb,
+            fallback=fallback,
+        )
     if faults.active_plan() is not None:
         injected = faults.maybe_inject(cache_key(config, seed, policy_name), attempt)
         if injected is not None:
             return injected  # CORRUPT_PAYLOAD passes through as-is
     if profiled:
         return simulate_cell_profiled(
-            config, seed, policy_name, max_wall_s=max_wall_s
+            config, seed, policy_name,
+            max_wall_s=max_wall_s, max_memory_mb=max_memory_mb,
         )
     if observed:
         return simulate_cell_observed(
-            config, seed, policy_name, max_wall_s=max_wall_s
+            config, seed, policy_name,
+            max_wall_s=max_wall_s, max_memory_mb=max_memory_mb,
         )
-    return simulate_cell(config, seed, policy_name, max_wall_s=max_wall_s)
+    return simulate_cell(
+        config, seed, policy_name,
+        max_wall_s=max_wall_s, max_memory_mb=max_memory_mb,
+    )
+
+
+def _unwrap(raw) -> tuple[object, Optional[dict]]:
+    """Split a worker payload into (outcome, fallback record).
+
+    Guarded workers ship :class:`CellEnvelope`; plain workers ship the
+    bare outcome.  Anything else — including a corrupt payload inside
+    an envelope — flows on to ``_validate_outcome`` unchanged.
+    """
+    if isinstance(raw, CellEnvelope):
+        return raw.outcome, raw.fallback
+    return raw, None
 
 
 def _validate_outcome(cell: SweepCell, outcome, observed: bool, profiled: bool):
@@ -444,6 +534,11 @@ class ExecutionDefaults:
     ship their recordings back; the parent folds them in (cell-key
     order) together with its own sweep-stage spans.  Results are
     bit-identical with or without it."""
+    fallback: Optional[FallbackPolicy] = None
+    """Engine self-healing policy: kernel-cell failures quarantine and
+    re-run on the sanitized reference engine (see
+    :mod:`repro.experiments.quarantine`).  ``None`` (the default) binds
+    no fallback hooks on the worker path."""
 
 
 _DEFAULTS = ExecutionDefaults()
@@ -461,6 +556,7 @@ def configure(
     retry: object = UNSET,
     sanitize: object = UNSET,
     profile: object = UNSET,
+    fallback: object = UNSET,
 ) -> None:
     """Set process-wide execution defaults (omitted fields keep theirs)."""
     if jobs is not UNSET:
@@ -477,6 +573,8 @@ def configure(
         _DEFAULTS.sanitize = sanitize  # type: ignore[assignment]
     if profile is not UNSET:
         _DEFAULTS.profile = profile  # type: ignore[assignment]
+    if fallback is not UNSET:
+        _DEFAULTS.fallback = fallback  # type: ignore[assignment]
 
 
 @contextlib.contextmanager
@@ -488,6 +586,7 @@ def execution(
     retry: object = UNSET,
     sanitize: object = UNSET,
     profile: object = UNSET,
+    fallback: object = UNSET,
 ) -> Iterator[None]:
     """Temporarily override execution defaults (nestable).
 
@@ -505,6 +604,7 @@ def execution(
             retry=retry,
             sanitize=sanitize,
             profile=profile,
+            fallback=fallback,
         )
         yield
     finally:
@@ -516,6 +616,7 @@ def execution(
             retry=saved.retry,
             sanitize=saved.sanitize,
             profile=saved.profile,
+            fallback=saved.fallback,
         )
 
 
@@ -560,9 +661,17 @@ def resolve_profile(profile: Optional[SpanProfiler]) -> Optional[SpanProfiler]:
     return profile if profile is not None else _DEFAULTS.profile
 
 
+def resolve_fallback(
+    fallback: Optional[FallbackPolicy],
+) -> Optional[FallbackPolicy]:
+    return fallback if fallback is not None else _DEFAULTS.fallback
+
+
 _LAST_STATS = SweepStats()
 
 _SESSION_FAILURES: list[CellFailure] = []
+
+_SESSION_FALLBACKS: list[dict] = []
 
 
 def last_stats() -> SweepStats:
@@ -578,6 +687,15 @@ def take_failures() -> list[CellFailure]:
     """
     global _SESSION_FAILURES
     drained, _SESSION_FAILURES = _SESSION_FAILURES, []
+    return drained
+
+
+def take_fallbacks() -> list[dict]:
+    """Drain the engine-fallback records accumulated since the last
+    call — same per-experiment collection contract as
+    :func:`take_failures`."""
+    global _SESSION_FALLBACKS
+    drained, _SESSION_FALLBACKS = _SESSION_FALLBACKS, []
     return drained
 
 
@@ -606,6 +724,7 @@ class _SweepRunner:
         retry: RetryPolicy,
         stats: SweepStats,
         profile: Optional[SpanProfiler] = None,
+        fallback: Optional[FallbackPolicy] = None,
     ) -> None:
         self.pending = list(pending)
         self.jobs = jobs
@@ -615,6 +734,7 @@ class _SweepRunner:
         self.retry = retry
         self.stats = stats
         self.profile = profile
+        self.fallback = fallback
         self.profiled = profile is not None
         self.observed = metrics is not None
         self.results: dict[CellKey, SimulationResult] = {}
@@ -655,7 +775,7 @@ class _SweepRunner:
         for cell in cells:
             self.attempts[cell.key] += 1
             try:
-                outcome = _worker_entry(
+                raw = _worker_entry(
                     cell.config,
                     cell.seed,
                     cell.policy,
@@ -663,14 +783,17 @@ class _SweepRunner:
                     self.observed,
                     self.profiled,
                     self.retry.timeout,
+                    self.retry.memory_mb,
+                    self.fallback,
                 )
+                outcome, fb_record = _unwrap(raw)
                 outcome = _validate_outcome(
                     cell, outcome, self.observed, self.profiled
                 )
             except Exception as exc:
                 self._attempt_failed(cell, exc, retry_next)
             else:
-                self._complete(cell, outcome)
+                self._complete(cell, outcome, fb_record)
         return retry_next
 
     def _pool_round(self, cells: Sequence[SweepCell]) -> list[SweepCell]:
@@ -690,6 +813,8 @@ class _SweepRunner:
                     self.observed,
                     self.profiled,
                     self.retry.timeout,
+                    self.retry.memory_mb,
+                    self.fallback,
                 )
             except BrokenProcessPool as exc:
                 self._pool_tainted = True
@@ -704,7 +829,9 @@ class _SweepRunner:
                     continue
                 future = futures[cell.key]
                 try:
-                    outcome = future.result(timeout=self.retry.timeout)
+                    outcome, fb_record = _unwrap(
+                        future.result(timeout=self.retry.timeout)
+                    )
                     outcome = _validate_outcome(
                         cell, outcome, self.observed, self.profiled
                     )
@@ -725,7 +852,7 @@ class _SweepRunner:
                     self._attempt_failed(cell, exc, retry_next)
                 else:
                     processed.add(cell.key)
-                    self._complete(cell, outcome)
+                    self._complete(cell, outcome, fb_record)
         except BaseException:
             # Abort (KeyboardInterrupt, SweepError under on_error=fail):
             # checkpoint whatever already finished, then cancel the rest.
@@ -745,7 +872,23 @@ class _SweepRunner:
 
     # -- per-cell outcomes -------------------------------------------------
 
-    def _complete(self, cell: SweepCell, outcome) -> None:
+    def _complete(
+        self, cell: SweepCell, outcome, fb_record: Optional[dict] = None
+    ) -> None:
+        if fb_record is not None:
+            record = {
+                "cell": {"x": cell.x, "policy": cell.policy, "seed": cell.seed},
+                **fb_record,
+            }
+            self.stats.engine_fallbacks.append(record)
+            if self.trace is not None:
+                self.trace(
+                    "sweep_engine_fallback",
+                    x=cell.x,
+                    policy=cell.policy,
+                    seed=cell.seed,
+                    error=fb_record.get("exception"),
+                )
         prof = self.profile
         prof_state: Optional[dict] = None
         if self.profiled:
@@ -794,11 +937,13 @@ class _SweepRunner:
     ) -> None:
         attempt = self.attempts[cell.key]
         self.stats.failed_attempts += 1
+        progress = getattr(exc, "progress", None)
         failure = CellFailure(
             key=cell.key,
             attempts=attempt,
             exception=type(exc).__name__,
             message=str(exc)[:300],
+            progress=dict(progress) if progress else None,
         )
         self.failures[cell.key] = failure
         if self.trace is not None:
@@ -836,13 +981,14 @@ class _SweepRunner:
             ):
                 continue
             try:
+                outcome, fb_record = _unwrap(future.result())
                 outcome = _validate_outcome(
-                    cell, future.result(), self.observed, self.profiled
+                    cell, outcome, self.observed, self.profiled
                 )
             except Exception:
                 continue
             processed.add(cell.key)
-            self._complete(cell, outcome)
+            self._complete(cell, outcome, fb_record)
 
     # -- pool management ---------------------------------------------------
 
@@ -868,6 +1014,7 @@ def execute_cells(
     metrics: Optional[MetricsRegistry] = None,
     retry: Optional[RetryPolicy] = None,
     profile: Optional[SpanProfiler] = None,
+    fallback: Optional[FallbackPolicy] = None,
 ) -> dict[CellKey, SimulationResult]:
     """Run every cell, in parallel where possible; results keyed and
     ordered by :data:`CellKey`.
@@ -909,6 +1056,7 @@ def execute_cells(
     metrics = resolve_metrics(metrics)
     retry = resolve_retry(retry)
     profile = resolve_profile(profile)
+    fallback = resolve_fallback(fallback)
 
     if resolve_sanitize():
         # Sanitized cells carry config.sanitize=True, which flows to the
@@ -969,6 +1117,7 @@ def execute_cells(
                 retry=retry,
                 stats=stats,
                 profile=profile,
+                fallback=fallback,
             )
             runner.run()
             results.update(runner.results)
@@ -982,6 +1131,7 @@ def execute_cells(
                 runner.failures.values(), key=lambda failure: failure.key
             )
             _SESSION_FAILURES.extend(stats.failures)
+            _SESSION_FALLBACKS.extend(stats.engine_fallbacks)
         _LAST_STATS = stats
 
     if metrics is not None:
@@ -996,6 +1146,7 @@ def execute_cells(
             ("sweep.pool_rebuilds", stats.pool_rebuilds),
             ("sweep.cells_skipped", stats.cells_skipped),
             ("sweep.cache_put_errors", stats.cache_put_errors),
+            ("sweep.engine_fallbacks", len(stats.engine_fallbacks)),
         ):
             if value:
                 metrics.counter(name).inc(value)

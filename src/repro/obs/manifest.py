@@ -35,11 +35,15 @@ from repro.obs.prof import timing_section
 #: summaries derived from the ``prof.stage_ms`` histograms, merged
 #: deterministically across worker processes; ``enabled: false`` with
 #: no stages when the run recorded none).
-MANIFEST_SCHEMA_VERSION = 4
+#: v5: added the required ``engine_fallbacks`` section (kernel cells
+#: healed onto the sanitized reference engine, with their quarantine
+#: bundle paths; an empty list when no cell fell back).
+MANIFEST_SCHEMA_VERSION = 5
 
 #: Schema versions :func:`validate_manifest` accepts: the current one
-#: plus still-loadable older layouts (v3 manifests predate ``timing``).
-ACCEPTED_SCHEMA_VERSIONS = (3, 4)
+#: plus still-loadable older layouts (v3 manifests predate ``timing``,
+#: v3/v4 predate ``engine_fallbacks``).
+ACCEPTED_SCHEMA_VERSIONS = (3, 4, 5)
 
 #: Document type marker, so a manifest is self-identifying.
 MANIFEST_KIND = "repro-run-manifest"
@@ -122,6 +126,7 @@ def build_manifest(
     failures: Sequence[Mapping] = (),
     notes: str = "",
     certification: Optional[Mapping] = None,
+    engine_fallbacks: Sequence[Mapping] = (),
 ) -> dict:
     """Assemble a manifest document (JSON-ready dict).
 
@@ -140,6 +145,9 @@ def build_manifest(
     The ``timing`` section is derived from the snapshot's
     ``prof.stage_ms`` histograms (:func:`repro.obs.prof.timing_section`)
     — per-stage wall-time summaries observed cells record as they run.
+    ``engine_fallbacks`` (schema v5) lists kernel cells the sweep healed
+    onto the sanitized reference engine, each with the failure that
+    triggered it and its quarantine bundle path.
     """
     histograms = metrics_snapshot.get("histograms", {})
     return {
@@ -163,6 +171,7 @@ def build_manifest(
             else {"enabled": False, "cells": []}
         ),
         "timing": timing_section(metrics_snapshot),
+        "engine_fallbacks": [dict(record) for record in engine_fallbacks],
         "cell_wall_ms": histograms.get("sweep.cell_wall_ms"),
         "metrics": dict(metrics_snapshot),
         "notes": notes,
@@ -257,6 +266,27 @@ def validate_manifest(manifest: Mapping) -> list[str]:
                         )
         if manifest["schema"] >= 4:
             problems.extend(_validate_timing(manifest.get("timing")))
+        if manifest["schema"] >= 5:
+            problems.extend(
+                _validate_engine_fallbacks(manifest.get("engine_fallbacks"))
+            )
+    return problems
+
+
+def _validate_engine_fallbacks(fallbacks: object) -> list[str]:
+    """Problems with a v5 ``engine_fallbacks`` section (empty = valid)."""
+    if not isinstance(fallbacks, list):
+        return [
+            "engine_fallbacks missing or not a list (required by schema v5)"
+        ]
+    problems: list[str] = []
+    for index, record in enumerate(fallbacks):
+        if not isinstance(record, dict):
+            problems.append(f"engine_fallbacks[{index}] is not an object")
+            continue
+        for key in ("cell", "exception", "engine"):
+            if key not in record:
+                problems.append(f"engine_fallbacks[{index}] missing {key!r}")
     return problems
 
 

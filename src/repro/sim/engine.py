@@ -13,6 +13,8 @@ moves backwards (scheduling into the past raises).
 
 from __future__ import annotations
 
+import os
+import sys
 import time as _time
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
@@ -27,7 +29,28 @@ class SimulationError(RuntimeError):
     """Raised for invalid uses of the engine (e.g. scheduling in the past)."""
 
 
-class EventBudgetExceeded(SimulationError):
+class BudgetExceeded(SimulationError):
+    """A resource budget (events, wall clock, memory) was exhausted.
+
+    Carries a ``progress`` mapping describing how far the run got —
+    events fired, sim time, and whatever the owning simulator adds
+    (committed/restarts/live counts) — so a budget abort in a sweep is
+    a *partial result report*, not just a traceback.  The custom
+    ``__reduce__`` keeps the progress dict across process boundaries
+    (worker exceptions travel pickled), including enrichment done after
+    construction: simulators update ``exc.progress`` in place as the
+    exception unwinds through them.
+    """
+
+    def __init__(self, message: str, progress: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.progress: dict = dict(progress) if progress else {}
+
+    def __reduce__(self):  # type: ignore[override]
+        return (type(self), (self.args[0], self.progress))
+
+
+class EventBudgetExceeded(BudgetExceeded):
     """The event loop fired more callbacks than ``max_events`` allows.
 
     Almost always a runaway scheduling loop; the sweep executor treats
@@ -35,7 +58,7 @@ class EventBudgetExceeded(SimulationError):
     """
 
 
-class WallClockExceeded(SimulationError):
+class WallClockExceeded(BudgetExceeded):
     """The event loop ran longer (in real time) than ``max_wall_s``.
 
     This is the in-process half of the sweep executor's per-cell
@@ -44,8 +67,46 @@ class WallClockExceeded(SimulationError):
     """
 
 
-#: How many events fire between wall-clock checks; keeps the guard off
-#: the per-event hot path (one ``perf_counter`` call per batch).
+class MemoryBudgetExceeded(BudgetExceeded):
+    """The process grew past ``max_memory_mb`` resident bytes.
+
+    Polled at the same batched cadence as the wall-clock guard, so a
+    cell that would OOM its worker (typically by materializing a huge
+    in-memory trace) fails as a structured per-cell error — with
+    partial progress attached — instead of taking the pool down.
+    """
+
+
+def rss_bytes() -> Optional[int]:
+    """Current resident set size in bytes, or ``None`` if unknowable.
+
+    Prefers ``/proc/self/statm`` (instantaneous RSS, Linux); falls back
+    to ``resource.getrusage`` peak RSS elsewhere.  Like the wall-clock
+    deadline, this reads host state that must never feed simulation
+    logic — the guard only raises.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[1])
+        try:
+            page_size = os.sysconf("SC_PAGE_SIZE")
+        except (ValueError, OSError):
+            page_size = 4096
+        return pages * page_size
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is kilobytes on Linux, bytes on macOS.
+        return peak if sys.platform == "darwin" else peak * 1024
+    except Exception:
+        return None
+
+
+#: How many events fire between wall-clock/memory checks; keeps the
+#: guards off the per-event hot path (one probe per batch).
 _WALL_CHECK_INTERVAL = 512
 
 
@@ -129,6 +190,7 @@ class Simulator:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
         max_wall_s: Optional[float] = None,
+        max_memory_mb: Optional[float] = None,
         profile: Optional["SpanProfiler"] = None,
     ) -> float:
         """Run the event loop and return the final clock value.
@@ -139,7 +201,10 @@ class Simulator:
         (:class:`EventBudgetExceeded`).  ``max_wall_s`` bounds *real*
         elapsed time, checked every few hundred events, so a livelocked
         simulation terminates itself with :class:`WallClockExceeded`
-        instead of hanging its process.  The loop also stops when only
+        instead of hanging its process.  ``max_memory_mb`` bounds
+        resident memory at the same batched cadence
+        (:class:`MemoryBudgetExceeded`) — the guard against cells that
+        would OOM their worker.  The loop also stops when only
         daemon events remain — a self-rescheduling sampler cannot keep a
         finished simulation alive or advance its clock past the last
         real event.  ``profile`` attaches a span profiler whose counter
@@ -157,6 +222,9 @@ class Simulator:
             # never feeds the simulation state, so the determinism
             # linter's DET001 is suppressed here by design.
             deadline = _time.perf_counter() + max_wall_s  # repro: allow[DET001] -- guard only raises
+        mem_limit: Optional[int] = None
+        if max_memory_mb is not None:
+            mem_limit = int(max_memory_mb * 1024 * 1024)
         try:
             while True:
                 if self.calendar.required_count == 0:
@@ -169,7 +237,8 @@ class Simulator:
                     break
                 if max_events is not None and fired >= max_events:
                     raise EventBudgetExceeded(
-                        f"exceeded max_events={max_events}; likely a runaway loop"
+                        f"exceeded max_events={max_events}; likely a runaway loop",
+                        {"events": fired, "sim_time": self.now},
                     )
                 if (
                     deadline is not None
@@ -178,8 +247,22 @@ class Simulator:
                 ):
                     raise WallClockExceeded(
                         f"simulation exceeded max_wall_s={max_wall_s} "
-                        f"after {fired} events (sim time {self.now:g})"
+                        f"after {fired} events (sim time {self.now:g})",
+                        {"events": fired, "sim_time": self.now},
                     )
+                if mem_limit is not None and fired % _WALL_CHECK_INTERVAL == 0:
+                    rss = rss_bytes()
+                    if rss is not None and rss > mem_limit:
+                        raise MemoryBudgetExceeded(
+                            f"simulation exceeded max_memory_mb={max_memory_mb:g} "
+                            f"(rss {rss / 1048576.0:.1f} MB after {fired} events, "
+                            f"sim time {self.now:g})",
+                            {
+                                "events": fired,
+                                "sim_time": self.now,
+                                "rss_bytes": rss,
+                            },
+                        )
                 self.step()
                 fired += 1
                 if profile is not None and fired % _WALL_CHECK_INTERVAL == 0:

@@ -46,6 +46,17 @@ class Event:
         # by the time two events are compared inside the heap.
         return (self._sequence or 0) < (other._sequence or 0)
 
+    def describe(self) -> dict[str, Any]:
+        """A JSON-ready summary of this event, for diagnostic records
+        (budget-abort progress, quarantine bundles).  Callbacks and
+        payloads stay out — they are neither serializable nor stable."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "daemon": self.daemon,
+            "cancelled": self.cancelled,
+        }
+
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "live"
         return f"Event(t={self.time:.6g}, kind={self.kind!r}, {state})"

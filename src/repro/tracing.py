@@ -23,7 +23,7 @@ import json
 from pathlib import Path
 from typing import Iterator, Optional
 
-from repro.rtdb.transaction import Transaction
+from repro.sim.stream import flatten_event
 
 #: Event kinds that take the CPU away from the running transaction.
 _CPU_RELEASING = ("preempt", "commit", "io_start", "lock_wait", "drop")
@@ -127,20 +127,15 @@ class EventLog:
         self.events: list[dict] = []
 
     def __call__(self, name: str, **fields) -> None:
-        # Transaction-like values (the reference engine's Transaction,
-        # the kernel engine's slot views) are flattened to their tid by
-        # duck-typing, so both engines produce byte-identical records.
-        record: dict = {"event": name}
-        for key, value in fields.items():
-            if isinstance(value, (tuple, list)):
-                record[key] = [
-                    item.tid if hasattr(item, "tid") else item for item in value
-                ]
-            elif hasattr(value, "tid"):
-                record[key] = value.tid
-            else:
-                record[key] = value
-        self.events.append(record)
+        # Flattening (transaction-like values to tids) is shared with
+        # the streaming sinks, so an in-memory log and a spilled JSONL
+        # stream hold byte-identical records.
+        self.events.append(flatten_event(name, fields))
+
+    def close(self) -> None:
+        """No-op: an in-memory log has nothing to flush.  Present so an
+        ``EventLog`` satisfies the :class:`~repro.sim.stream.TraceSink`
+        protocol and sweeps can treat all sinks uniformly."""
 
     def __len__(self) -> int:
         return len(self.events)

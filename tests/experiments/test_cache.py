@@ -251,3 +251,66 @@ class TestSafePut:
         plain = execute_cells(cells, jobs=1, cache=None)
         assert broken == plain
         assert last_stats().cells_run == len(cells)
+
+
+class TestCrashSafety:
+    """Atomic, durable writes: a killed worker never corrupts the cache."""
+
+    def test_put_fsyncs_before_publishing(
+        self, tmp_path, small_config, result, monkeypatch
+    ):
+        """The data must be forced to disk *before* os.replace makes the
+        entry visible — rename-then-sync leaves a window where a host
+        crash publishes a truncated entry."""
+        calls = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (calls.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda src, dst: (
+                calls.append("replace"), real_replace(src, dst)
+            )[1],
+        )
+        ResultCache(tmp_path).put(small_config, 1, "CCA", result)
+        assert "fsync" in calls and "replace" in calls
+        assert calls.index("fsync") < calls.index("replace")
+
+    def test_interrupted_write_leaves_no_entry(
+        self, tmp_path, small_config, result, monkeypatch
+    ):
+        """A crash mid-write (simulated: fsync explodes) must leave the
+        final path absent — the next run gets a clean miss, never a
+        truncated read — and must not leak the temp file."""
+        def boom(fd):
+            raise OSError(5, "injected I/O error")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        cache = ResultCache(tmp_path)
+        with pytest.raises(OSError):
+            cache.put(small_config, 1, "CCA", result)
+        key = cache_key(small_config, 1, "CCA")
+        assert not cache.path_for(key).exists()
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.is_file()
+        ]
+        assert leftovers == []  # temp file unlinked on the way out
+        assert cache.get(small_config, 1, "CCA") is None  # clean miss
+
+    def test_stale_tmp_files_never_served(
+        self, tmp_path, small_config, result
+    ):
+        """A stale ``.tmp`` from a killed worker sits inertly beside the
+        real entries: lookups ignore it and a later put still lands."""
+        cache = ResultCache(tmp_path)
+        key = cache_key(small_config, 1, "CCA")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        stale = path.parent / f".{key[:8]}-killed.tmp"
+        stale.write_text('{"schema": 1, "truncat')
+        assert cache.get(small_config, 1, "CCA") is None
+        cache.put(small_config, 1, "CCA", result)
+        assert cache.get(small_config, 1, "CCA") == result
+        assert stale.exists()  # untouched; harmless

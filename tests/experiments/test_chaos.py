@@ -42,9 +42,11 @@ def _clean_fault_state():
     """No fault plan (or stale failure records) leaks across tests."""
     faults.install(None)
     parallel.take_failures()
+    parallel.take_fallbacks()
     yield
     faults.install(None)
     parallel.take_failures()
+    parallel.take_fallbacks()
 
 
 @pytest.fixture
@@ -328,3 +330,100 @@ class TestFaultPlanDeterminism:
         assert faults.active_plan() == plan
         monkeypatch.delenv(faults.FAULTS_ENV)
         assert faults.active_plan() is None
+
+
+class TestKernelEngineChaos:
+    """The chaos matrix extended to explicit kernel-engine cells.
+
+    Every invariant above holds when cells *force* ``engine="kernel"``
+    — and the new ``kernel`` fault kind composes with worker faults:
+    with a :class:`FallbackPolicy` active, kernel faults heal onto the
+    reference engine while crashes still retry, converging to the
+    fault-free (all-reference-identical) result.
+    """
+
+    @pytest.fixture
+    def kernel_cells(self, cells):
+        return [
+            dataclasses.replace(
+                cell, config=cell.config.replace(engine="kernel")
+            )
+            for cell in cells
+        ]
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_retry_matches_fault_free_on_kernel_engine(
+        self, kernel_cells, jobs
+    ):
+        baseline = execute_cells(kernel_cells, jobs=1)
+        plan = plan_hitting(kernel_cells, crash=0.4, max_failures=2)
+        faults.install(plan)
+        chaotic = execute_cells(
+            kernel_cells,
+            jobs=jobs,
+            retry=RetryPolicy(on_error="retry", max_attempts=3),
+        )
+        stats = last_stats()
+        assert stats.failed_attempts >= 2
+        assert all(failure.recovered for failure in stats.failures)
+        assert chaotic == baseline
+
+    def test_kernel_fault_without_fallback_is_retryable(self, kernel_cells):
+        """Without a FallbackPolicy, ``kernel`` faults are ordinary
+        transient worker failures: retries outlast them."""
+        baseline = execute_cells(kernel_cells, jobs=1)
+        plan = plan_hitting(kernel_cells, kernel=0.4, max_failures=1)
+        faults.install(plan)
+        results = execute_cells(
+            kernel_cells,
+            jobs=1,
+            retry=RetryPolicy(on_error="retry", max_attempts=2),
+        )
+        stats = last_stats()
+        assert results == baseline
+        assert stats.engine_fallbacks == []
+        assert any(
+            f.exception == "InjectedKernelFault" for f in stats.failures
+        )
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_mixed_faults_heal_and_retry_to_parity(
+        self, kernel_cells, tmp_path, jobs
+    ):
+        """Kernel faults heal (fallback records), crashes retry
+        (failure records), and the merged output still equals the
+        clean reference run bit-for-bit."""
+        from repro.experiments.quarantine import FallbackPolicy
+
+        reference_cells = [
+            dataclasses.replace(
+                cell, config=cell.config.replace(engine="reference")
+            )
+            for cell in kernel_cells
+        ]
+        baseline = execute_cells(reference_cells, jobs=1)
+
+        plan = plan_hitting(
+            kernel_cells, min_hits=2, crash=0.2, kernel=0.3, max_failures=1
+        )
+        schedule = fault_schedule(plan, kernel_cells)
+        healed_keys = sorted(
+            key for key, kind in schedule.items() if kind == "kernel"
+        )
+        faults.install(plan)
+        results = execute_cells(
+            kernel_cells,
+            jobs=jobs,
+            retry=RetryPolicy(on_error="retry", max_attempts=3),
+            fallback=FallbackPolicy(quarantine_dir=str(tmp_path)),
+        )
+        stats = last_stats()
+
+        assert results == baseline
+        assert [
+            (r["cell"]["x"], r["cell"]["policy"], r["cell"]["seed"])
+            for r in stats.engine_fallbacks
+        ] == healed_keys
+        crashed = {key for key, kind in schedule.items() if kind == "crash"}
+        assert {f.key for f in stats.failures} == crashed
+        assert all(f.recovered for f in stats.failures)

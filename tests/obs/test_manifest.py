@@ -172,11 +172,11 @@ class TestFailuresSection:
 
 
 class TestCertificationSection:
-    def test_schema_version_is_pinned_at_four(self):
-        # v4 introduced the required timing section; bumping the
-        # constant without updating this pin is a schema change that
+    def test_schema_version_is_pinned_at_five(self):
+        # v5 introduced the required engine_fallbacks section; bumping
+        # the constant without updating this pin is a schema change that
         # needs the validation rules revisited.
-        assert MANIFEST_SCHEMA_VERSION == 4
+        assert MANIFEST_SCHEMA_VERSION == 5
 
     def test_defaults_to_disabled(self):
         manifest = build_manifest(
@@ -315,11 +315,76 @@ class TestTimingSection:
         assert validate_manifest(manifest) == []
 
     def test_accepted_versions_pinned(self):
-        assert ACCEPTED_SCHEMA_VERSIONS == (3, 4)
+        assert ACCEPTED_SCHEMA_VERSIONS == (3, 4, 5)
+
+
+class TestEngineFallbacksSection:
+    FALLBACK = {
+        "cell": {"x": 4.0, "policy": "CCA", "seed": 2},
+        "exception": "InjectedKernelFault",
+        "message": "injected kernel fault",
+        "engine": "reference",
+        "sanitized": True,
+        "attempt": 1,
+        "bundle": "results/quarantine/CCA-s2-abcdef123456",
+        "reproduced": True,
+    }
+
+    def test_defaults_to_empty_list(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        assert manifest["engine_fallbacks"] == []
+        assert validate_manifest(manifest) == []
+
+    def test_embedded_records_validate(self):
+        manifest = build_manifest(
+            "fig4a",
+            "quick",
+            triples(),
+            registry_with_data().snapshot(),
+            engine_fallbacks=[self.FALLBACK],
+        )
+        assert validate_manifest(manifest) == []
+        assert manifest["engine_fallbacks"] == [self.FALLBACK]
+
+    def test_missing_section_flagged_for_v5(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        del manifest["engine_fallbacks"]
+        assert any(
+            "engine_fallbacks" in problem
+            for problem in validate_manifest(manifest)
+        )
+
+    def test_malformed_records_flagged(self):
+        manifest = build_manifest(
+            "fig4a",
+            "quick",
+            triples(),
+            registry_with_data().snapshot(),
+            engine_fallbacks=[{"cell": {"x": 1.0}}],  # no exception/engine
+        )
+        problems = validate_manifest(manifest)
+        assert any("exception" in p for p in problems)
+        assert any("engine" in p for p in problems)
+        manifest["engine_fallbacks"] = ["not-a-dict"]
+        assert any(
+            "not an object" in p for p in validate_manifest(manifest)
+        )
+
+    def test_v4_manifest_without_fallbacks_still_validates(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        del manifest["engine_fallbacks"]
+        manifest["schema"] = 4
+        assert validate_manifest(manifest) == []
 
 
 class TestGoldenFixtures:
-    """Committed manifest documents: v4 (current) and v3 (pre-timing).
+    """Committed manifest documents: v5 (current) and older layouts.
 
     These pin the on-disk layout — regenerating them is a conscious
     schema change, not a side effect.
@@ -327,9 +392,20 @@ class TestGoldenFixtures:
 
     DATA = Path(__file__).parent / "data"
 
-    def test_golden_v4_validates(self):
+    def test_golden_v5_validates(self):
+        doc = load_manifest(self.DATA / "manifest_v5.json")
+        assert doc["schema"] == 5
+        assert validate_manifest(doc) == []
+        assert len(doc["engine_fallbacks"]) == 1
+        record = doc["engine_fallbacks"][0]
+        assert record["engine"] == "reference"
+        assert record["sanitized"] is True
+        assert record["bundle"].startswith("results/quarantine/")
+
+    def test_golden_v4_still_loads_and_validates(self):
         doc = load_manifest(self.DATA / "manifest_v4.json")
         assert doc["schema"] == 4
+        assert "engine_fallbacks" not in doc
         assert validate_manifest(doc) == []
         assert doc["timing"]["enabled"] is True
         assert "simulate" in doc["timing"]["stages"]
