@@ -1,0 +1,202 @@
+"""``repro analyze`` — the static workload analyzer's entry point.
+
+Examples::
+
+    repro analyze fig4a                  # prove masks + tables, predict
+                                         # every sweep cell statically
+    repro analyze table1 --format json
+    repro analyze fig5b --no-cells       # verdicts only, skip predictions
+    repro analyze --workload load.jsonl  # analyze a saved workload
+    repro analyze fig4a --mutate data:0:3   # corrupt one mask bit; the
+                                            # prover must exit 1
+    repro analyze --list-rules
+
+No simulation runs anywhere: every verdict comes from the declared
+specs, the reference set oracle, and the paper's tree relations.  Exit
+status: 0 when every verdict passes, 1 when any fails, 2 on usage
+errors — the same contract as ``repro lint`` and ``repro certify``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analyze.equivalence import MUTATION_KINDS, parse_mutation
+from repro.analyze.report import render_json, render_text
+from repro.analyze.rules import all_rules
+from repro.checks.report import (
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    print_report,
+    render_catalog,
+    verdict_exit_code,
+)
+
+
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description=(
+            "Static workload analyzer: proves the kernel engine's flat "
+            "conflict/safety tables equivalent to the reference oracle "
+            "over every transaction pair and reachable access state "
+            "(ANA001-004), checks static feasibility (ANA005), and "
+            "computes conflict-graph metrics and per-cell contention "
+            "predictions (ANA006) — all without simulating.  See "
+            "docs/ANALYZE.md."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help=(
+            "paper experiment to analyze (e.g. fig4a, table1); omit "
+            "when analyzing a saved workload via --workload"
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="analyze a saved workload JSONL instead of an experiment",
+    )
+    parser.add_argument(
+        "--db-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "database size for --workload mode (default: inferred from "
+            "the largest item accessed)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "default", "full"],
+        default=None,
+        help="run scale (default: $REPRO_SCALE or 'default')",
+    )
+    parser.add_argument(
+        "--cells",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "predict every sweep cell's feasibility and contention "
+            "regime (default: on; --no-cells proves equivalence only)"
+        ),
+    )
+    parser.add_argument(
+        "--mutate",
+        default=None,
+        metavar="KIND:ROW:BIT",
+        help=(
+            "flip one bit (or one table code) of the named kernel table "
+            "before proving; the prover must then fail with a "
+            f"counterexample.  Kinds: {', '.join(MUTATION_KINDS)}"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show per-verdict detail and per-cell predictions",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the analysis rule catalog and exit",
+    )
+    return parser
+
+
+def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_analyze_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    if args.list_rules:
+        print_report(render_catalog(all_rules()))
+        return EXIT_CLEAN
+
+    mutation = None
+    if args.mutate is not None:
+        try:
+            mutation = parse_mutation(args.mutate)
+        except ValueError as exc:
+            print(f"error: --mutate: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    if args.workload is not None:
+        result = _analyze_workload_file(args, mutation)
+    elif args.experiment is not None:
+        result = _analyze_experiment(args, mutation)
+    else:
+        print(
+            "error: an experiment id (or --workload FILE) is required",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if result is None:
+        return EXIT_USAGE
+
+    report = (
+        render_json(result)
+        if args.format == "json"
+        else render_text(result, verbose=args.verbose)
+    )
+    print_report(report)
+    return verdict_exit_code(result.clean)
+
+
+def _analyze_experiment(args, mutation):
+    from repro.analyze.runner import analyze_experiment
+    from repro.cli import _resolve_scale
+    from repro.experiments.figures import FIGURE_SWEEPS
+
+    if args.experiment not in FIGURE_SWEEPS:
+        print(
+            f"error: unknown experiment {args.experiment!r}; "
+            f"known: {', '.join(sorted(FIGURE_SWEEPS))}",
+            file=sys.stderr,
+        )
+        return None
+    return analyze_experiment(
+        args.experiment,
+        _resolve_scale(args.scale),
+        mutation=mutation,
+        predict_cells=args.cells,
+    )
+
+
+def _analyze_workload_file(args, mutation):
+    from repro.analyze.runner import analyze_specs
+    from repro.workload.serialization import load_workload
+
+    if not args.workload.exists():
+        print(f"error: no such file: {args.workload}", file=sys.stderr)
+        return None
+    try:
+        specs = load_workload(args.workload)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    if args.db_size is not None and args.db_size < 1:
+        print(
+            f"error: --db-size must be >= 1, got {args.db_size}",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        return analyze_specs(specs, db_size=args.db_size, mutation=mutation)
+    except (IndexError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None

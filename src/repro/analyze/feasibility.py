@@ -1,0 +1,126 @@
+"""Static feasibility bounds and contention-regime prediction per cell.
+
+Everything here is computable from the generated workload alone — no
+simulation: the deadline formula gives each transaction a static slack
+over its isolated execution time, the arrival span bounds offered CPU
+and disk utilization, and the conflict-graph density summarizes how
+much of that load contends.  The per-cell predictions land in the run
+manifest's schema-v6 ``analysis`` section, and ``repro validate``
+renders them against the observed miss rates — a free sanity check on
+every sweep, and the ground-truth feature extractor the ROADMAP's
+learned-oracle item needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.analyze.graph import ConflictGraph
+from repro.config import SimulationConfig
+from repro.rtdb.transaction import TransactionSpec
+from repro.workload.generator import generate_workload
+
+#: Utilization thresholds of the predicted contention regime.  Below
+#: ``LIGHT`` the system should keep up comfortably; above ``1.0`` the
+#: offered load exceeds capacity and misses are guaranteed at steady
+#: state; between the two, contention decides.
+LIGHT_UTILIZATION = 0.7
+
+#: Tolerance for deadline-vs-resource-time comparisons (the deadline is
+#: computed from the same floats, so exact equality is legitimate).
+_EPSILON = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class CellPrediction:
+    """Static predictions for one sweep cell's workload."""
+
+    x: float
+    seed: int
+    n: int
+    infeasible: int
+    """Transactions whose deadline precedes arrival + resource_time —
+    unmeetable even on an idle system."""
+    min_slack_ms: float
+    """Smallest deadline - arrival - resource_time over the workload."""
+    mean_slack_ratio: float
+    """Mean (deadline - arrival) / resource_time - 1 (the paper's slack
+    draw, recovered from the generated deadlines)."""
+    cpu_utilization: float
+    """Total CPU demand / arrival span."""
+    io_utilization: float
+    """Total disk demand / arrival span (0 for main-memory workloads)."""
+    conflict_density: float
+    """Certain-conflict fraction of unordered transaction pairs."""
+    regime: str
+    """"light" | "moderate" | "saturated" (from resource utilization)."""
+    predicted_miss_floor: float
+    """infeasible / n — a hard lower bound on the miss fraction."""
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        return {"cell": {"x": out.pop("x"), "seed": out.pop("seed")},
+                "predicted": out}
+
+
+def classify_regime(cpu_utilization: float, io_utilization: float) -> str:
+    """The predicted contention regime from offered utilizations."""
+    load = max(cpu_utilization, io_utilization)
+    if load >= 1.0:
+        return "saturated"
+    if load >= LIGHT_UTILIZATION:
+        return "moderate"
+    return "light"
+
+
+def predict_specs(
+    specs: Sequence[TransactionSpec], x: float, seed: int
+) -> CellPrediction:
+    """Static predictions for an already generated workload."""
+    n = len(specs)
+    if n == 0:
+        return CellPrediction(
+            x=x, seed=seed, n=0, infeasible=0, min_slack_ms=0.0,
+            mean_slack_ratio=0.0, cpu_utilization=0.0, io_utilization=0.0,
+            conflict_density=0.0, regime="light", predicted_miss_floor=0.0,
+        )
+    slacks = [
+        spec.deadline - spec.arrival_time - spec.resource_time
+        for spec in specs
+    ]
+    infeasible = sum(1 for slack in slacks if slack < -_EPSILON)
+    ratios = [
+        (spec.deadline - spec.arrival_time) / spec.resource_time - 1.0
+        for spec in specs
+    ]
+    arrivals = [spec.arrival_time for spec in specs]
+    span = max(arrivals) - min(arrivals)
+    # The busy window is at least one transaction long; guards n=1 and
+    # degenerate same-instant arrivals without producing infinities.
+    span = max(span, max(spec.resource_time for spec in specs))
+    total_cpu = sum(spec.cpu_time for spec in specs)
+    total_io = sum(spec.resource_time - spec.cpu_time for spec in specs)
+    cpu_utilization = total_cpu / span
+    io_utilization = total_io / span
+    # Greedy-only compatible sets: cell predictions need the density,
+    # not the exact optimum, and stay cheap across a whole sweep.
+    metrics = ConflictGraph.from_specs(specs).metrics(exact_limit=0)
+    return CellPrediction(
+        x=x,
+        seed=seed,
+        n=n,
+        infeasible=infeasible,
+        min_slack_ms=min(slacks),
+        mean_slack_ratio=sum(ratios) / n,
+        cpu_utilization=cpu_utilization,
+        io_utilization=io_utilization,
+        conflict_density=metrics.conflict_fraction,
+        regime=classify_regime(cpu_utilization, io_utilization),
+        predicted_miss_floor=infeasible / n,
+    )
+
+
+def predict_cell(config: SimulationConfig, x: float, seed: int) -> CellPrediction:
+    """Generate the cell's workload and predict it statically."""
+    return predict_specs(generate_workload(config, seed), x, seed)

@@ -1,0 +1,299 @@
+"""Static conflict-graph metrics over a workload's program trees.
+
+The Transactional Conflict Problem literature ties achievable
+throughput to the *structure* of the conflict graph — density, degree
+distribution, how many transactions are mutually compatible — yet the
+simulator only ever consumes the relations pairwise.  This module
+extracts that structure statically, from the paper's tree relations
+(:func:`~repro.analysis.relations.conflict_between` /
+:func:`~repro.analysis.relations.safety_of`) alone:
+
+* pair fractions: certainly-conflicting / conditionally-conflicting /
+  compatible unordered pairs, and (conditionally) unsafe ordered pairs;
+* the degree distribution of the certain-conflict graph;
+* maximal-compatible-set size — **exact** (branch-and-bound maximum
+  independent set) when the workload is small enough, a **greedy lower
+  bound** otherwise;
+* Theorem-1 applicability: when no relation is conditional, every
+  scheduling question is statically decidable and the paper's no-wait
+  property (Theorem 1) applies unconditionally.
+
+Transactions sharing a program tree form one node class, so the class
+matrix is tiny (the paper's 50 types) while the reported fractions and
+degrees are over *instances* — exactly what a scheduler at runtime
+would face.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.analysis.program import linear_program
+from repro.analysis.relations import Conflict, Safety, conflict_between, safety_of
+from repro.analysis.tree import TransactionTree
+from repro.rtdb.transaction import TransactionSpec
+
+#: Above this many instances the exact maximum-compatible-set search is
+#: replaced by the greedy lower bound (branch and bound is exponential).
+EXACT_SET_LIMIT = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphMetrics:
+    """The static contention structure of one workload."""
+
+    n: int
+    """Transaction instances."""
+    n_classes: int
+    """Distinct program trees."""
+    n_pairs: int
+    """Unordered instance pairs."""
+    certain_pairs: int
+    conditional_pairs: int
+    compatible_pairs: int
+    unsafe_pairs: int
+    """Ordered (subject, runner) pairs unsafe at the root state."""
+    conditionally_unsafe_pairs: int
+    conflict_fraction: float
+    conditional_fraction: float
+    unsafe_fraction: float
+    degree_min: int
+    degree_mean: float
+    degree_max: int
+    degree_histogram: tuple[tuple[int, int], ...]
+    """Sorted (degree, instance count) pairs of the certain-conflict graph."""
+    max_compatible_set: int
+    max_compatible_exact: bool
+    """True when the size is the exact optimum, False for the greedy bound."""
+    theorem1_no_wait: bool
+    """No conditional relation anywhere: every conflict/safety question
+    is statically decidable, so CCA's no-wait property (paper Theorem 1)
+    applies to the whole workload unconditionally."""
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["degree_histogram"] = [list(pair) for pair in self.degree_histogram]
+        return out
+
+
+class ConflictGraph:
+    """Instance-level conflict graph, computed via program-tree classes.
+
+    ``trees`` are the distinct analyzed programs; ``members[i]`` is the
+    tree index instance ``i`` runs.  All relations are evaluated at the
+    trees' root states — the transaction's knowledge state on arrival,
+    which is what static analysis can know.
+    """
+
+    def __init__(
+        self, trees: Sequence[TransactionTree], members: Sequence[int]
+    ) -> None:
+        self.trees = tuple(trees)
+        self.members = tuple(members)
+        if any(not 0 <= m < len(self.trees) for m in self.members):
+            raise ValueError("members must index into trees")
+        k = len(self.trees)
+        self.counts = [0] * k
+        for member in self.members:
+            self.counts[member] += 1
+        roots = [tree.root.label for tree in self.trees]
+        self._conflict: list[list[Conflict]] = [
+            [
+                conflict_between(self.trees[a], roots[a], self.trees[b], roots[b])
+                for b in range(k)
+            ]
+            for a in range(k)
+        ]
+        self._safety: list[list[Safety]] = [
+            [
+                safety_of(self.trees[a], roots[a], self.trees[b], roots[b])
+                for b in range(k)
+            ]
+            for a in range(k)
+        ]
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[TransactionSpec]) -> "ConflictGraph":
+        """Graph of a flat workload: one linear tree per distinct
+        (program, access-set) signature."""
+        trees: list[TransactionTree] = []
+        members: list[int] = []
+        index_of: dict[tuple[str, frozenset[int]], int] = {}
+        for spec in specs:
+            key = (spec.program_name, spec.data_set)
+            index = index_of.get(key)
+            if index is None:
+                index = len(trees)
+                index_of[key] = index
+                trees.append(
+                    TransactionTree(
+                        linear_program(spec.program_name, sorted(spec.data_set))
+                    )
+                )
+            members.append(index)
+        return cls(trees, members)
+
+    # -- relations ---------------------------------------------------------
+
+    def conflict(self, class_a: int, class_b: int) -> Conflict:
+        return self._conflict[class_a][class_b]
+
+    def safety(self, subject_class: int, runner_class: int) -> Safety:
+        return self._safety[subject_class][runner_class]
+
+    def degrees(self) -> list[int]:
+        """Per-instance degree in the certain-conflict graph."""
+        k = len(self.trees)
+        class_degree = []
+        for a in range(k):
+            degree = sum(
+                self.counts[b]
+                for b in range(k)
+                if self._conflict[a][b] is Conflict.CERTAIN
+            )
+            if self._conflict[a][a] is Conflict.CERTAIN:
+                degree -= 1  # no self-loop
+            class_degree.append(degree)
+        return [class_degree[member] for member in self.members]
+
+    def is_pairwise_compatible(self, instances: Sequence[int]) -> bool:
+        """True iff every pair of the given instances cannot conflict."""
+        for i, a in enumerate(instances):
+            for b in instances[i + 1:]:
+                if (
+                    self._conflict[self.members[a]][self.members[b]]
+                    is not Conflict.NONE
+                ):
+                    return False
+        return True
+
+    # -- maximal compatible sets -------------------------------------------
+
+    def compatible_set(
+        self, exact_limit: int = EXACT_SET_LIMIT
+    ) -> tuple[list[int], bool]:
+        """A maximum(-ish) set of mutually compatible instances.
+
+        Returns ``(instances, exact)``: the exact optimum (maximum
+        independent set of the may-conflict graph, branch and bound)
+        when ``n <= exact_limit``, else a greedy lower bound built
+        lowest-degree-first.
+        """
+        n = len(self.members)
+        if n == 0:
+            return [], True
+        if n <= exact_limit:
+            return self._exact_compatible_set(), True
+        return self._greedy_compatible_set(), False
+
+    def _edge(self, instance_a: int, instance_b: int) -> bool:
+        return (
+            self._conflict[self.members[instance_a]][self.members[instance_b]]
+            is not Conflict.NONE
+        )
+
+    def _exact_compatible_set(self) -> list[int]:
+        n = len(self.members)
+        neighbor = [0] * n
+        for a in range(n):
+            for b in range(a + 1, n):
+                if self._edge(a, b):
+                    neighbor[a] |= 1 << b
+                    neighbor[b] |= 1 << a
+        best_mask = 0
+        best_size = 0
+
+        def expand(candidates: int, chosen: int, size: int) -> None:
+            nonlocal best_mask, best_size
+            if size + candidates.bit_count() <= best_size:
+                return  # even taking everything left cannot win
+            if not candidates:
+                if size > best_size:
+                    best_size, best_mask = size, chosen
+                return
+            low = candidates & -candidates
+            vertex = low.bit_length() - 1
+            # Branch 1: take the vertex, dropping its neighbors.
+            expand(candidates & ~low & ~neighbor[vertex], chosen | low, size + 1)
+            # Branch 2: skip it.
+            expand(candidates & ~low, chosen, size)
+
+        expand((1 << n) - 1, 0, 0)
+        return [i for i in range(n) if best_mask >> i & 1]
+
+    def _greedy_compatible_set(self) -> list[int]:
+        degrees = self.degrees()
+        order = sorted(range(len(self.members)), key=lambda i: (degrees[i], i))
+        chosen: list[int] = []
+        chosen_count = [0] * len(self.trees)
+        for instance in order:
+            cls = self.members[instance]
+            ok = True
+            for other_cls, count in enumerate(chosen_count):
+                if count and self._conflict[cls][other_cls] is not Conflict.NONE:
+                    ok = False
+                    break
+            if ok:
+                chosen.append(instance)
+                chosen_count[cls] += 1
+        return sorted(chosen)
+
+    # -- the metrics -------------------------------------------------------
+
+    def metrics(self, exact_limit: Optional[int] = None) -> GraphMetrics:
+        if exact_limit is None:
+            exact_limit = EXACT_SET_LIMIT
+        n = len(self.members)
+        k = len(self.trees)
+        n_pairs = n * (n - 1) // 2
+        certain = conditional = 0
+        unsafe = conditionally_unsafe = 0
+        for a in range(k):
+            for b in range(a, k):
+                if a == b:
+                    pairs = self.counts[a] * (self.counts[a] - 1) // 2
+                else:
+                    pairs = self.counts[a] * self.counts[b]
+                relation = self._conflict[a][b]
+                if relation is Conflict.CERTAIN:
+                    certain += pairs
+                elif relation is Conflict.CONDITIONAL:
+                    conditional += pairs
+            for b in range(k):
+                ordered = self.counts[a] * self.counts[b]
+                if a == b:
+                    ordered -= self.counts[a]
+                relation_s = self._safety[a][b]
+                if relation_s is Safety.UNSAFE:
+                    unsafe += ordered
+                elif relation_s is Safety.CONDITIONALLY_UNSAFE:
+                    conditionally_unsafe += ordered
+        compatible = n_pairs - certain - conditional
+        ordered_pairs = n * (n - 1)
+        degrees = self.degrees()
+        histogram: dict[int, int] = {}
+        for degree in degrees:
+            histogram[degree] = histogram.get(degree, 0) + 1
+        chosen, exact = self.compatible_set(exact_limit)
+        theorem1 = conditional == 0 and conditionally_unsafe == 0
+        return GraphMetrics(
+            n=n,
+            n_classes=k,
+            n_pairs=n_pairs,
+            certain_pairs=certain,
+            conditional_pairs=conditional,
+            compatible_pairs=compatible,
+            unsafe_pairs=unsafe,
+            conditionally_unsafe_pairs=conditionally_unsafe,
+            conflict_fraction=certain / n_pairs if n_pairs else 0.0,
+            conditional_fraction=conditional / n_pairs if n_pairs else 0.0,
+            unsafe_fraction=unsafe / ordered_pairs if ordered_pairs else 0.0,
+            degree_min=min(degrees) if degrees else 0,
+            degree_mean=sum(degrees) / n if n else 0.0,
+            degree_max=max(degrees) if degrees else 0,
+            degree_histogram=tuple(sorted(histogram.items())),
+            max_compatible_set=len(chosen),
+            max_compatible_exact=exact,
+            theorem1_no_wait=theorem1,
+        )

@@ -28,6 +28,13 @@ from repro.certify.report import (
     render_text,
 )
 from repro.certify.rules import all_rules
+from repro.checks.report import (
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    print_report,
+    render_catalog,
+    verdict_exit_code,
+)
 
 
 def build_certify_parser() -> argparse.ArgumentParser:
@@ -138,12 +145,8 @@ def certify_main(argv: Optional[Sequence[str]] = None) -> int:
         list(argv) if argv is not None else None
     )
     if args.list_rules:
-        catalog = "\n".join(
-            f"{rule.code}  {rule.name}\n        {rule.summary}"
-            for rule in all_rules()
-        )
-        _print_report(catalog)
-        return 0
+        print_report(render_catalog(all_rules()))
+        return EXIT_CLEAN
     if args.events is not None:
         return _certify_offline(args)
     if args.experiment is None:
@@ -151,7 +154,7 @@ def certify_main(argv: Optional[Sequence[str]] = None) -> int:
             "error: an experiment id (or --events FILE) is required",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     return _certify_experiment(args)
 
 
@@ -171,11 +174,11 @@ def _certify_offline(args) -> int:
             "error: --events requires --workload FILE and --policy NAME",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     for path in (args.events, args.workload):
         if not path.exists():
             print(f"error: no such file: {path}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
     try:
         workload = load_workload(args.workload)
         result = certify_events(
@@ -186,14 +189,14 @@ def _certify_offline(args) -> int:
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     report = (
         render_json(result)
         if args.format == "json"
         else render_text(result)
     )
-    _print_report(report)
-    return 0 if result.certified else 1
+    print_report(report)
+    return verdict_exit_code(result.certified)
 
 
 def _certify_experiment(args) -> int:
@@ -213,7 +216,7 @@ def _certify_experiment(args) -> int:
             f"known: {', '.join(sorted(FIGURE_SWEEPS))}",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     scale = _resolve_scale(args.scale)
     try:
         if args.cell is not None:
@@ -223,7 +226,7 @@ def _certify_experiment(args) -> int:
                     f"error: --cell must be X,SEED,POLICY, got {args.cell!r}",
                     file=sys.stderr,
                 )
-                return 2
+                return EXIT_USAGE
             try:
                 want_x, want_seed = float(parts[0]), int(parts[1])
             except ValueError:
@@ -232,17 +235,15 @@ def _certify_experiment(args) -> int:
                     f"integer, got {args.cell!r}",
                     file=sys.stderr,
                 )
-                return 2
+                return EXIT_USAGE
             cell = find_cell(
                 args.experiment, scale, want_x, want_seed, parts[2].strip()
             )
             if cell is None:
-                print(
-                    f"error: no cell at x={want_x:g} seed={want_seed} in "
-                    f"{args.experiment} at scale={scale.name}",
-                    file=sys.stderr,
+                _print_cell_choices(
+                    args.experiment, scale, want_x, want_seed
                 )
-                return 2
+                return EXIT_USAGE
             cells = [cell]
         else:
             policies = (
@@ -253,7 +254,7 @@ def _certify_experiment(args) -> int:
             cells = default_cells(args.experiment, scale, policies)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     samples = [
         certify_cell(
@@ -271,7 +272,7 @@ def _certify_experiment(args) -> int:
             file=sys.stderr,
         )
     if args.format == "json":
-        _print_report(render_cells_json(args.experiment, scale.name, samples))
+        print_report(render_cells_json(args.experiment, scale.name, samples))
     else:
         blocks = []
         for sample in samples:
@@ -281,17 +282,41 @@ def _certify_experiment(args) -> int:
                 f"(scale={scale.name}) =="
             )
             blocks.append(header + "\n" + render_text(sample.result))
-        _print_report("\n\n".join(blocks))
-    return 0 if all(sample.result.certified for sample in samples) else 1
+        print_report("\n\n".join(blocks))
+    return verdict_exit_code(
+        all(sample.result.certified for sample in samples)
+    )
 
 
-def _print_report(text: str) -> None:
-    try:
-        print(text)
-    except BrokenPipeError:
-        # Downstream pager/`head` closed the pipe; the exit status
-        # still carries the verdict.
-        sys.stderr.close()
+def _print_cell_choices(experiment, scale, want_x, want_seed) -> None:
+    """Spell out the valid (x, seed) grid instead of a bare failure.
+
+    The policy axis is open (any policy certifies at any cell), so only
+    the sweep's own policies are listed, as a hint.
+    """
+    from repro.experiments.figures import experiment_cells
+
+    print(
+        f"error: no cell at x={want_x:g} seed={want_seed} in "
+        f"{experiment} at scale={scale.name}",
+        file=sys.stderr,
+    )
+    cells = experiment_cells(experiment, scale)
+    xs = sorted({cell.x for cell in cells})
+    seeds = sorted({cell.seed for cell in cells})
+    policies = sorted({cell.policy for cell in cells})
+    print(
+        "  x values: " + ", ".join(f"{x:g}" for x in xs), file=sys.stderr
+    )
+    print(
+        "  seeds:    " + ", ".join(str(seed) for seed in seeds),
+        file=sys.stderr,
+    )
+    print(
+        "  policies: " + ", ".join(policies)
+        + "  (any policy name is accepted)",
+        file=sys.stderr,
+    )
 
 
 if __name__ == "__main__":

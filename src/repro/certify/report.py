@@ -7,10 +7,9 @@ smoke step and the sweep manifest).
 
 from __future__ import annotations
 
-import json
-
 from repro.certify.certifier import CertificationResult
 from repro.certify.rules import all_rules
+from repro.checks.report import json_envelope
 
 #: Version of the JSON report layout.  Bump on breaking changes.
 JSON_SCHEMA_VERSION = 1
@@ -63,12 +62,9 @@ def render_text(result: CertificationResult, verbose: bool = False) -> str:
 
 def render_json(result: CertificationResult) -> str:
     """Machine-readable report with a pinned schema version."""
-    payload = {
-        "kind": "repro-certification",
-        "schema": JSON_SCHEMA_VERSION,
-        **result.to_dict(),
-    }
-    return json.dumps(payload, indent=2, sort_keys=True)
+    return json_envelope(
+        "repro-certification", JSON_SCHEMA_VERSION, result.to_dict()
+    )
 
 
 def render_cells_json(experiment: str, scale_name: str, samples) -> str:
@@ -78,8 +74,6 @@ def render_cells_json(experiment: str, scale_name: str, samples) -> str:
     :class:`~repro.certify.runner.CellCertification`.
     """
     payload = {
-        "kind": "repro-certification",
-        "schema": JSON_SCHEMA_VERSION,
         "experiment": experiment,
         "scale": scale_name,
         "certified": all(s.result.certified for s in samples),
@@ -95,4 +89,4 @@ def render_cells_json(experiment: str, scale_name: str, samples) -> str:
             for sample in samples
         ],
     }
-    return json.dumps(payload, indent=2, sort_keys=True)
+    return json_envelope("repro-certification", JSON_SCHEMA_VERSION, payload)

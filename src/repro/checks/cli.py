@@ -20,7 +20,14 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.checks.linter import lint_paths
-from repro.checks.report import render_json, render_text
+from repro.checks.report import (
+    EXIT_USAGE,
+    print_report,
+    render_catalog,
+    render_json,
+    render_text,
+    verdict_exit_code,
+)
 from repro.checks.rules import all_rules
 
 
@@ -79,12 +86,7 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
         list(argv) if argv is not None else None
     )
     if args.list_rules:
-        catalog = "\n".join(
-            f"{rule.code}  {rule.name:<26} [{rule.scope.value}]\n"
-            f"        {rule.summary}"
-            for rule in all_rules()
-        )
-        _print_report(catalog)
+        print_report(render_catalog(all_rules()))
         return 0
     select = None
     if args.select is not None:
@@ -94,28 +96,19 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
     if missing:
         for path in missing:
             print(f"error: no such path: {path}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     try:
         result = lint_paths(paths, select)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     report = (
         render_json(result)
         if args.format == "json"
         else render_text(result, verbose=args.show_suppressed)
     )
-    _print_report(report)
-    return 0 if result.clean else 1
-
-
-def _print_report(text: str) -> None:
-    try:
-        print(text)
-    except BrokenPipeError:
-        # Downstream pager/`head` closed the pipe; the exit status
-        # still carries the verdict.
-        sys.stderr.close()
+    print_report(report)
+    return verdict_exit_code(result.clean)
 
 
 if __name__ == "__main__":

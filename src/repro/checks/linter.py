@@ -11,6 +11,8 @@ scope (see :mod:`repro.checks.rules`), and runs a single
 * ``DET004`` — ``id()``-based ordering
 * ``DET005`` — float accumulation inside priority/penalty/key functions
 * ``DET006`` — ``os.environ`` reads outside ``experiments/``
+* ``DET007`` — ordering by string ``hash()`` (``key=hash``, ``hash(...)``
+  in priority/key functions, str-keyed set-literal iteration)
 
 A finding on a line carrying ``# repro: allow[DET00x]`` (optionally a
 comma-separated list, optionally followed by a justification) is
@@ -125,6 +127,9 @@ _KEY_FUNC_RE = re.compile(r"priority|penalty|(^|_)key($|_)", re.IGNORECASE)
 #: DET006: environment accessors.
 _ENVIRON_PREFIX = "os.environ"
 _ENVIRON_CALLS = frozenset({"os.getenv"})
+
+#: DET007: sorters whose ``key=`` argument escapes into an ordering.
+_KEYED_SORTERS = frozenset({"sorted", "min", "max"})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -382,6 +387,17 @@ class _Checker(ast.NodeVisitor):
                 f"iteration over a set in {where}: set order depends on "
                 f"hash-table history; iterate sorted(...) or a list/dict",
             )
+        if isinstance(iterable, ast.Set) and iterable.elts and all(
+            isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            for elt in iterable.elts
+        ):
+            self._emit(
+                iterable,
+                "DET007",
+                f"iteration over a str-keyed set literal in {where}: str "
+                f"hashes are salted per process (PYTHONHASHSEED), so the "
+                f"order differs run to run; use a tuple or sorted(...)",
+            )
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter, "a for loop")
@@ -414,8 +430,25 @@ class _Checker(ast.NodeVisitor):
                 )
 
         func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "sort":
+            self._check_hash_key(node)
         if isinstance(func, ast.Name):
             name = func.id
+            if name in _KEYED_SORTERS and name not in self.aliases:
+                self._check_hash_key(node)
+            if (
+                name == "hash"
+                and name not in self.aliases
+                and (scope := self._scope()) is not None
+                and scope.is_key_func
+            ):
+                self._emit(
+                    node,
+                    "DET007",
+                    f"hash() inside {scope.name}(): str hashes are salted "
+                    f"per process (PYTHONHASHSEED), so a hash-derived "
+                    f"priority differs run to run; key on the value itself",
+                )
             if name == "id" and name not in self.aliases:
                 self._emit(
                     node,
@@ -447,6 +480,34 @@ class _Checker(ast.NodeVisitor):
                     f"use math.fsum)",
                 )
         self.generic_visit(node)
+
+    def _check_hash_key(self, node: ast.Call) -> None:
+        """DET007: a ``key=`` argument that orders by ``hash()``."""
+        for keyword in node.keywords:
+            if keyword.arg != "key":
+                continue
+            value = keyword.value
+            uses_hash = (
+                isinstance(value, ast.Name)
+                and value.id == "hash"
+                and value.id not in self.aliases
+            ) or (
+                isinstance(value, ast.Lambda)
+                and any(
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Name)
+                    and inner.func.id == "hash"
+                    for inner in ast.walk(value.body)
+                )
+            )
+            if uses_hash:
+                self._emit(
+                    value,
+                    "DET007",
+                    "ordering by hash(): str hashes are salted per process "
+                    "(PYTHONHASHSEED), so the sort order differs run to "
+                    "run; key on a stable field instead",
+                )
 
     def _check_rng_call(self, node: ast.Call, dotted: str) -> None:
         module, _, attr = dotted.rpartition(".")

@@ -24,12 +24,70 @@ integrations parse it, and ``tests/checks/test_lint_cli.py`` pins it:
 from __future__ import annotations
 
 import json
+import sys
+from typing import Any, Iterable, Mapping
 
 from repro.checks.linter import LintResult
 from repro.checks.rules import all_rules
 
 #: Bump when the JSON reporter's shape changes incompatibly.
 JSON_SCHEMA_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# Shared CLI scaffolding — the contract every check CLI follows
+# ---------------------------------------------------------------------------
+#
+# ``repro lint``, ``repro certify`` and ``repro analyze`` all expose the
+# same surface: a ``--format text|json`` switch, a versioned JSON
+# envelope, a broken-pipe-safe report printer, and the 0/1/2 exit
+# mapping (clean / findings / usage error).  The helpers below are that
+# contract in one place.
+
+#: The three-way exit contract shared by every check CLI.
+EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE = 0, 1, 2
+
+
+def verdict_exit_code(clean: bool) -> int:
+    """Map a check verdict onto the shared exit contract."""
+    return EXIT_CLEAN if clean else EXIT_FINDINGS
+
+
+def print_report(text: str) -> None:
+    """Print a report, tolerating a closed downstream pipe.
+
+    When a pager or ``head`` closes the pipe early the exit status still
+    carries the verdict, so the report body is best-effort.
+    """
+    try:
+        print(text)
+    except BrokenPipeError:
+        sys.stderr.close()
+
+
+def json_envelope(kind: str, schema: int, payload: Mapping[str, Any]) -> str:
+    """Serialize a payload inside the self-identifying JSON envelope.
+
+    Every check CLI's machine output leads with ``kind`` (the document
+    type) and ``schema`` (its pinned version) so consumers can dispatch
+    and refuse layouts they do not understand.
+    """
+    document = {"kind": kind, "schema": schema, **payload}
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_catalog(rules: Iterable[Any]) -> str:
+    """The ``--list-rules`` catalog: code, name, summary per rule.
+
+    ``rules`` is any iterable of objects with ``code``/``name``/
+    ``summary`` attributes (lint, certify, and analyze rules all carry
+    them); rules that also carry a ``scope`` get it shown inline.
+    """
+    lines = []
+    for rule in rules:
+        scope = getattr(rule, "scope", None)
+        tag = f" [{scope.value}]" if scope is not None else ""
+        lines.append(f"{rule.code}  {rule.name:<26}{tag}\n        {rule.summary}")
+    return "\n".join(lines)
 
 
 def render_text(result: LintResult, verbose: bool = False) -> str:

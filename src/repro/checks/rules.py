@@ -181,3 +181,19 @@ DET006 = register(
         scope=Scope.NON_EXPERIMENTS,
     )
 )
+
+DET007 = register(
+    Rule(
+        code="DET007",
+        name="hash-based-ordering",
+        summary="ordering depends on string hash() (PYTHONHASHSEED hazard)",
+        rationale=(
+            "hash(str) is salted per process: unless PYTHONHASHSEED is "
+            "pinned, every run hashes strings differently, so sorting by "
+            "hash(...), hash-keyed priority functions, and iteration over "
+            "str-keyed set literals produce a different order each run.  "
+            "Order by the value itself or another stable field instead."
+        ),
+        scope=Scope.SIM_PATH,
+    )
+)

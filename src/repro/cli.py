@@ -21,6 +21,12 @@ Examples::
                                    # pre-analysis soundness of a sample
     repro fig4a --certify          # run + certify; verdicts also land
                                    # in the manifest under --report
+    repro analyze fig4a            # prove kernel masks equivalent to the
+                                   # reference oracle, statically
+    repro fig4a --analyze          # run + analyze; verdicts and cell
+                                   # predictions land in the manifest
+    repro validate --analyze       # also compare static predictions
+                                   # against observed miss rates
     repro fig4a --sanitize         # validate every event against the
                                    # paper's invariants (RTSan)
     repro bench                    # time reference vs kernel engine on
@@ -227,6 +233,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help=(
+            "after each experiment, run the static analyzer: prove the "
+            "kernel's flat conflict/safety tables equivalent to the "
+            "reference oracle and predict each cell's contention regime "
+            "— no extra simulation; verdicts and predictions land in "
+            "the run manifest under --report, and the run exits nonzero "
+            "if any verdict fails (see docs/ANALYZE.md)"
+        ),
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help=(
@@ -274,6 +292,7 @@ def _write_report(
     notes: str = "",
     certification: Optional[dict] = None,
     engine_fallbacks: Sequence[dict] = (),
+    analysis: Optional[dict] = None,
 ) -> Path:
     manifest = build_manifest(
         experiment=figure_id,
@@ -288,6 +307,7 @@ def _write_report(
         notes=notes,
         certification=certification,
         engine_fallbacks=engine_fallbacks,
+        analysis=analysis,
     )
     return write_manifest(manifest, report_dir)
 
@@ -339,6 +359,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.certify.cli import certify_main
 
         return certify_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.analyze.cli import analyze_main
+
+        return analyze_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.bench import bench_main
 
@@ -434,6 +458,22 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
             from repro.experiments.report import render_engine_fallbacks
 
             print(render_engine_fallbacks(fallbacks))
+        analysis_clean = True
+        if getattr(args, "analyze", False):
+            from repro.analyze.report import render_analysis_digest
+            from repro.analyze.runner import analyze_experiment
+
+            # One main-memory and one disk-resident miss-percent sweep:
+            # the figure results above are memoized, so the comparison
+            # costs only the static analysis itself.
+            for figure_id in ("fig4a", "fig5b"):
+                analysis = analyze_experiment(figure_id, scale)
+                analysis_clean = analysis_clean and analysis.clean
+                print(
+                    render_analysis_digest(
+                        analysis, ALL_RUNNABLE[figure_id](scale)
+                    )
+                )
         if args.report is not None:
             path = _write_report(
                 "validate",
@@ -448,14 +488,21 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
             )
             print(f"wrote manifest {path}")
         dropped = any(not failure.recovered for failure in failures)
-        return 0 if all(check.passed for check in checks) and not dropped else 1
+        passed = (
+            all(check.passed for check in checks)
+            and not dropped
+            and analysis_clean
+        )
+        return 0 if passed else 1
 
     ids = (
         sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
     any_dropped = False
     any_uncertified = False
+    any_analysis_failed = False
     want_certify = getattr(args, "certify", False)
+    want_analyze = getattr(args, "analyze", False)
     for figure_id in ids:
         started = time.time()
         counters = TraceCounters()
@@ -517,6 +564,24 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
                     f"[certify: {figure_id} has no enumerable cells; "
                     "skipped]"
                 )
+        analysis_section = None
+        if want_analyze:
+            if figure_id in FIGURE_SWEEPS:
+                from repro.analyze.report import render_analysis_digest
+                from repro.analyze.runner import (
+                    analysis_section as build_analysis,
+                    analyze_experiment,
+                )
+
+                analysis = analyze_experiment(figure_id, scale)
+                analysis_section = build_analysis(analysis)
+                print(render_analysis_digest(analysis, result))
+                any_analysis_failed = any_analysis_failed or not analysis.clean
+            else:
+                print(
+                    f"[analyze: {figure_id} has no enumerable cells; "
+                    "skipped]"
+                )
         elapsed = time.time() - started
         print(f"[{figure_id} done in {elapsed:.1f}s at scale={scale.name}]")
         if counters.count("sweep_end"):
@@ -547,6 +612,7 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
                 failures=failures,
                 certification=certification_section,
                 engine_fallbacks=fallbacks,
+                analysis=analysis_section,
             )
             print(f"wrote manifest {path}")
         print()
@@ -554,9 +620,10 @@ def _run_experiments(args, scale: ExperimentScale) -> int:
             path = write_csv(result, args.csv)
             print(f"wrote {path}")
     # Dropped cells mean the figures above are incomplete, and an
-    # uncertified schedule means the numbers rest on a broken property:
-    # make the run fail loudly even though each series rendered fine.
-    return 1 if any_dropped or any_uncertified else 0
+    # uncertified schedule (or a failed equivalence proof) means the
+    # numbers rest on a broken property: make the run fail loudly even
+    # though each series rendered fine.
+    return 1 if any_dropped or any_uncertified or any_analysis_failed else 0
 
 
 def _select_cell(experiment: str, scale: ExperimentScale, cells, spec: str):

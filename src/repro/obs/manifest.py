@@ -38,12 +38,16 @@ from repro.obs.prof import timing_section
 #: v5: added the required ``engine_fallbacks`` section (kernel cells
 #: healed onto the sanitized reference engine, with their quarantine
 #: bundle paths; an empty list when no cell fell back).
-MANIFEST_SCHEMA_VERSION = 5
+#: v6: added the required ``analysis`` section (static analyzer
+#: verdicts, conflict-graph metrics, and per-cell feasibility
+#: predictions from ``--analyze``; ``enabled: false`` when the flag
+#: was off).
+MANIFEST_SCHEMA_VERSION = 6
 
 #: Schema versions :func:`validate_manifest` accepts: the current one
 #: plus still-loadable older layouts (v3 manifests predate ``timing``,
-#: v3/v4 predate ``engine_fallbacks``).
-ACCEPTED_SCHEMA_VERSIONS = (3, 4, 5)
+#: v3/v4 predate ``engine_fallbacks``, v3-v5 predate ``analysis``).
+ACCEPTED_SCHEMA_VERSIONS = (3, 4, 5, 6)
 
 #: Document type marker, so a manifest is self-identifying.
 MANIFEST_KIND = "repro-run-manifest"
@@ -127,6 +131,7 @@ def build_manifest(
     notes: str = "",
     certification: Optional[Mapping] = None,
     engine_fallbacks: Sequence[Mapping] = (),
+    analysis: Optional[Mapping] = None,
 ) -> dict:
     """Assemble a manifest document (JSON-ready dict).
 
@@ -147,7 +152,11 @@ def build_manifest(
     — per-stage wall-time summaries observed cells record as they run.
     ``engine_fallbacks`` (schema v5) lists kernel cells the sweep healed
     onto the sanitized reference engine, each with the failure that
-    triggered it and its quarantine bundle path.
+    triggered it and its quarantine bundle path.  ``analysis`` (schema
+    v6) is the ``--analyze`` section (see
+    :func:`repro.analyze.runner.analysis_section`): static equivalence
+    verdicts, conflict-graph metrics, and per-cell feasibility
+    predictions; ``None`` records ``{"enabled": false}``.
     """
     histograms = metrics_snapshot.get("histograms", {})
     return {
@@ -172,6 +181,9 @@ def build_manifest(
         ),
         "timing": timing_section(metrics_snapshot),
         "engine_fallbacks": [dict(record) for record in engine_fallbacks],
+        "analysis": (
+            dict(analysis) if analysis is not None else {"enabled": False}
+        ),
         "cell_wall_ms": histograms.get("sweep.cell_wall_ms"),
         "metrics": dict(metrics_snapshot),
         "notes": notes,
@@ -270,6 +282,50 @@ def validate_manifest(manifest: Mapping) -> list[str]:
             problems.extend(
                 _validate_engine_fallbacks(manifest.get("engine_fallbacks"))
             )
+        if manifest["schema"] >= 6:
+            problems.extend(_validate_analysis(manifest.get("analysis")))
+    return problems
+
+
+def _validate_analysis(analysis: object) -> list[str]:
+    """Problems with a v6 ``analysis`` section (empty = valid)."""
+    if not isinstance(analysis, dict):
+        return ["analysis missing or not an object (required by schema v6)"]
+    problems: list[str] = []
+    enabled = analysis.get("enabled")
+    if not isinstance(enabled, bool):
+        problems.append("analysis.enabled missing or not a bool")
+        return problems
+    if not enabled:
+        return problems
+    if not isinstance(analysis.get("clean"), bool):
+        problems.append("analysis.clean missing or not a bool")
+    verdicts = analysis.get("verdicts")
+    if not isinstance(verdicts, list) or not verdicts:
+        problems.append("analysis.verdicts missing or empty")
+    else:
+        for index, verdict in enumerate(verdicts):
+            if not isinstance(verdict, dict):
+                problems.append(f"analysis.verdicts[{index}] is not an object")
+                continue
+            for key in ("code", "name", "passed", "detail"):
+                if key not in verdict:
+                    problems.append(
+                        f"analysis.verdicts[{index}] missing {key!r}"
+                    )
+    if not isinstance(analysis.get("graph"), dict):
+        problems.append("analysis.graph missing or not an object")
+    cells = analysis.get("cells")
+    if not isinstance(cells, list):
+        problems.append("analysis.cells missing or not a list")
+    else:
+        for index, cell in enumerate(cells):
+            if not isinstance(cell, dict):
+                problems.append(f"analysis.cells[{index}] is not an object")
+                continue
+            for key in ("cell", "predicted"):
+                if key not in cell:
+                    problems.append(f"analysis.cells[{index}] missing {key!r}")
     return problems
 
 

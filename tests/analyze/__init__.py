@@ -1,0 +1,1 @@
+"""Static workload analyzer tests."""

@@ -1,0 +1,228 @@
+"""The equivalence prover: exhaustive checks, mutations, counterexamples."""
+
+import pytest
+
+from repro.analysis.program import ProgramNode, TransactionProgram, linear_program
+from repro.analysis.table import RelationTable
+from repro.analysis.tree import TransactionTree
+from repro.analyze.equivalence import (
+    MUTATION_KINDS,
+    MaskMutation,
+    mutate_spec_masks,
+    mutate_state_table,
+    parse_mutation,
+    prove_spec_masks,
+    prove_state_table,
+    spec_classes,
+)
+from repro.core.masks import SpecMasks, StateTable
+from repro.experiments.config import MAIN_MEMORY_BASE
+from repro.rtdb.transaction import Operation, TransactionSpec
+from repro.workload.generator import generate_workload
+
+DB_SIZE = 8
+
+
+def spec(tid, items, writes=None, name=None):
+    writes = set(items) if writes is None else set(writes)
+    return TransactionSpec(
+        tid=tid,
+        type_id=tid,
+        arrival_time=0.0,
+        deadline=100.0,
+        operations=tuple(
+            Operation(item=item, compute_time=1.0, is_write=item in writes)
+            for item in items
+        ),
+        program_name=name or f"type{tid}",
+    )
+
+
+@pytest.fixture(scope="module")
+def paper_workload():
+    config = MAIN_MEMORY_BASE.replace(n_transactions=120)
+    return generate_workload(config, seed=1), config.db_size
+
+
+class TestCleanWorkloads:
+    def test_disjoint_pair_proves_clean(self):
+        specs = [spec(0, [0, 1]), spec(1, [2, 3])]
+        assert prove_spec_masks(specs, DB_SIZE) == []
+
+    def test_overlapping_pair_proves_clean(self):
+        specs = [spec(0, [0, 1, 2]), spec(1, [2, 3])]
+        assert prove_spec_masks(specs, DB_SIZE) == []
+
+    def test_read_write_mix_proves_clean(self):
+        specs = [
+            spec(0, [0, 1, 2], writes={1}),
+            spec(1, [1, 3], writes=set()),
+            spec(2, [2, 4], writes={2, 4}),
+        ]
+        assert prove_spec_masks(specs, DB_SIZE) == []
+
+    def test_paper_workload_proves_clean(self, paper_workload):
+        specs, db_size = paper_workload
+        assert prove_spec_masks(specs, db_size) == []
+
+    def test_duplicate_instances_collapse_to_classes(self):
+        specs = [spec(i, [0, 1], name="shared") for i in range(6)]
+        assert len(spec_classes(specs)) == 1
+        assert prove_spec_masks(specs, DB_SIZE) == []
+
+    def test_classes_split_on_write_flag(self):
+        read = spec(0, [0, 1], writes=set())
+        write = spec(1, [0, 1])
+        assert len(spec_classes([read, write])) == 2
+
+
+class TestMaskMutations:
+    def test_every_mask_kind_is_caught(self, paper_workload):
+        specs, db_size = paper_workload
+        masks = SpecMasks.from_specs(specs, db_size)
+        for kind, expected_rule in (
+            ("data", "ANA001"),
+            ("write", "ANA001"),
+            ("conflict", "ANA001"),
+        ):
+            mutated = mutate_spec_masks(
+                masks, MaskMutation(kind=kind, row=0, bit=3)
+            )
+            found = prove_spec_masks(specs, db_size, masks=mutated)
+            assert found, f"{kind} mutation went undetected"
+            assert any(ce.rule == expected_rule for ce in found)
+
+    def test_counterexample_is_minimal_and_descriptive(self):
+        specs = [spec(0, [0, 1]), spec(1, [2, 3])]
+        masks = mutate_spec_masks(
+            SpecMasks.from_specs(specs, DB_SIZE),
+            MaskMutation(kind="data", row=0, bit=2),
+        )
+        found = prove_spec_masks(specs, DB_SIZE, masks=masks)
+        first = found[0]
+        assert first.rule == "ANA001"
+        assert first.relation == "data-mask"
+        assert "slot 0" in first.pair[0]
+        assert "expected" in first.describe()
+        as_dict = first.to_dict()
+        assert as_dict["rule"] == "ANA001"
+        assert as_dict["pair"][0].startswith("slot 0")
+
+    def test_write_mutation_surfaces_in_safety_states(self):
+        # Flipping a write bit changes safety answers for prefix states
+        # even when the data mask (and thus conflict) stays intact.
+        specs = [spec(0, [0, 1], writes={0}), spec(1, [1, 2], writes={2})]
+        masks = mutate_spec_masks(
+            SpecMasks.from_specs(specs, DB_SIZE),
+            MaskMutation(kind="write", row=1, bit=1),
+        )
+        found = prove_spec_masks(specs, DB_SIZE, masks=masks)
+        assert any(ce.rule in ("ANA001", "ANA002") for ce in found)
+
+    def test_limit_caps_counterexamples(self, paper_workload):
+        specs, db_size = paper_workload
+        mutated = mutate_spec_masks(
+            SpecMasks.from_specs(specs, db_size),
+            MaskMutation(kind="write", row=0, bit=1),
+        )
+        found = prove_spec_masks(specs, db_size, masks=mutated, limit=2)
+        assert len(found) <= 2
+
+    def test_originals_never_modified(self):
+        specs = [spec(0, [0, 1]), spec(1, [2, 3])]
+        masks = SpecMasks.from_specs(specs, DB_SIZE)
+        before = (list(masks.data), list(masks.write), list(masks.conflict_slots))
+        for kind in ("data", "write", "conflict"):
+            mutate_spec_masks(masks, MaskMutation(kind=kind, row=0, bit=1))
+        assert (
+            list(masks.data),
+            list(masks.write),
+            list(masks.conflict_slots),
+        ) == before
+
+    def test_out_of_range_rows_rejected(self):
+        specs = [spec(0, [0])]
+        masks = SpecMasks.from_specs(specs, DB_SIZE)
+        with pytest.raises(ValueError, match="out of range"):
+            mutate_spec_masks(masks, MaskMutation(kind="data", row=9, bit=0))
+        with pytest.raises(ValueError, match="out of range"):
+            mutate_spec_masks(
+                masks, MaskMutation(kind="conflict", row=0, bit=9)
+            )
+        with pytest.raises(ValueError, match="does not apply"):
+            mutate_spec_masks(
+                masks, MaskMutation(kind="state-safety", row=0, bit=0)
+            )
+
+
+BRANCHING = TransactionProgram(
+    "A",
+    ProgramNode(
+        "A",
+        accesses=[0],
+        children=[
+            ProgramNode("Aa", accesses=[1, 2]),
+            ProgramNode("Ab", accesses=[3, 4]),
+        ],
+    ),
+)
+
+
+def relation_table():
+    return RelationTable(
+        [
+            TransactionTree(BRANCHING),
+            TransactionTree(linear_program("B", [1, 2])),
+            TransactionTree(linear_program("C", [5, 6])),
+        ]
+    )
+
+
+class TestStateTableProver:
+    def test_clean_table_proves_clean(self):
+        assert prove_state_table(relation_table()) == []
+
+    def test_state_mutations_are_caught(self):
+        for kind in ("state-safety", "state-conflict"):
+            table = relation_table()
+            state_table = mutate_state_table(
+                StateTable(table), MaskMutation(kind=kind, row=1, bit=2)
+            )
+            found = prove_state_table(table, state_table=state_table)
+            assert found, f"{kind} mutation went undetected"
+            assert any(ce.rule in ("ANA003", "ANA004") for ce in found)
+
+    def test_counterexample_names_the_state_pair(self):
+        table = relation_table()
+        state_table = mutate_state_table(
+            StateTable(table), MaskMutation(kind="state-safety", row=0, bit=1)
+        )
+        found = prove_state_table(table, state_table=state_table)
+        first = [ce for ce in found if ce.rule == "ANA003"][0]
+        assert "@" in first.pair[0]  # program@label
+        assert first.expected != first.actual
+
+    def test_out_of_range_state_mutation_rejected(self):
+        state_table = StateTable(relation_table())
+        n = len(state_table.states)
+        with pytest.raises(ValueError, match="out of range"):
+            mutate_state_table(
+                state_table, MaskMutation(kind="state-safety", row=n, bit=0)
+            )
+        with pytest.raises(ValueError, match="does not apply"):
+            mutate_state_table(
+                state_table, MaskMutation(kind="data", row=0, bit=0)
+            )
+
+
+class TestParseMutation:
+    def test_round_trip(self):
+        for kind in MUTATION_KINDS:
+            mutation = parse_mutation(f"{kind}:3:7")
+            assert mutation == MaskMutation(kind=kind, row=3, bit=7)
+
+    def test_malformed_specs_rejected(self):
+        for bad in ("data", "data:1", "data:1:2:3", "bogus:1:2",
+                    "data:x:2", "data:1:y", "data:-1:2"):
+            with pytest.raises(ValueError):
+                parse_mutation(bad)

@@ -1,0 +1,113 @@
+"""Static feasibility bounds and regime prediction."""
+
+import pytest
+
+from repro.analyze.feasibility import (
+    CellPrediction,
+    classify_regime,
+    predict_cell,
+    predict_specs,
+)
+from repro.experiments.config import DISK_BASE, MAIN_MEMORY_BASE
+from repro.rtdb.transaction import Operation, TransactionSpec
+from repro.workload.generator import generate_workload
+
+
+def spec(tid, arrival, deadline, compute=5.0, items=(0,)):
+    return TransactionSpec(
+        tid=tid,
+        type_id=tid,
+        arrival_time=arrival,
+        deadline=deadline,
+        operations=tuple(
+            Operation(item=item, compute_time=compute) for item in items
+        ),
+        program_name=f"type{tid}",
+    )
+
+
+class TestRegimes:
+    def test_thresholds(self):
+        assert classify_regime(0.2, 0.1) == "light"
+        assert classify_regime(0.7, 0.0) == "moderate"
+        assert classify_regime(0.0, 0.85) == "moderate"
+        assert classify_regime(1.0, 0.0) == "saturated"
+        assert classify_regime(0.3, 1.2) == "saturated"
+
+
+class TestPredictSpecs:
+    def test_feasible_workload_has_no_floor(self):
+        specs = [spec(0, 0.0, 100.0), spec(1, 50.0, 150.0)]
+        predicted = predict_specs(specs, x=4.0, seed=2)
+        assert predicted.x == 4.0 and predicted.seed == 2
+        assert predicted.n == 2
+        assert predicted.infeasible == 0
+        assert predicted.predicted_miss_floor == 0.0
+        assert predicted.min_slack_ms == pytest.approx(95.0)
+
+    def test_infeasible_transactions_floor_the_miss_rate(self):
+        specs = [
+            spec(0, 0.0, 2.0),    # needs 5 ms, has 2 -> infeasible
+            spec(1, 0.0, 100.0),
+        ]
+        predicted = predict_specs(specs, x=1.0, seed=1)
+        assert predicted.infeasible == 1
+        assert predicted.predicted_miss_floor == pytest.approx(0.5)
+        assert predicted.min_slack_ms == pytest.approx(-3.0)
+
+    def test_utilization_scales_with_arrival_density(self):
+        sparse = predict_specs(
+            [spec(i, 100.0 * i, 100.0 * i + 50.0) for i in range(4)], 0, 0
+        )
+        dense = predict_specs(
+            [spec(i, 1.0 * i, 1.0 * i + 50.0) for i in range(4)], 0, 0
+        )
+        assert dense.cpu_utilization > sparse.cpu_utilization
+        assert sparse.io_utilization == 0.0
+
+    def test_empty_workload(self):
+        predicted = predict_specs([], x=1.0, seed=1)
+        assert predicted.n == 0
+        assert predicted.regime == "light"
+        assert predicted.predicted_miss_floor == 0.0
+
+    def test_to_dict_shape(self):
+        doc = predict_specs([spec(0, 0.0, 100.0)], x=3.0, seed=7).to_dict()
+        assert doc["cell"] == {"x": 3.0, "seed": 7}
+        assert "regime" in doc["predicted"]
+        assert "x" not in doc["predicted"]
+
+
+class TestPredictCell:
+    def test_generated_workloads_are_feasible_by_construction(self):
+        # deadline = arrival + resource_time * (1 + slack), slack >= 0.2
+        config = MAIN_MEMORY_BASE.replace(n_transactions=100)
+        predicted = predict_cell(config, x=config.arrival_rate, seed=1)
+        assert isinstance(predicted, CellPrediction)
+        assert predicted.n == 100
+        assert predicted.infeasible == 0
+        assert predicted.mean_slack_ratio >= config.min_slack
+
+    def test_disk_workloads_show_io_demand(self):
+        config = DISK_BASE.replace(n_transactions=100)
+        predicted = predict_cell(config, x=config.arrival_rate, seed=1)
+        assert predicted.io_utilization > 0.0
+
+    def test_prediction_is_deterministic(self):
+        config = MAIN_MEMORY_BASE.replace(n_transactions=80)
+        assert predict_cell(config, 4.0, 3) == predict_cell(config, 4.0, 3)
+
+    def test_conflict_density_tracks_db_size(self):
+        small_db = predict_cell(
+            MAIN_MEMORY_BASE.replace(n_transactions=80, db_size=30), 1.0, 1
+        )
+        big_db = predict_cell(
+            MAIN_MEMORY_BASE.replace(n_transactions=80, db_size=1000), 1.0, 1
+        )
+        assert big_db.conflict_density < small_db.conflict_density
+
+
+def test_generated_workload_matches_predict_specs():
+    config = MAIN_MEMORY_BASE.replace(n_transactions=60)
+    specs = generate_workload(config, seed=5)
+    assert predict_specs(specs, 2.0, 5) == predict_cell(config, 2.0, 5)

@@ -1,0 +1,192 @@
+"""Conflict-graph metrics: fractions, degrees, compatible sets."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.program import ProgramNode, TransactionProgram, linear_program
+from repro.analysis.relations import Conflict
+from repro.analysis.tree import TransactionTree
+from repro.analyze.graph import ConflictGraph, GraphMetrics
+from repro.rtdb.transaction import Operation, TransactionSpec
+
+
+def tree(name, items):
+    return TransactionTree(linear_program(name, items))
+
+
+def spec(tid, items, name=None):
+    return TransactionSpec(
+        tid=tid,
+        type_id=tid,
+        arrival_time=0.0,
+        deadline=100.0,
+        operations=tuple(
+            Operation(item=item, compute_time=1.0) for item in items
+        ),
+        program_name=name or f"type{tid}",
+    )
+
+
+def brute_force_max_compatible(graph):
+    """Exhaustive maximum compatible set over all instance subsets."""
+    n = len(graph.members)
+    best = 0
+    for size in range(n, 0, -1):
+        for subset in itertools.combinations(range(n), size):
+            if graph.is_pairwise_compatible(list(subset)):
+                return size
+        if best:
+            break
+    return best
+
+
+class TestPairCounts:
+    def test_disjoint_classes_have_no_conflicts(self):
+        graph = ConflictGraph(
+            [tree("A", [0, 1]), tree("B", [2, 3])], [0, 1]
+        )
+        metrics = graph.metrics()
+        assert metrics.certain_pairs == 0
+        assert metrics.compatible_pairs == 1
+        assert metrics.conflict_fraction == 0.0
+        assert metrics.unsafe_pairs == 0
+
+    def test_overlapping_classes_certainly_conflict(self):
+        graph = ConflictGraph(
+            [tree("A", [0, 1]), tree("B", [1, 2])], [0, 1]
+        )
+        metrics = graph.metrics()
+        assert metrics.certain_pairs == 1
+        assert metrics.compatible_pairs == 0
+        assert metrics.unsafe_pairs == 2  # both directions at the root
+
+    def test_same_class_pairs_counted(self):
+        graph = ConflictGraph([tree("A", [0, 1])], [0, 0, 0])
+        metrics = graph.metrics()
+        assert metrics.n == 3
+        assert metrics.n_pairs == 3
+        assert metrics.certain_pairs == 3  # C(3,2), all overlap fully
+
+    def test_pair_partition_always_holds(self):
+        graph = ConflictGraph(
+            [tree("A", [0, 1]), tree("B", [1, 2]), tree("C", [4, 5])],
+            [0, 0, 1, 2, 2],
+        )
+        metrics = graph.metrics()
+        assert (
+            metrics.certain_pairs
+            + metrics.conditional_pairs
+            + metrics.compatible_pairs
+            == metrics.n_pairs
+        )
+
+    def test_branching_program_is_conditional(self):
+        branching = TransactionProgram(
+            "A",
+            ProgramNode(
+                "A",
+                accesses=[0],
+                children=[
+                    ProgramNode("Aa", accesses=[1, 2]),
+                    ProgramNode("Ab", accesses=[3, 4]),
+                ],
+            ),
+        )
+        graph = ConflictGraph(
+            [TransactionTree(branching), tree("B", [1, 2])], [0, 1]
+        )
+        assert graph.conflict(0, 1) is Conflict.CONDITIONAL
+        metrics = graph.metrics()
+        assert metrics.conditional_pairs == 1
+        assert metrics.theorem1_no_wait is False
+
+    def test_theorem1_holds_without_conditionals(self):
+        graph = ConflictGraph(
+            [tree("A", [0, 1]), tree("B", [1, 2])], [0, 1]
+        )
+        assert graph.metrics().theorem1_no_wait is True
+
+
+class TestDegrees:
+    def test_degrees_count_certain_conflicting_instances(self):
+        # A overlaps B; C is isolated.  Two A instances conflict with
+        # each other and with the B instance.
+        graph = ConflictGraph(
+            [tree("A", [0, 1]), tree("B", [1, 2]), tree("C", [4])],
+            [0, 0, 1, 2],
+        )
+        assert graph.degrees() == [2, 2, 2, 0]
+
+    def test_degree_histogram_covers_instances(self):
+        graph = ConflictGraph(
+            [tree("A", [0, 1]), tree("B", [2, 3])], [0, 0, 1]
+        )
+        metrics = graph.metrics()
+        assert sum(count for _, count in metrics.degree_histogram) == 3
+        assert metrics.degree_mean == pytest.approx(2 / 3)
+
+
+class TestCompatibleSets:
+    def test_exact_matches_brute_force_on_small_graphs(self):
+        graph = ConflictGraph(
+            [
+                tree("A", [0, 1]),
+                tree("B", [1, 2]),
+                tree("C", [3, 4]),
+                tree("D", [4, 5]),
+                tree("E", [7]),
+            ],
+            [0, 1, 2, 3, 4, 4],
+        )
+        chosen, exact = graph.compatible_set()
+        assert exact
+        assert graph.is_pairwise_compatible(chosen)
+        assert len(chosen) == brute_force_max_compatible(graph)
+
+    def test_greedy_is_a_lower_bound(self):
+        graph = ConflictGraph(
+            [tree("A", [0, 1]), tree("B", [1, 2]), tree("C", [3])],
+            [0, 1, 2, 2, 2],
+        )
+        exact_set, exact = graph.compatible_set()
+        greedy_set, greedy_exact = graph.compatible_set(exact_limit=0)
+        assert exact and not greedy_exact
+        assert graph.is_pairwise_compatible(greedy_set)
+        assert len(greedy_set) <= len(exact_set)
+
+    def test_large_workloads_fall_back_to_greedy(self):
+        graph = ConflictGraph([tree("A", [0]), tree("B", [1])], [0, 1] * 20)
+        chosen, exact = graph.compatible_set()
+        assert not exact  # 40 instances > EXACT_SET_LIMIT
+        assert graph.is_pairwise_compatible(chosen)
+
+    def test_empty_graph(self):
+        graph = ConflictGraph([], [])
+        chosen, exact = graph.compatible_set()
+        assert chosen == [] and exact
+        metrics = graph.metrics()
+        assert metrics.n == 0 and metrics.n_pairs == 0
+
+
+class TestFromSpecs:
+    def test_instances_sharing_signature_share_a_class(self):
+        specs = [
+            spec(0, [0, 1], name="T"),
+            spec(1, [0, 1], name="T"),
+            spec(2, [2, 3], name="U"),
+        ]
+        graph = ConflictGraph.from_specs(specs)
+        assert len(graph.trees) == 2
+        assert graph.members == (0, 0, 1)
+
+    def test_metrics_serialize(self):
+        metrics = ConflictGraph.from_specs([spec(0, [0]), spec(1, [0])]).metrics()
+        assert isinstance(metrics, GraphMetrics)
+        doc = metrics.to_dict()
+        assert doc["n"] == 2
+        assert doc["degree_histogram"] == [[1, 2]]
+
+    def test_members_validated(self):
+        with pytest.raises(ValueError, match="members"):
+            ConflictGraph([tree("A", [0])], [0, 1])

@@ -1,0 +1,213 @@
+"""Property tests: graph metrics vs brute force, prover vs mutations.
+
+Two families:
+
+* conflict-graph metrics computed through the class matrix must equal a
+  brute-force enumeration over every instance pair on small random
+  program trees;
+* the equivalence prover must accept arbitrary well-formed workloads
+  (the kernel tables are *derived* from the specs, so they are correct
+  by construction) and reject any single-bit mutation of them.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.program import ProgramNode, TransactionProgram, linear_program
+from repro.analysis.relations import Conflict, conflict_between
+from repro.analysis.tree import TransactionTree
+from repro.analyze.equivalence import (
+    MUTATION_KINDS,
+    MaskMutation,
+    mutate_spec_masks,
+    mutate_state_table,
+    prove_spec_masks,
+    prove_state_table,
+)
+from repro.analyze.graph import ConflictGraph
+from repro.core.masks import SpecMasks, StateTable
+from repro.rtdb.transaction import Operation, TransactionSpec
+
+DB_SIZE = 8
+
+# -- strategies -------------------------------------------------------------
+
+items_lists = st.lists(
+    st.integers(min_value=0, max_value=DB_SIZE - 1),
+    min_size=1,
+    max_size=4,
+    unique=True,
+)
+
+
+@st.composite
+def random_trees(draw):
+    """A few random programs: linear chains, sometimes one branch."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    trees = []
+    for index in range(n):
+        if draw(st.booleans()):
+            trees.append(
+                TransactionTree(
+                    linear_program(f"P{index}", draw(items_lists))
+                )
+            )
+        else:
+            root_items = draw(items_lists)
+            left = draw(items_lists)
+            right = draw(items_lists)
+            trees.append(
+                TransactionTree(
+                    TransactionProgram(
+                        f"P{index}",
+                        ProgramNode(
+                            f"P{index}",
+                            accesses=root_items,
+                            children=[
+                                ProgramNode(f"P{index}a", accesses=left),
+                                ProgramNode(f"P{index}b", accesses=right),
+                            ],
+                        ),
+                    )
+                )
+            )
+    members = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return trees, members
+
+
+@st.composite
+def random_workloads(draw):
+    """Small random flat workloads with mixed read/write operations."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    specs = []
+    for tid in range(n):
+        items = draw(items_lists)
+        operations = tuple(
+            Operation(
+                item=item,
+                compute_time=1.0,
+                is_write=draw(st.booleans()),
+            )
+            for item in items
+        )
+        specs.append(
+            TransactionSpec(
+                tid=tid,
+                type_id=draw(st.integers(min_value=0, max_value=2)),
+                arrival_time=0.0,
+                deadline=100.0,
+                operations=operations,
+                program_name=f"type{tid}",
+            )
+        )
+    return specs
+
+
+# -- graph metrics vs brute force ------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(random_trees())
+def test_metrics_match_brute_force_enumeration(trees_members):
+    trees, members = trees_members
+    graph = ConflictGraph(trees, members)
+    metrics = graph.metrics()
+    roots = [tree.root.label for tree in trees]
+
+    def pair_relation(a, b):
+        return conflict_between(
+            trees[members[a]], roots[members[a]],
+            trees[members[b]], roots[members[b]],
+        )
+
+    n = len(members)
+    certain = conditional = compatible = 0
+    for a, b in itertools.combinations(range(n), 2):
+        relation = pair_relation(a, b)
+        if relation is Conflict.CERTAIN:
+            certain += 1
+        elif relation is Conflict.CONDITIONAL:
+            conditional += 1
+        else:
+            compatible += 1
+    assert metrics.certain_pairs == certain
+    assert metrics.conditional_pairs == conditional
+    assert metrics.compatible_pairs == compatible
+
+    expected_degrees = [
+        sum(
+            1
+            for other in range(n)
+            if other != instance
+            and pair_relation(instance, other) is Conflict.CERTAIN
+        )
+        for instance in range(n)
+    ]
+    assert graph.degrees() == expected_degrees
+
+    best = 0
+    for size in range(n, 0, -1):
+        if any(
+            graph.is_pairwise_compatible(list(subset))
+            for subset in itertools.combinations(range(n), size)
+        ):
+            best = size
+            break
+    chosen, exact = graph.compatible_set()
+    assert exact  # <= 6 instances, always within the exact limit
+    assert len(chosen) == best
+
+
+# -- prover accepts honest tables, rejects mutated ones ---------------------
+
+@settings(max_examples=60, deadline=None)
+@given(random_workloads())
+def test_prover_accepts_derived_masks(specs):
+    assert prove_spec_masks(specs, DB_SIZE) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_workloads(), st.data())
+def test_prover_rejects_any_single_bit_mask_mutation(specs, data):
+    masks = SpecMasks.from_specs(specs, DB_SIZE)
+    kind = data.draw(st.sampled_from(("data", "write", "conflict")))
+    row = data.draw(st.integers(min_value=0, max_value=len(specs) - 1))
+    max_bit = len(specs) - 1 if kind == "conflict" else DB_SIZE - 1
+    bit = data.draw(st.integers(min_value=0, max_value=max_bit))
+    mutated = mutate_spec_masks(masks, MaskMutation(kind=kind, row=row, bit=bit))
+    found = prove_spec_masks(specs, DB_SIZE, masks=mutated)
+    assert found, f"undetected {kind}:{row}:{bit} over {len(specs)} specs"
+    assert all(ce.rule in ("ANA001", "ANA002", "ANA004") for ce in found)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_trees(), st.data())
+def test_prover_rejects_any_state_table_mutation(trees_members, data):
+    trees, _ = trees_members
+    from repro.analysis.table import RelationTable
+
+    table = RelationTable(trees)
+    state_table = StateTable(table)
+    n = len(state_table.states)
+    kind = data.draw(st.sampled_from(("state-safety", "state-conflict")))
+    row = data.draw(st.integers(min_value=0, max_value=n - 1))
+    col = data.draw(st.integers(min_value=0, max_value=n - 1))
+    mutate_state_table(state_table, MaskMutation(kind=kind, row=row, bit=col))
+    found = prove_state_table(table, state_table=state_table)
+    assert found, f"undetected {kind} at ({row}, {col})"
+    assert all(ce.rule in ("ANA003", "ANA004") for ce in found)
+
+
+def test_mutation_kinds_are_covered():
+    # The two property tests above draw from complementary kind sets;
+    # together they must cover every advertised mutation kind.
+    assert set(MUTATION_KINDS) == {
+        "data", "write", "conflict", "state-safety", "state-conflict",
+    }

@@ -1,0 +1,81 @@
+"""The analyze reporters: text layout and the prediction digest."""
+
+import dataclasses
+
+from repro.analyze.feasibility import CellPrediction
+from repro.analyze.report import render_analysis_digest, render_text
+from repro.analyze.runner import analyze_specs
+from repro.rtdb.transaction import Operation, TransactionSpec
+
+
+def spec(tid, items, deadline=100.0):
+    return TransactionSpec(
+        tid=tid,
+        type_id=tid,
+        arrival_time=0.0,
+        deadline=deadline,
+        operations=tuple(
+            Operation(item=item, compute_time=1.0) for item in items
+        ),
+        program_name=f"type{tid}",
+    )
+
+
+def prediction(x, seed, miss_floor=0.0):
+    return CellPrediction(
+        x=x, seed=seed, n=10, infeasible=int(10 * miss_floor),
+        min_slack_ms=1.0, mean_slack_ratio=2.0, cpu_utilization=0.5,
+        io_utilization=0.0, conflict_density=0.2, regime="light",
+        predicted_miss_floor=miss_floor,
+    )
+
+
+@dataclasses.dataclass
+class FakeFigure:
+    y_label: str
+    series: dict
+
+
+class TestRenderText:
+    def test_failed_verdicts_always_show_detail(self):
+        result = analyze_specs([spec(0, [0], deadline=0.5)])
+        text = render_text(result)
+        assert "ANA005" in text and "FAIL" in text
+        assert "tid 0" in text  # detail line shown without --verbose
+        assert "ANALYSIS FAILED: 1 verdict(s)" in text
+
+    def test_clean_report_is_compact(self):
+        result = analyze_specs([spec(0, [0, 1]), spec(1, [2])])
+        text = render_text(result)
+        assert "ANALYSIS CLEAN" in text
+        assert "tid" not in text
+
+
+class TestDigest:
+    def test_observed_miss_rates_rendered_next_to_floor(self):
+        result = analyze_specs([spec(0, [0, 1])])
+        result.cells = [prediction(1.0, 1), prediction(2.0, 1)]
+        figure = FakeFigure(
+            y_label="Miss percent",
+            series={"CCA": [(1.0, 3.5), (2.0, 8.0)]},
+        )
+        digest = render_analysis_digest(result, figure)
+        assert "observed CCA 3.5%" in digest
+        assert "BELOW STATIC FLOOR" not in digest
+
+    def test_impossible_observation_is_flagged(self):
+        result = analyze_specs([spec(0, [0, 1])])
+        result.cells = [prediction(1.0, 1, miss_floor=0.5)]
+        figure = FakeFigure(
+            y_label="Miss percent", series={"CCA": [(1.0, 10.0)]}
+        )
+        # Observed 10% < static floor 50%: impossible, must be flagged.
+        assert "BELOW STATIC FLOOR" in render_analysis_digest(result, figure)
+
+    def test_non_miss_figures_skip_observed_columns(self):
+        result = analyze_specs([spec(0, [0, 1])])
+        result.cells = [prediction(1.0, 1)]
+        figure = FakeFigure(
+            y_label="Restarts per transaction", series={"CCA": [(1.0, 0.2)]}
+        )
+        assert "observed" not in render_analysis_digest(result, figure)

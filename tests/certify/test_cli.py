@@ -46,7 +46,14 @@ class TestUsageErrors:
         assert certify_main(
             ["fig4a", "--scale", "quick", "--cell", "999,1,EDF-HP"]
         ) == 2
-        assert "no cell at" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "no cell at" in err
+        # The error spells out the valid axes, not just the failure.
+        assert "x values:" in err
+        assert "seeds:" in err
+        assert "1, 2, 3" in err  # quick scale runs seeds 1-3
+        assert "policies:" in err
+        assert "any policy name is accepted" in err
 
     def test_events_requires_workload_and_policy(self, capsys):
         assert certify_main(["--events", str(BAD_TRACE)]) == 2

@@ -59,6 +59,20 @@ def read_tuning():
     return scale, jobs
 
 
+def hash_ordering(transactions):
+    # DET007: str hash() ordering is salted per process.
+    by_hash = sorted(transactions, key=hash)
+    by_name_hash = sorted(transactions, key=lambda tx: hash(tx.name))
+    for policy in {"edf", "cca", "edf-wait"}:
+        by_hash.append(policy)
+    return by_hash, by_name_hash
+
+
+def hash_priority_key(tx):
+    # DET007: a hash-derived priority differs run to run.
+    return hash(tx.program_name)
+
+
 def sanctioned_wall_clock():
     # The suppression syntax silences a finding without hiding it.
     return time.perf_counter()  # repro: allow[DET001] -- fixture: suppression demo

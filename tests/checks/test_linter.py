@@ -32,9 +32,10 @@ def codes_of(source: str) -> set[str]:
 # ---------------------------------------------------------------------------
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert ALL_CODES == [
             "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
+            "DET007",
         ]
 
     def test_rules_carry_scope_and_rationale(self):
@@ -238,6 +239,55 @@ class TestEnvironReads:
     def test_one_finding_per_chain(self):
         src = "import os\nx = os.environ.get('A', 'b')\n"
         assert len(findings_for(src)) == 1
+
+
+# ---------------------------------------------------------------------------
+# DET007 — string-hash ordering
+# ---------------------------------------------------------------------------
+
+class TestHashOrdering:
+    def test_sorted_key_hash(self):
+        src = "order = sorted(names, key=hash)\n"
+        assert codes_of(src) == {"DET007"}
+
+    def test_min_max_key_hash(self):
+        src = "lo = min(names, key=hash)\nhi = max(names, key=hash)\n"
+        assert [f.code for f in findings_for(src)] == ["DET007", "DET007"]
+
+    def test_list_sort_key_hash(self):
+        src = "names.sort(key=hash)\n"
+        assert codes_of(src) == {"DET007"}
+
+    def test_key_lambda_wrapping_hash(self):
+        src = "order = sorted(txs, key=lambda tx: hash(tx.name))\n"
+        assert codes_of(src) == {"DET007"}
+
+    def test_hash_inside_priority_key_function(self):
+        src = "def priority_key(tx):\n    return hash(tx.program_name)\n"
+        assert codes_of(src) == {"DET007"}
+
+    def test_str_set_literal_iteration(self):
+        src = "for policy in {'edf', 'cca'}:\n    pass\n"
+        assert "DET007" in codes_of(src)  # DET003 also fires
+
+    def test_non_str_set_literal_is_det003_only(self):
+        src = "for tx in {1, 2, 3}:\n    pass\n"
+        assert codes_of(src) == {"DET003"}
+
+    def test_sorted_with_stable_key_is_clean(self):
+        src = "order = sorted(txs, key=lambda tx: tx.tid)\n"
+        assert codes_of(src) == set()
+
+    def test_hash_outside_key_function_is_clean(self):
+        src = "def bucket_of(tx):\n    return hash(tx) % 8\n"
+        assert codes_of(src) == set()
+
+    def test_shadowed_hash_is_clean(self):
+        src = (
+            "from mylib import digest as hash\n"
+            "order = sorted(txs, key=hash)\n"
+        )
+        assert codes_of(src) == set()
 
 
 # ---------------------------------------------------------------------------

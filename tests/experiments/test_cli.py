@@ -126,6 +126,39 @@ class TestReport:
         assert manifest["n_cells"] == 0
         assert manifest["config_hash"] is None
 
+    def test_manifest_analysis_disabled_without_flag(self, tmp_path, capsys):
+        runs = tmp_path / "runs"
+        assert main(["table1", "--report", str(runs)]) == 0
+        manifest = load_manifest(next(runs.glob("table1-*.json")))
+        assert manifest["analysis"] == {"enabled": False}
+
+
+class TestAnalyzeFlag:
+    def test_analyze_digest_and_manifest_section(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        runs = tmp_path / "runs"
+        assert main(["fig5f", "--analyze", "--report", str(runs)]) == 0
+        out = capsys.readouterr().out
+        assert "[analyze fig5f: clean" in out
+        assert "miss floor" in out
+        manifest = load_manifest(next(runs.glob("fig5f-quick-*.json")))
+        assert validate_manifest(manifest) == []
+        analysis = manifest["analysis"]
+        assert analysis["enabled"] is True
+        assert analysis["clean"] is True
+        codes = [verdict["code"] for verdict in analysis["verdicts"]]
+        assert codes == [
+            "ANA001", "ANA002", "ANA003", "ANA004", "ANA005", "ANA006",
+        ]
+        assert len(analysis["cells"]) > 0
+
+    def test_analyze_without_report_still_prints(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert main(["table1", "--analyze"]) == 0
+        assert "[analyze table1: clean" in capsys.readouterr().out
+
 
 def _fault_spec(max_failures: int = 1, max_hits: int = None) -> str:
     """A ``--faults`` spec whose crash schedule deterministically hits

@@ -172,11 +172,11 @@ class TestFailuresSection:
 
 
 class TestCertificationSection:
-    def test_schema_version_is_pinned_at_five(self):
-        # v5 introduced the required engine_fallbacks section; bumping
-        # the constant without updating this pin is a schema change that
+    def test_schema_version_is_pinned_at_six(self):
+        # v6 introduced the required analysis section; bumping the
+        # constant without updating this pin is a schema change that
         # needs the validation rules revisited.
-        assert MANIFEST_SCHEMA_VERSION == 5
+        assert MANIFEST_SCHEMA_VERSION == 6
 
     def test_defaults_to_disabled(self):
         manifest = build_manifest(
@@ -315,7 +315,7 @@ class TestTimingSection:
         assert validate_manifest(manifest) == []
 
     def test_accepted_versions_pinned(self):
-        assert ACCEPTED_SCHEMA_VERSIONS == (3, 4, 5)
+        assert ACCEPTED_SCHEMA_VERSIONS == (3, 4, 5, 6)
 
 
 class TestEngineFallbacksSection:
@@ -383,8 +383,102 @@ class TestEngineFallbacksSection:
         assert validate_manifest(manifest) == []
 
 
+class TestAnalysisSection:
+    SECTION = {
+        "enabled": True,
+        "clean": True,
+        "sample": {"x": 5.0, "seed": 1},
+        "verdicts": [
+            {
+                "code": "ANA001",
+                "name": "conflict-mask-equivalence",
+                "passed": True,
+                "detail": "250 slot masks verified",
+            }
+        ],
+        "graph": {"n": 250, "n_classes": 49, "conflict_fraction": 0.4},
+        "cells": [
+            {
+                "cell": {"x": 5.0, "seed": 1},
+                "predicted": {"regime": "light", "cpu_utilization": 0.3},
+            }
+        ],
+    }
+
+    def test_defaults_to_disabled(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        assert manifest["analysis"] == {"enabled": False}
+        assert validate_manifest(manifest) == []
+
+    def test_embedded_section_validates(self):
+        manifest = build_manifest(
+            "fig4a",
+            "quick",
+            triples(),
+            registry_with_data().snapshot(),
+            analysis=self.SECTION,
+        )
+        assert validate_manifest(manifest) == []
+        assert manifest["analysis"] == self.SECTION
+
+    def test_missing_section_flagged_for_v6(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        del manifest["analysis"]
+        assert any(
+            "analysis" in problem for problem in validate_manifest(manifest)
+        )
+
+    def test_malformed_section_flagged(self):
+        manifest = build_manifest(
+            "fig4a",
+            "quick",
+            triples(),
+            registry_with_data().snapshot(),
+            analysis={"enabled": True, "clean": "yes", "verdicts": [],
+                      "graph": [], "cells": {}},
+        )
+        problems = validate_manifest(manifest)
+        assert any("analysis.clean" in p for p in problems)
+        assert any("analysis.verdicts" in p for p in problems)
+        assert any("analysis.graph" in p for p in problems)
+        assert any("analysis.cells" in p for p in problems)
+
+    def test_malformed_verdict_and_cell_entries_flagged(self):
+        section = {
+            "enabled": True,
+            "clean": True,
+            "verdicts": ["not-a-dict", {"code": "ANA001"}],
+            "graph": {},
+            "cells": ["not-a-dict", {"cell": {"x": 1.0}}],
+        }
+        manifest = build_manifest(
+            "fig4a",
+            "quick",
+            triples(),
+            registry_with_data().snapshot(),
+            analysis=section,
+        )
+        problems = validate_manifest(manifest)
+        assert any("verdicts[0] is not an object" in p for p in problems)
+        assert any("verdicts[1] missing 'passed'" in p for p in problems)
+        assert any("cells[0] is not an object" in p for p in problems)
+        assert any("cells[1] missing 'predicted'" in p for p in problems)
+
+    def test_v5_manifest_without_analysis_still_validates(self):
+        manifest = build_manifest(
+            "fig4a", "quick", triples(), registry_with_data().snapshot()
+        )
+        del manifest["analysis"]
+        manifest["schema"] = 5
+        assert validate_manifest(manifest) == []
+
+
 class TestGoldenFixtures:
-    """Committed manifest documents: v5 (current) and older layouts.
+    """Committed manifest documents: v6 (current) and older layouts.
 
     These pin the on-disk layout — regenerating them is a conscious
     schema change, not a side effect.
@@ -392,9 +486,26 @@ class TestGoldenFixtures:
 
     DATA = Path(__file__).parent / "data"
 
-    def test_golden_v5_validates(self):
+    def test_golden_v6_validates(self):
+        doc = load_manifest(self.DATA / "manifest_v6.json")
+        assert doc["schema"] == 6
+        assert validate_manifest(doc) == []
+        analysis = doc["analysis"]
+        assert analysis["enabled"] is True
+        assert analysis["clean"] is True
+        codes = [verdict["code"] for verdict in analysis["verdicts"]]
+        assert codes == [
+            "ANA001", "ANA002", "ANA003", "ANA004", "ANA005", "ANA006",
+        ]
+        assert all(verdict["passed"] for verdict in analysis["verdicts"])
+        assert analysis["cells"], "golden v6 must carry cell predictions"
+        predicted = analysis["cells"][0]["predicted"]
+        assert predicted["regime"] in {"light", "moderate", "saturated"}
+
+    def test_golden_v5_still_loads_and_validates(self):
         doc = load_manifest(self.DATA / "manifest_v5.json")
         assert doc["schema"] == 5
+        assert "analysis" not in doc
         assert validate_manifest(doc) == []
         assert len(doc["engine_fallbacks"]) == 1
         record = doc["engine_fallbacks"][0]

@@ -37,9 +37,10 @@ class TestReadme:
             first, second = match
             if first in ("all", "validate", "lint"):
                 continue  # subcommands/batch ids, not experiment ids
-            if first in ("trace", "certify", "profile"):
-                # `repro trace|certify|profile <experiment> ...` (certify
-                # also accepts flag-only forms like `--list-rules`)
+            if first in ("trace", "certify", "profile", "analyze"):
+                # `repro trace|certify|profile|analyze <experiment> ...`
+                # (certify/analyze also accept flag-only forms like
+                # `--list-rules` or `--workload`)
                 assert second in ALL_RUNNABLE or second.startswith("-"), (
                     f"README {first}s unknown id {second}"
                 )
