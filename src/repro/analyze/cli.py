@@ -28,10 +28,10 @@ from repro.analyze.equivalence import MUTATION_KINDS, parse_mutation
 from repro.analyze.report import render_json, render_text
 from repro.analyze.rules import all_rules
 from repro.checks.report import (
-    EXIT_CLEAN,
     EXIT_USAGE,
+    add_list_rules_flag,
+    handle_list_rules,
     print_report,
-    render_catalog,
     verdict_exit_code,
 )
 
@@ -111,11 +111,7 @@ def build_analyze_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="show per-verdict detail and per-cell predictions",
     )
-    parser.add_argument(
-        "--list-rules",
-        action="store_true",
-        help="print the analysis rule catalog and exit",
-    )
+    add_list_rules_flag(parser, what="analysis rule")
     return parser
 
 
@@ -123,9 +119,9 @@ def analyze_main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_analyze_parser().parse_args(
         list(argv) if argv is not None else None
     )
-    if args.list_rules:
-        print_report(render_catalog(all_rules()))
-        return EXIT_CLEAN
+    catalog_exit = handle_list_rules(args, all_rules())
+    if catalog_exit is not None:
+        return catalog_exit
 
     mutation = None
     if args.mutate is not None:

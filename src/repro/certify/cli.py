@@ -29,10 +29,10 @@ from repro.certify.report import (
 )
 from repro.certify.rules import all_rules
 from repro.checks.report import (
-    EXIT_CLEAN,
     EXIT_USAGE,
+    add_list_rules_flag,
+    handle_list_rules,
     print_report,
-    render_catalog,
     verdict_exit_code,
 )
 
@@ -132,11 +132,7 @@ def build_certify_parser() -> argparse.ArgumentParser:
         default="text",
         help="report format (default: text)",
     )
-    parser.add_argument(
-        "--list-rules",
-        action="store_true",
-        help="print the certifier rule catalog and exit",
-    )
+    add_list_rules_flag(parser, what="certifier rule")
     return parser
 
 
@@ -144,9 +140,9 @@ def certify_main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_certify_parser().parse_args(
         list(argv) if argv is not None else None
     )
-    if args.list_rules:
-        print_report(render_catalog(all_rules()))
-        return EXIT_CLEAN
+    catalog_exit = handle_list_rules(args, all_rules())
+    if catalog_exit is not None:
+        return catalog_exit
     if args.events is not None:
         return _certify_offline(args)
     if args.experiment is None:

@@ -22,8 +22,9 @@ from typing import Optional, Sequence
 from repro.checks.linter import lint_paths
 from repro.checks.report import (
     EXIT_USAGE,
+    add_list_rules_flag,
+    handle_list_rules,
     print_report,
-    render_catalog,
     render_json,
     render_text,
     verdict_exit_code,
@@ -73,11 +74,7 @@ def build_lint_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also list findings silenced by # repro: allow[...]",
     )
-    parser.add_argument(
-        "--list-rules",
-        action="store_true",
-        help="print the rule catalog and exit",
-    )
+    add_list_rules_flag(parser)
     return parser
 
 
@@ -85,9 +82,9 @@ def lint_main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_lint_parser().parse_args(
         list(argv) if argv is not None else None
     )
-    if args.list_rules:
-        print_report(render_catalog(all_rules()))
-        return 0
+    catalog_exit = handle_list_rules(args, all_rules())
+    if catalog_exit is not None:
+        return catalog_exit
     select = None
     if args.select is not None:
         select = [code.strip() for code in args.select.split(",") if code.strip()]

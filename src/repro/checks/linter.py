@@ -13,6 +13,9 @@ scope (see :mod:`repro.checks.rules`), and runs a single
 * ``DET006`` — ``os.environ`` reads outside ``experiments/``
 * ``DET007`` — ordering by string ``hash()`` (``key=hash``, ``hash(...)``
   in priority/key functions, str-keyed set-literal iteration)
+* ``DET008`` — plain-``dict`` lock/transaction-table views
+  (``.values()``/``.items()``/``.keys()``) consumed inside
+  scheduling-decision functions without an explicit ordering
 
 A finding on a line carrying ``# repro: allow[DET00x]`` (optionally a
 comma-separated list, optionally followed by a justification) is
@@ -131,6 +134,20 @@ _ENVIRON_CALLS = frozenset({"os.getenv"})
 #: DET007: sorters whose ``key=`` argument escapes into an ordering.
 _KEYED_SORTERS = frozenset({"sorted", "min", "max"})
 
+#: DET008: function names that make a scheduling decision.
+_DECISION_FUNC_RE = re.compile(
+    r"choose|dispatch|schedul|resolve|select|wound|preempt|pick",
+    re.IGNORECASE,
+)
+
+#: DET008: receiver names that smell like lock/transaction tables.
+_TABLE_NAME_RE = re.compile(
+    r"live|plist|lock|waiter|holder|blocked|table", re.IGNORECASE
+)
+
+#: DET008: dict-view methods whose order is insertion history.
+_DICT_VIEW_METHODS = frozenset({"values", "items", "keys"})
+
 
 @dataclasses.dataclass(frozen=True)
 class Finding:
@@ -231,11 +248,18 @@ def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
 class _FunctionScope:
     """Per-function assignment tracking for the heuristic rules."""
 
-    __slots__ = ("name", "is_key_func", "set_locals", "float_locals")
+    __slots__ = (
+        "name",
+        "is_key_func",
+        "is_decision_func",
+        "set_locals",
+        "float_locals",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.is_key_func = bool(_KEY_FUNC_RE.search(name))
+        self.is_decision_func = bool(_DECISION_FUNC_RE.search(name))
         self.set_locals: set[str] = set()
         self.float_locals: set[str] = set()
 
@@ -250,6 +274,8 @@ class _Checker(ast.NodeVisitor):
         #: local alias -> canonical dotted module/object path.
         self.aliases: dict[str, str] = {}
         self.scopes: list[_FunctionScope] = []
+        #: AST nodes fed to an order-insensitive consumer (DET008).
+        self._order_blessed: set[int] = set()
 
     # -- helpers -----------------------------------------------------------
 
@@ -410,6 +436,14 @@ class _Checker(ast.NodeVisitor):
     # -- calls (DET001/DET002/DET003/DET004/DET005/DET006) -----------------
 
     def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_INSENSITIVE_CONSUMERS
+            and node.func.id not in self.aliases
+        ):
+            for arg in node.args:
+                self._order_blessed.add(id(arg))
+        self._check_table_view(node)
         dotted = self._dotted(node.func)
 
         if dotted is not None:
@@ -480,6 +514,37 @@ class _Checker(ast.NodeVisitor):
                     f"use math.fsum)",
                 )
         self.generic_visit(node)
+
+    def _check_table_view(self, node: ast.Call) -> None:
+        """DET008: dict-view read of a lock/transaction table inside a
+        scheduling-decision function, unless an order-insensitive
+        consumer (``sorted``, ``min``, ``any``, ...) absorbs it."""
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _DICT_VIEW_METHODS
+            and not node.args
+            and not node.keywords
+        ):
+            return
+        scope = self._scope()
+        if scope is None or not scope.is_decision_func:
+            return
+        if id(node) in self._order_blessed:
+            return
+        receiver = self._dotted(func.value)
+        if receiver is None:
+            return
+        if not _TABLE_NAME_RE.search(receiver.rsplit(".", 1)[-1]):
+            return
+        self._emit(
+            node,
+            "DET008",
+            f"{receiver}.{func.attr}() inside {scope.name}(): plain-dict "
+            f"table order is insertion history (arrival/abort "
+            f"bookkeeping), not a tie-break; consume sorted(...) or "
+            f"reduce with an explicit priority key",
+        )
 
     def _check_hash_key(self, node: ast.Call) -> None:
         """DET007: a ``key=`` argument that orders by ``hash()``."""

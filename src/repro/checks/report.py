@@ -23,9 +23,10 @@ integrations parse it, and ``tests/checks/test_lint_cli.py`` pins it:
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Optional
 
 from repro.checks.linter import LintResult
 from repro.checks.rules import all_rules
@@ -88,6 +89,36 @@ def render_catalog(rules: Iterable[Any]) -> str:
         tag = f" [{scope.value}]" if scope is not None else ""
         lines.append(f"{rule.code}  {rule.name:<26}{tag}\n        {rule.summary}")
     return "\n".join(lines)
+
+
+def add_list_rules_flag(
+    parser: argparse.ArgumentParser, what: str = "rule"
+) -> None:
+    """Register the shared ``--list-rules`` flag on a check CLI parser.
+
+    Every check CLI (lint, certify, analyze, mc) exposes the same
+    catalog escape hatch; registering it here keeps flag name and help
+    wording identical everywhere.
+    """
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help=f"print the {what} catalog and exit",
+    )
+
+
+def handle_list_rules(args: argparse.Namespace, rules: Iterable[Any]) -> Optional[int]:
+    """The shared ``--list-rules`` short-circuit.
+
+    Returns :data:`EXIT_CLEAN` when the flag was given (after printing
+    the catalog), ``None`` otherwise — callers write
+    ``if (code := handle_list_rules(args, all_rules())) is not None:
+    return code`` and carry on.
+    """
+    if getattr(args, "list_rules", False):
+        print_report(render_catalog(rules))
+        return EXIT_CLEAN
+    return None
 
 
 def render_text(result: LintResult, verbose: bool = False) -> str:

@@ -197,3 +197,27 @@ DET007 = register(
         scope=Scope.SIM_PATH,
     )
 )
+
+DET008 = register(
+    Rule(
+        code="DET008",
+        name="dict-table-scheduling-iteration",
+        summary=(
+            "plain-dict lock/transaction table iterated in a "
+            "scheduling decision"
+        ),
+        rationale=(
+            "dict iteration order is insertion history: for the live "
+            "table, the lock table, and the P-list that means arrival "
+            "and abort bookkeeping, not a documented tie-break.  A "
+            "scheduling decision that consumes candidates in table "
+            "order silently changes schedules whenever bookkeeping "
+            "changes the insertion order (re-admission, restart "
+            "incarnations, table compaction).  Consume a sorted(...) "
+            "view or reduce with an explicit priority key, or attach a "
+            "suppression naming the ordering that makes table order "
+            "irrelevant."
+        ),
+        scope=Scope.SIM_PATH,
+    )
+)

@@ -205,9 +205,22 @@ class Sanitizer:
         primary = choose_primary(sim.live.values(), sim._selection_key)
         if primary is None or primary.tid == tx.tid:
             return
+        # Equal policy priority means ``tx`` is itself an admissible
+        # primary: the tid component of the selection key is a
+        # determinism device, not a paper-mandated order, and the model
+        # checker legitimately dispatches any member of the top tie
+        # group.
+        if sim._policy_priority(primary) == sim._policy_priority(tx):
+            return
         # ``tx`` outranked by ``primary`` yet dispatched: it is a
-        # secondary, legal only while the primary waits for IO ...
-        if primary.state is not TxState.IO_WAIT:
+        # secondary, legal only while the primary — any top-tied
+        # admissible one — waits for IO ...
+        top = sim._policy_priority(primary)
+        if not any(
+            other.state is TxState.IO_WAIT
+            for other in sim.live.values()
+            if sim._policy_priority(other) == top
+        ):
             self._fail(
                 "RTS006",
                 f"secondary {tx.tid} dispatched while primary "

@@ -29,6 +29,13 @@ Examples::
                                    # against observed miss rates
     repro fig4a --sanitize         # validate every event against the
                                    # paper's invariants (RTSan)
+    repro mc all                   # model-check every bundled workload
+                                   # under every policy (Theorems 1-2
+                                   # over all interleavings)
+    repro mc --mutate all          # every seeded scheduler bug must be
+                                   # caught with a minimal counterexample
+    repro replay results/mc/...    # re-run a counterexample bundle and
+                                   # verify it reproduces bit-for-bit
     repro bench                    # time reference vs kernel engine on
                                    # fig4a cells (see repro.bench)
     repro bench --check            # gate against the committed
@@ -363,6 +370,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.analyze.cli import analyze_main
 
         return analyze_main(argv[1:])
+    if argv and argv[0] == "mc":
+        from repro.modelcheck.cli import mc_main
+
+        return mc_main(argv[1:])
     if argv and argv[0] == "bench":
         from repro.bench import bench_main
 
@@ -929,28 +940,32 @@ def profile_main(argv: Sequence[str]) -> int:
 
 
 # ---------------------------------------------------------------------------
-# `repro replay` — reproduce a quarantined cell failure bit-for-bit
+# `repro replay` — reproduce a bundled failure bit-for-bit
 # ---------------------------------------------------------------------------
 
 def build_replay_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro replay",
         description=(
-            "Replay a quarantine bundle written by the engine-fallback "
-            "path: rebuild the failed cell's exact configuration, seed, "
-            "policy, and fault schedule from the bundle, re-run it on "
-            "the kernel engine, and verify the failure reproduces "
-            "bit-for-bit (same exception, same message, same trace "
-            "tail).  Exit 0 when it matches, 1 when it does not "
-            "(the defect is fixed, or drifted), 2 on a bad bundle."
+            "Replay a failure bundle bit-for-bit.  Quarantine bundles "
+            "(engine-fallback path): rebuild the failed cell's exact "
+            "configuration, seed, policy, and fault schedule, re-run it "
+            "on the kernel engine, and verify the same exception, "
+            "message, and trace tail.  Model-check bundles (repro mc "
+            "counterexamples): replay the recorded choice vector "
+            "through the controlled engine and verify the same rule "
+            "fires with an identical trace digest.  Exit 0 when it "
+            "matches, 1 when it does not (the defect is fixed, or "
+            "drifted), 2 on a bad bundle."
         ),
     )
     parser.add_argument(
         "bundle",
         type=Path,
         help=(
-            "a quarantine bundle directory (or its bundle.json) under "
-            "the sweep's --quarantine-dir (default results/quarantine/)"
+            "a bundle directory (or its bundle.json): a quarantine "
+            "bundle under results/quarantine/ or a model-check "
+            "counterexample under results/mc/"
         ),
     )
     parser.add_argument(
@@ -966,8 +981,11 @@ def replay_main(argv: Sequence[str]) -> int:
     import json
 
     from repro.experiments.quarantine import load_bundle, replay_bundle
+    from repro.modelcheck.bundle import MC_BUNDLE_KIND, bundle_kind
 
     args = build_replay_parser().parse_args(argv)
+    if bundle_kind(args.bundle) == MC_BUNDLE_KIND:
+        return _replay_mc(args)
     try:
         doc = load_bundle(args.bundle)
     except (OSError, ValueError) as exc:
@@ -1010,6 +1028,54 @@ def replay_main(argv: Sequence[str]) -> int:
     print(f"  actual:   {actual['exception']}: {actual['message']}")
     if not report["tail_matched"]:
         print("  trace tails differ")
+    return 1
+
+
+def _replay_mc(args) -> int:
+    """Replay a model-check counterexample bundle (kind repro-mc-bundle)."""
+    import json
+
+    from repro.modelcheck.bundle import replay_mc_bundle
+    from repro.modelcheck.decider import ReplayDivergence
+
+    try:
+        report = replay_mc_bundle(args.bundle)
+    except (OSError, ValueError, KeyError, ReplayDivergence) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["matched"] else 1
+    mutant = f" mutant={report['mutant']}" if report["mutant"] else ""
+    schedule = ",".join(str(c) for c in report["choices"]) or "<default>"
+    print(
+        f"bundle {args.bundle}: model-check counterexample, "
+        f"policy={report['policy']}{mutant} schedule=[{schedule}]"
+    )
+    expected = report["expected"]
+    print(
+        f"recorded violation: {expected['rule']} (via "
+        f"{expected['source']}) at t={expected['time']:g}: "
+        f"{expected['message']}"
+    )
+    if report["matched"]:
+        print(
+            f"REPRODUCED: {report['actual']['rule']} — rule, source, "
+            "and full trace digest all match the bundle"
+        )
+        return 0
+    actual = report["actual"]
+    print("NOT REPRODUCED:")
+    print(f"  expected: {expected['rule']} via {expected['source']}")
+    if actual is None:
+        print("  actual:   clean run (no violation)")
+    else:
+        print(f"  actual:   {actual['rule']} via {actual['source']}")
+    if not report["trace_matched"]:
+        print(
+            f"  trace digests differ ({report['expected_digest'][:12]} "
+            f"vs {report['actual_digest'][:12]})"
+        )
     return 1
 
 

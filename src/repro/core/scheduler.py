@@ -52,6 +52,28 @@ def choose_primary(
     return best
 
 
+def tie_group(
+    candidates: Iterable[Transaction],
+    key: PriorityKey,
+    tie_key: PriorityKey,
+) -> list[Transaction]:
+    """All candidates tied with the winner under ``tie_key``, best first.
+
+    ``key`` is the full deterministic dispatch order (policy priority
+    plus tid tie-break); ``tie_key`` the *policy* priority alone.  The
+    returned group contains every candidate whose ``tie_key`` equals the
+    winner's, sorted by ``key`` descending — so element 0 is exactly
+    what :func:`choose_primary` would pick, and the rest are the equally
+    admissible resolutions a model checker must also explore.  Empty
+    input yields an empty list.
+    """
+    ranked = sorted(candidates, key=key, reverse=True)
+    if not ranked:
+        return []
+    top = tie_key(ranked[0])
+    return [tx for tx in ranked if tie_key(tx) == top]
+
+
 def is_compatible(
     tx: Transaction,
     partially_executed: Sequence[Transaction],

@@ -340,17 +340,7 @@ class RTDBSimulator:
                 self.trace = fanout(trace, self.sanitizer.on_trace)
         self.cpu = Cpu()
         self.disk: Optional[Disk] = (
-            Disk(
-                self.sim,
-                self._on_io_complete,
-                order_key=(
-                    self._priority_key
-                    if config.disk_scheduling == "priority"
-                    else None
-                ),
-            )
-            if config.disk_resident
-            else None
+            self._make_disk() if config.disk_resident else None
         )
 
         self.live: dict[int, Transaction] = {}
@@ -369,6 +359,23 @@ class RTDBSimulator:
         self._plist_area = 0.0
         self._plist_changed_at = 0.0
         self._finished = False
+
+    def _make_disk(self) -> Disk:
+        """Build the single disk of the disk-resident configuration.
+
+        A seam for controlled variants (the model checker's engine
+        overrides it to install a queue-tie chooser); the default wires
+        the configured service discipline exactly as before.
+        """
+        return Disk(
+            self.sim,
+            self._on_io_complete,
+            order_key=(
+                self._priority_key
+                if self.config.disk_scheduling == "priority"
+                else None
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -647,7 +654,7 @@ class RTDBSimulator:
         tx_key = self._priority_key(tx)
         victims = [
             other
-            for other in self._plist.values()
+            for other in self._plist.values()  # repro: allow[DET008] -- same-instant wounds; P-list order is admission order, stable in (config, seed, policy)
             if other.tid != tx.tid
             and self.oracle.safety(other, tx) is Safety.UNSAFE
             and self._priority_key(other) < tx_key
@@ -660,7 +667,7 @@ class RTDBSimulator:
     def _choose(self) -> Optional[Transaction]:
         runnable = [
             tx
-            for tx in self.live.values()
+            for tx in self.live.values()  # repro: allow[DET008] -- order-insensitive: choose_* reduce by the total selection key (priority, tid)
             if tx.state in (TxState.READY, TxState.RUNNING)
         ]
         if not runnable:
@@ -670,7 +677,7 @@ class RTDBSimulator:
             # The primary transaction is the highest-priority live
             # transaction (lock waits cannot exist under pre-analysis
             # policies, so everyone but IO waiters is runnable).
-            primary = choose_primary(self.live.values(), key)
+            primary = choose_primary(self.live.values(), key)  # repro: allow[DET008] -- order-insensitive: choose_primary reduces by the total selection key
             if primary is not None and primary.state in (
                 TxState.READY,
                 TxState.RUNNING,
@@ -678,7 +685,7 @@ class RTDBSimulator:
                 return primary
             # Primary is waiting for IO: IOwait-schedule.
             secondary = choose_secondary(
-                runnable, list(self._plist.values()), self.oracle, key
+                runnable, list(self._plist.values()), self.oracle, key  # repro: allow[DET008] -- order-insensitive: the P-list is only probed for compatibility
             )
             if self._m is not None:
                 self._m.iowait_decisions.inc()

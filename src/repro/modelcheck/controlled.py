@@ -1,0 +1,249 @@
+"""The controlled engine: the reference simulator under a decider.
+
+:class:`ControlledSimulator` is the real
+:class:`~repro.core.simulator.RTDBSimulator` — same event handlers, same
+lock manager, same policies — with every *fixed* resolution of a
+genuine nondeterminism point replaced by a decider consultation:
+
+* **dispatch / primary / secondary ties** — transactions tied on policy
+  priority (the ``-tid`` component of the selection key is a
+  determinism device, not a paper-mandated order);
+* **event-order** — live calendar events sharing one simulated instant
+  (simultaneous arrivals, an IO completion racing a phase completion);
+* **disk** — queued IO requests the service discipline cannot order
+  (same enqueue instant under FCFS, equal policy priority under
+  priority service).
+
+Option 0 of every consultation is the engine's default resolution, so a
+:class:`~repro.modelcheck.decider.ScriptedDecider` with an empty prefix
+reproduces the deterministic schedule bit for bit — the membership
+property the cross-validation tests pin.
+
+Runs are always sanitized (RTSan validates Theorems 1-2 and the lock
+table after every event); on top the controlled engine checks two
+predicates RTSan does not: no stranded ``LOCK_BLOCKED`` transaction
+(a lost wake-up) and no wait-for cycle (deadlock), raising
+:class:`ModelCheckViolation` with the MC rule code directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.core.policy import PriorityPolicy
+from repro.core.scheduler import is_compatible, tie_group
+from repro.core.simulator import RTDBSimulator
+from repro.modelcheck.decider import Option, ScriptedDecider
+from repro.rtdb.disk import Disk, DiskRequest
+from repro.rtdb.transaction import Transaction, TransactionSpec, TxState
+from repro.sim.events import Event
+
+
+class ModelCheckViolation(RuntimeError):
+    """A model-checked invariant failed during an explored schedule."""
+
+    def __init__(
+        self,
+        rule: str,
+        message: str,
+        *,
+        time: float = 0.0,
+        tids: Iterable[int] = (),
+    ) -> None:
+        self.rule = rule
+        self.time = time
+        self.tids = tuple(tids)
+        self.raw_message = message
+        super().__init__(f"{rule} at t={time:g}: {message}")
+
+
+def _event_tid(event: Event) -> Optional[int]:
+    """The transaction a calendar event concerns, when identifiable."""
+    payload = event.payload
+    if isinstance(payload, int):
+        return payload  # firm_deadline carries the tid itself
+    if isinstance(payload, (Transaction, TransactionSpec)):
+        return payload.tid
+    if isinstance(payload, DiskRequest):
+        return payload.tx.tid
+    tx = getattr(payload, "tx", None)
+    if tx is not None and hasattr(tx, "tid"):
+        return tx.tid
+    return None
+
+
+class ControlledSimulator(RTDBSimulator):
+    """The reference engine with decider-resolved nondeterminism."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        workload: Sequence[TransactionSpec],
+        policy: PriorityPolicy,
+        decider: ScriptedDecider,
+        **kwargs: object,
+    ) -> None:
+        self.decider = decider
+        kwargs.setdefault("sanitize", True)
+        super().__init__(config, workload, policy, **kwargs)  # type: ignore[arg-type]
+        self.sim.tie_breaker = self._pick_event
+        inner = self.sim.on_event  # the sanitizer's post-event hook
+
+        def _on_event(event: Event) -> None:
+            if inner is not None:
+                inner(event)
+            self._check_blocked_states()
+
+        self.sim.on_event = _on_event
+
+    # -- choice plumbing ---------------------------------------------------
+
+    def _pick_tx(
+        self, kind: str, group: Sequence[Transaction]
+    ) -> Optional[Transaction]:
+        """Resolve a transaction tie group (default pick first)."""
+        if not group:
+            return None
+        if len(group) == 1:
+            return group[0]
+        options = [Option(label=f"tx{tx.tid}", tid=tx.tid) for tx in group]
+        return group[self.decider.choose(kind, self.sim.now, options)]
+
+    def _pick_event(self, ties: list[Event]) -> Event:
+        """Resolve a simultaneous-event group (engine tie hook)."""
+        options = []
+        for event in ties:
+            tid = _event_tid(event)
+            suffix = f":tx{tid}" if tid is not None else ""
+            options.append(Option(label=f"{event.kind}{suffix}", tid=tid))
+        return ties[self.decider.choose("event-order", ties[0].time, options)]
+
+    def _pick_disk_request(self, ties: list[DiskRequest]) -> DiskRequest:
+        """Resolve a disk-queue tie group (disk tie hook)."""
+        options = [
+            Option(label=f"io:tx{req.tx.tid}", tid=req.tx.tid) for req in ties
+        ]
+        return ties[self.decider.choose("disk", self.sim.now, options)]
+
+    # -- engine seams ------------------------------------------------------
+
+    def _make_disk(self) -> Disk:
+        priority = self.config.disk_scheduling == "priority"
+        return Disk(
+            self.sim,
+            self._on_io_complete,
+            order_key=self._priority_key if priority else None,
+            tie_key=self._policy_priority if priority else None,
+            tie_chooser=self._pick_disk_request,
+        )
+
+    def _choose(self) -> Optional[Transaction]:
+        runnable = [
+            tx
+            for tx in self.live.values()  # repro: allow[DET008] -- mirrors the engine; ties are decider-resolved
+            if tx.state in (TxState.READY, TxState.RUNNING)
+        ]
+        if not runnable:
+            return None
+        key, tie = self._selection_key, self._policy_priority
+        if self.policy.uses_pre_analysis and self.disk is not None:
+            primary = self._pick_tx(
+                "primary", tie_group(self.live.values(), key, tie)
+            )
+            if primary is not None and primary.state in (
+                TxState.READY,
+                TxState.RUNNING,
+            ):
+                return primary
+            return self._choose_secondary(runnable)
+        return self._pick_tx("dispatch", tie_group(runnable, key, tie))
+
+    def _choose_secondary(
+        self, runnable: Sequence[Transaction]
+    ) -> Optional[Transaction]:
+        """``IOwait-schedule`` with the candidate tie decider-resolved.
+
+        A seam the conflict-blind mutant overrides.
+        """
+        partially = list(self._plist.values())
+        compatible = [
+            tx
+            for tx in runnable
+            if is_compatible(tx, partially, self.oracle)
+        ]
+        return self._pick_tx(
+            "secondary",
+            tie_group(compatible, self._selection_key, self._policy_priority),
+        )
+
+    # -- extra per-event state predicates ----------------------------------
+
+    def _check_blocked_states(self) -> None:
+        """MC003: every blocked transaction is still queued; MC004: the
+        wait-for relation is acyclic."""
+        blocked = [
+            self.live[tid]
+            for tid in sorted(self.live)
+            if self.live[tid].state is TxState.LOCK_BLOCKED
+        ]
+        for tx in blocked:
+            item = tx.blocked_on
+            queued = item is not None and any(
+                waiter.tid == tx.tid for waiter in self.lockmgr.waiters(item)
+            )
+            if not queued:
+                raise ModelCheckViolation(
+                    "MC003",
+                    f"transaction {tx.tid} is lock-blocked on item "
+                    f"{item} but no longer queued there; its wake-up "
+                    f"was lost",
+                    time=self.sim.now,
+                    tids=(tx.tid,),
+                )
+        cycle = self._wait_cycle(blocked)
+        if cycle:
+            raise ModelCheckViolation(
+                "MC004",
+                f"wait-for cycle {' -> '.join(f'tx{t}' for t in cycle)}; "
+                f"the scheduler failed to break a deadlock at creation",
+                time=self.sim.now,
+                tids=cycle,
+            )
+
+    def _wait_cycle(
+        self, blocked: Sequence[Transaction]
+    ) -> tuple[int, ...]:
+        """A wait-for cycle among ``blocked``, or ``()`` if none."""
+        edges: dict[int, list[int]] = {}
+        for tx in blocked:
+            if tx.blocked_on is None:
+                continue
+            edges[tx.tid] = sorted(
+                holder.tid for holder in self.lockmgr.holders(tx.blocked_on)
+            )
+        state: dict[int, int] = {}  # 1 = on stack, 2 = done
+        for root in sorted(edges):
+            if state.get(root):
+                continue
+            stack: list[tuple[int, int]] = [(root, 0)]
+            path = [root]
+            state[root] = 1
+            while stack:
+                node, next_index = stack.pop()
+                successors = edges.get(node, ())
+                if next_index < len(successors):
+                    stack.append((node, next_index + 1))
+                    succ = successors[next_index]
+                    mark = state.get(succ)
+                    if mark == 1:
+                        return tuple(path[path.index(succ):] + [succ])
+                    if mark is None and succ in edges:
+                        state[succ] = 1
+                        path.append(succ)
+                        stack.append((succ, 0))
+                else:
+                    state[node] = 2
+                    if path and path[-1] == node:
+                        path.pop()
+        return ()

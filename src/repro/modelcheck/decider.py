@@ -1,0 +1,90 @@
+"""Choice points and the scripted decider that resolves them.
+
+The controlled engine consults a decider at every genuine
+nondeterminism point — equal-priority dispatch ties, IOwait-schedule
+candidate ties, simultaneous calendar events, disk-queue ties — instead
+of applying its fixed resolution.  A :class:`ScriptedDecider` follows a
+prescribed choice prefix and takes option 0 (always the engine's
+default resolution, by construction of every option list) beyond it, so
+
+* the empty prefix replays the deterministic engine's schedule bit for
+  bit, and
+* any explored schedule is fully named by its choice-index sequence,
+  which is what counterexample bundles record and replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Option:
+    """One admissible resolution of a choice point."""
+
+    label: str
+    """Human-readable name (``tx3``, ``arrival#2`` ...), stable across
+    replays — bundles serialize it."""
+    tid: Optional[int]
+    """The transaction this option concerns, when one exists; the
+    partial-order reduction keys on it."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ChoiceRecord:
+    """One resolved choice point, as recorded during a run."""
+
+    kind: str
+    """``dispatch`` | ``primary`` | ``secondary`` | ``event-order`` |
+    ``disk``."""
+    time: float
+    options: tuple[Option, ...]
+    chosen: int
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "chosen": self.chosen,
+            "options": [opt.label for opt in self.options],
+        }
+
+
+class ReplayDivergence(RuntimeError):
+    """A scripted prefix no longer matches the engine's choice points.
+
+    Given a fixed workload, config, policy and mutant, the controlled
+    engine is a pure function of its choice sequence; divergence means
+    the bundle and the code drifted apart (or the prefix is corrupt).
+    """
+
+
+class ScriptedDecider:
+    """Resolves choice points from a prefix, defaulting to option 0."""
+
+    def __init__(self, prefix: Sequence[int] = ()) -> None:
+        self.prefix = tuple(prefix)
+        self.trail: list[ChoiceRecord] = []
+
+    def choose(self, kind: str, time: float, options: Sequence[Option]) -> int:
+        """Pick one option; records the decision on the trail."""
+        index = len(self.trail)
+        chosen = self.prefix[index] if index < len(self.prefix) else 0
+        if not 0 <= chosen < len(options):
+            raise ReplayDivergence(
+                f"choice {index} ({kind} at t={time:g}) has "
+                f"{len(options)} option(s) but the script says "
+                f"{chosen}; the schedule script does not fit this run"
+            )
+        self.trail.append(
+            ChoiceRecord(
+                kind=kind, time=time, options=tuple(options), chosen=chosen
+            )
+        )
+        return chosen
+
+    @property
+    def choices(self) -> tuple[int, ...]:
+        """The full choice vector this run actually took."""
+        return tuple(record.chosen for record in self.trail)

@@ -1,0 +1,384 @@
+"""Bounded exhaustive exploration of the schedule space.
+
+The explorer enumerates every reachable schedule of a small workload
+under one policy by stateless depth-first search over *choice vectors*:
+a schedule is named by the sequence of option indices taken at each
+nondeterminism point, the empty vector is the deterministic engine's
+schedule, and expanding a finished run's trail one position at a time
+visits each node of the choice tree exactly once.
+
+Every run is fully checked — RTSan invariants after every event
+(Theorems 1-2, lock table, priority order, ``IOwait-schedule``), the
+controlled engine's stranded-waiter and wait-for-cycle predicates, and
+the offline certifier over each terminal history — so a clean
+exploration is a proof, up to the depth bound, that the properties hold
+on **all** interleavings, not one trace.
+
+Partial-order reduction prunes alternatives that provably commute with
+the default: swapping two transactions that share no conflicting
+declared access (by the :class:`~repro.core.masks.SpecMasks` relation —
+the same one the scheduler itself consults) cannot change any checked
+predicate, because every rule is invariant under reordering of
+non-conflicting actions.  It is a static, conservative filter — options
+without an attributable transaction are always explored — and
+``por=False`` re-enables the naive search for measuring the savings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.core.masks import SpecMasks
+from repro.core.policy import make_policy
+from repro.certify.certifier import certify_events
+from repro.checks.violations import InvariantViolation
+from repro.modelcheck.controlled import ControlledSimulator, ModelCheckViolation
+from repro.modelcheck.decider import ChoiceRecord, ReplayDivergence, ScriptedDecider
+from repro.modelcheck.mutants import MutantSpec
+from repro.modelcheck.rules import RTS_TO_MC
+from repro.rtdb.transaction import TransactionSpec
+from repro.sim.engine import BudgetExceeded
+from repro.tracing import EventLog
+
+#: Ceiling on schedules per exploration — a guard against state-space
+#: blowup on workloads larger than the checker is meant for, reported as
+#: truncation (never silently).
+DEFAULT_MAX_SCHEDULES = 20000
+
+#: Default bound on the choice-vector length the DFS branches over.
+DEFAULT_DEPTH = 24
+
+
+@dataclasses.dataclass(frozen=True)
+class ViolationInfo:
+    """One failed invariant on one explored schedule."""
+
+    rule: str
+    """MC rule code (MC001-MC006)."""
+    source: str
+    """Where it was detected: an RTSan code (``RTS00x``), a certifier
+    code (``CERT00x``), ``state-check`` for the controlled engine's own
+    predicates, or ``liveness`` for a run that never terminated."""
+    message: str
+    time: float = 0.0
+    tids: tuple[int, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "source": self.source,
+            "message": self.message,
+            "time": self.time,
+            "tids": list(self.tids),
+        }
+
+
+@dataclasses.dataclass
+class ScheduleRun:
+    """One fully executed (or violation-terminated) schedule."""
+
+    choices: tuple[int, ...]
+    """The full choice vector the run actually took."""
+    trail: tuple[ChoiceRecord, ...]
+    violation: Optional[ViolationInfo]
+    events: list[dict]
+    """Flattened trace events (the certifier's and the bundle's input)."""
+    n_committed: int = 0
+
+
+@dataclasses.dataclass
+class Counterexample:
+    """A minimal violating schedule, ready for bundling."""
+
+    violation: ViolationInfo
+    choices: tuple[int, ...]
+    """Greedily 1-minimized choice vector (trailing defaults stripped)."""
+    raw_choices: tuple[int, ...]
+    """The vector the DFS first found the violation on."""
+    trail: tuple[ChoiceRecord, ...]
+    events: list[dict]
+
+
+@dataclasses.dataclass
+class Exploration:
+    """The verdict of one (workload, policy, mutant) exploration."""
+
+    workload: str
+    policy: str
+    mutant: Optional[str]
+    schedules: int = 0
+    events_total: int = 0
+    choice_points: int = 0
+    """Length of the longest choice trail seen."""
+    por: bool = True
+    por_skipped: int = 0
+    """Alternatives pruned as commuting with the default."""
+    truncated: bool = False
+    """True when the depth bound or schedule ceiling cut branches off —
+    the clean verdict is then bounded, not total."""
+    counterexample: Optional[Counterexample] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.counterexample is None
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "policy": self.policy,
+            "mutant": self.mutant,
+            "schedules": self.schedules,
+            "events_total": self.events_total,
+            "choice_points": self.choice_points,
+            "por": self.por,
+            "por_skipped": self.por_skipped,
+            "truncated": self.truncated,
+            "clean": self.clean,
+            "counterexample": (
+                None
+                if self.counterexample is None
+                else {
+                    "violation": self.counterexample.violation.to_dict(),
+                    "choices": list(self.counterexample.choices),
+                    "raw_choices": list(self.counterexample.raw_choices),
+                    "trail": [
+                        record.to_dict()
+                        for record in self.counterexample.trail
+                    ],
+                }
+            ),
+        }
+
+
+def run_schedule(
+    config: SimulationConfig,
+    specs: Sequence[TransactionSpec],
+    policy_name: str,
+    prefix: Sequence[int] = (),
+    mutant: Optional[MutantSpec] = None,
+    max_events: int = 100_000,
+) -> ScheduleRun:
+    """Execute one schedule named by ``prefix`` and check everything.
+
+    The run is sanitized, the controlled engine's state predicates fire
+    after every event, and — if the run terminates cleanly — the full
+    event history goes through the offline certifier.  Violations are
+    returned, never raised; :class:`ReplayDivergence` (a prefix that no
+    longer fits the engine) does propagate, since it means the caller's
+    script is stale, not that the schedule is buggy.
+    """
+    log = EventLog()
+    decider = ScriptedDecider(prefix)
+    sim_cls = mutant.simulator if mutant is not None else ControlledSimulator
+    policy = make_policy(policy_name)
+    sim = sim_cls(
+        config, specs, policy, decider, trace=log, max_events=max_events
+    )
+    violation: Optional[ViolationInfo] = None
+    n_committed = 0
+    try:
+        result = sim.run()
+        n_committed = result.n_committed
+    except InvariantViolation as exc:
+        violation = ViolationInfo(
+            rule=RTS_TO_MC[exc.code],
+            source=exc.code,
+            message=exc.raw_message,
+            time=exc.time,
+            tids=exc.tids,
+        )
+    except ModelCheckViolation as exc:
+        violation = ViolationInfo(
+            rule=exc.rule,
+            source="state-check",
+            message=exc.raw_message,
+            time=exc.time,
+            tids=exc.tids,
+        )
+    except ReplayDivergence:
+        raise  # stale script, not a scheduling bug — the caller decides
+    except BudgetExceeded as exc:
+        violation = ViolationInfo(
+            rule="MC004",
+            source="liveness",
+            message=f"event budget exhausted without termination: {exc}",
+            time=sim.sim.now,
+        )
+    except RuntimeError as exc:
+        # The engine's own liveness backstops: uncommitted transactions
+        # after the calendar drained, or locks left held at the end.
+        violation = ViolationInfo(
+            rule="MC004",
+            source="liveness",
+            message=str(exc),
+            time=sim.sim.now,
+            tids=tuple(sorted(sim.live)),
+        )
+    if violation is None:
+        cert = certify_events(log.events, specs, policy_name)
+        if not cert.certified:
+            worst = cert.violations[0]
+            violation = ViolationInfo(
+                rule="MC005",
+                source=worst.code,
+                message=worst.message,
+                time=worst.time if worst.time is not None else 0.0,
+                tids=worst.tids,
+            )
+    return ScheduleRun(
+        choices=decider.choices,
+        trail=tuple(decider.trail),
+        violation=violation,
+        events=log.events,
+        n_committed=n_committed,
+    )
+
+
+class _ConflictFilter:
+    """Static commutation test over the workload's declared sets."""
+
+    def __init__(self, specs: Sequence[TransactionSpec], db_size: int) -> None:
+        masks = SpecMasks.from_specs(specs, db_size)
+        self._data = {
+            spec.tid: masks.data[slot] for slot, spec in enumerate(specs)
+        }
+        self._write = {
+            spec.tid: masks.write[slot] for slot, spec in enumerate(specs)
+        }
+
+    def conflicts(self, tid_a: Optional[int], tid_b: Optional[int]) -> bool:
+        """Conservative: unknown or same transactions always conflict."""
+        if tid_a is None or tid_b is None or tid_a == tid_b:
+            return True
+        return bool(
+            self._write[tid_a] & self._data[tid_b]
+            or self._data[tid_a] & self._write[tid_b]
+        )
+
+
+def _por_prunes(
+    record: ChoiceRecord, alt: int, conflict: _ConflictFilter
+) -> bool:
+    """True when taking ``alt`` provably commutes with every option the
+    default resolution would schedule first.
+
+    Option lists are priority-ranked: choosing index ``alt`` over the
+    default merely reorders ``alt``'s transaction ahead of options
+    ``0..alt-1``.  If it conflicts with none of them (statically, by
+    declared sets), both orders produce equal histories up to swapping
+    independent actions, and every MC rule is invariant under that swap.
+    """
+    chosen = record.options[alt].tid
+    return all(
+        not conflict.conflicts(chosen, record.options[earlier].tid)
+        for earlier in range(alt)
+    )
+
+
+def explore(
+    config: SimulationConfig,
+    specs: Sequence[TransactionSpec],
+    policy_name: str,
+    *,
+    workload_name: str = "<custom>",
+    mutant: Optional[MutantSpec] = None,
+    depth: int = DEFAULT_DEPTH,
+    por: bool = True,
+    max_schedules: int = DEFAULT_MAX_SCHEDULES,
+    minimize: bool = True,
+) -> Exploration:
+    """Exhaustively check every reachable schedule up to ``depth``.
+
+    Stops at the first violation (after greedily minimizing its choice
+    vector); a clean return with ``truncated=False`` means every
+    reachable schedule of the workload passed every MC rule.
+    """
+    out = Exploration(
+        workload=workload_name,
+        policy=policy_name,
+        mutant=mutant.name if mutant is not None else None,
+        por=por,
+    )
+    conflict = _ConflictFilter(specs, config.db_size)
+
+    def run(prefix: Sequence[int]) -> ScheduleRun:
+        return run_schedule(config, specs, policy_name, prefix, mutant)
+
+    stack: list[tuple[int, ...]] = [()]
+    while stack:
+        if out.schedules >= max_schedules:
+            out.truncated = True
+            break
+        prefix = stack.pop()
+        result = run(prefix)
+        out.schedules += 1
+        out.events_total += len(result.events)
+        out.choice_points = max(out.choice_points, len(result.trail))
+        if result.violation is not None:
+            out.counterexample = _minimal_counterexample(
+                run, result, minimize=minimize
+            )
+            break
+        if len(result.trail) > depth:
+            out.truncated = True
+        horizon = min(len(result.trail), depth)
+        # Expand in reverse so the DFS visits low indices first.
+        for i in range(horizon - 1, len(prefix) - 1, -1):
+            record = result.trail[i]
+            base = tuple(r.chosen for r in result.trail[:i])
+            for alt in range(len(record.options) - 1, 0, -1):
+                if por and _por_prunes(record, alt, conflict):
+                    out.por_skipped += 1
+                    continue
+                stack.append(base + (alt,))
+    return out
+
+
+def _minimal_counterexample(
+    run: Callable[[Sequence[int]], ScheduleRun],
+    found: ScheduleRun,
+    *,
+    minimize: bool = True,
+) -> Counterexample:
+    """Greedy 1-minimal shrink: reset non-default choices to 0 while the
+    same rule still fires, then strip trailing defaults."""
+    assert found.violation is not None
+    rule = found.violation.rule
+    best = found
+    current = list(found.choices)
+    if minimize:
+        improved = True
+        while improved:
+            improved = False
+            for j, value in enumerate(current):
+                if value == 0:
+                    continue
+                trial = list(current)
+                trial[j] = 0
+                try:
+                    result = run(trial)
+                except ReplayDivergence:
+                    continue
+                if (
+                    result.violation is not None
+                    and result.violation.rule == rule
+                ):
+                    current = list(result.choices)
+                    best = result
+                    improved = True
+                    break
+    choices = list(best.choices)
+    while choices and choices[-1] == 0:
+        choices.pop()
+    if tuple(choices) != best.choices:
+        best = run(choices)
+        assert best.violation is not None and best.violation.rule == rule
+    return Counterexample(
+        violation=best.violation,  # type: ignore[arg-type]
+        choices=tuple(choices),
+        raw_choices=found.choices,
+        trail=best.trail,
+        events=best.events,
+    )

@@ -1,0 +1,181 @@
+"""Seeded scheduler bugs the model checker must catch.
+
+Each mutant is a :class:`ControlledSimulator` subclass with exactly one
+scheduling rule broken — the classic mutation-testing probe for a
+checker's teeth.  The clean engine passes ``repro mc`` on every bundled
+workload; every mutant here must *fail* it (exit 1) with a minimal,
+replayable counterexample, and CI enforces both directions.
+
+The mutants live here, not in ``core/``, so the reference engine stays
+byte-identical to what the experiments run; the explorer swaps the
+simulator class and nothing else.  Each registry entry carries a demo
+``(workload, policy)`` pair on which the bug is reachable within a few
+schedules, plus the MC rule its counterexample must cite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence, Type
+
+from repro.analysis.relations import Safety
+from repro.modelcheck.controlled import ControlledSimulator
+from repro.rtdb.transaction import Transaction
+
+
+class InvertedWoundSimulator(ControlledSimulator):
+    """Bug: eager High Priority resolution wounds *higher*-priority
+    partially executed transactions instead of lower — the comparison
+    in the dispatch-time resolution is flipped."""
+
+    def _resolve_conflicts_at_dispatch(self, tx: Transaction) -> None:
+        tx_key = self._priority_key(tx)
+        victims = [
+            other
+            for other in self._plist.values()
+            if other.tid != tx.tid
+            and self.oracle.safety(other, tx) is Safety.UNSAFE
+            and self._priority_key(other) > tx_key  # bug: > instead of <
+        ]
+        for victim in victims:
+            cost = self.recovery.rollback_time(victim)
+            self._abort(victim, wounded_by=tx, cause="dispatch")
+            tx.pending_rollback_work += cost
+
+
+class ConflictBlindIOWaitSimulator(ControlledSimulator):
+    """Bug: ``IOwait-schedule`` skips the compatibility test and runs
+    the highest-priority ready transaction even when it conflicts with a
+    partially executed one."""
+
+    def _choose_secondary(
+        self, runnable: Sequence[Transaction]
+    ) -> Optional[Transaction]:
+        from repro.core.scheduler import tie_group
+
+        return self._pick_tx(
+            "secondary",
+            tie_group(runnable, self._selection_key, self._policy_priority),
+        )
+
+
+class WaitInsteadOfWoundSimulator(ControlledSimulator):
+    """Bug: conflicts are never resolved by wounding — the requester
+    always waits, so a pre-analysis schedule can reach a lock wait
+    (violating Theorem 1)."""
+
+    def _resolve_conflicts_at_dispatch(self, tx: Transaction) -> None:
+        pass
+
+    def _should_wound(self, tx: Transaction, holder: Transaction) -> bool:
+        return False
+
+
+class NoDeadlockBreakSimulator(ControlledSimulator):
+    """Bug: Wait-Promote never breaks a wait-for cycle at creation —
+    the one wound EDF-WP is allowed to make is dropped, so a reachable
+    deadlock stands."""
+
+    def _should_wound(self, tx: Transaction, holder: Transaction) -> bool:
+        if self.policy.wait_promote:
+            return False
+        return super()._should_wound(tx, holder)
+
+
+class DropWakeSimulator(ControlledSimulator):
+    """Bug: a transaction dequeued by a lock release is never moved back
+    to READY — the wake-up is lost and it stays LOCK_BLOCKED forever."""
+
+    def _wake_waiter(self, tx: Transaction) -> None:
+        pass
+
+
+@dataclasses.dataclass(frozen=True)
+class MutantSpec:
+    """One seeded bug: the class, what it breaks, where to show it."""
+
+    name: str
+    summary: str
+    simulator: Type[ControlledSimulator]
+    expect_rule: str
+    """The MC rule its minimal counterexample must cite."""
+    demo_workload: str
+    """Bundled workload name on which the bug is reachable quickly."""
+    demo_policy: str
+
+
+_MUTANTS: dict[str, MutantSpec] = {}
+
+
+def _register(spec: MutantSpec) -> MutantSpec:
+    _MUTANTS[spec.name] = spec
+    return spec
+
+
+INVERTED_WOUND = _register(
+    MutantSpec(
+        name="inverted-wound",
+        summary="dispatch-time resolution wounds higher-priority victims",
+        simulator=InvertedWoundSimulator,
+        expect_rule="MC006",
+        demo_workload="handoff-disk",
+        demo_policy="EDF-HP",
+    )
+)
+
+CONFLICT_BLIND = _register(
+    MutantSpec(
+        name="conflict-blind-iowait",
+        summary="IOwait-schedule runs conflicting secondaries",
+        simulator=ConflictBlindIOWaitSimulator,
+        expect_rule="MC006",
+        demo_workload="iowait-pair",
+        demo_policy="CCA",
+    )
+)
+
+WAIT_INSTEAD_OF_WOUND = _register(
+    MutantSpec(
+        name="wait-instead-of-wound",
+        summary="conflicts wait instead of wounding (breaks Theorem 1)",
+        simulator=WaitInsteadOfWoundSimulator,
+        expect_rule="MC001",
+        demo_workload="contended-pair",
+        demo_policy="CCA",
+    )
+)
+
+NO_DEADLOCK_BREAK = _register(
+    MutantSpec(
+        name="no-deadlock-break",
+        summary="Wait-Promote never breaks wait-for cycles",
+        simulator=NoDeadlockBreakSimulator,
+        expect_rule="MC004",
+        demo_workload="io-cross",
+        demo_policy="EDF-WP",
+    )
+)
+
+DROP_WAKE = _register(
+    MutantSpec(
+        name="drop-wake",
+        summary="lock-release wake-ups are dropped, stranding waiters",
+        simulator=DropWakeSimulator,
+        expect_rule="MC003",
+        demo_workload="handoff-disk",
+        demo_policy="EDF-HP",
+    )
+)
+
+
+def all_mutants() -> tuple[MutantSpec, ...]:
+    """Every registered mutant, in registration order."""
+    return tuple(_MUTANTS.values())
+
+
+def get_mutant(name: str) -> MutantSpec:
+    try:
+        return _MUTANTS[name]
+    except KeyError:
+        known = ", ".join(sorted(_MUTANTS))
+        raise KeyError(f"unknown mutant {name!r} (known: {known})") from None

@@ -1,0 +1,188 @@
+"""Bundled micro-workloads the model checker ships with.
+
+Each case is a hand-built two/three-transaction scenario small enough to
+explore exhaustively yet engineered to reach one interesting region of
+the schedule space: dispatch-time wounds, lock handoffs over IO,
+crossing lock orders (the deadlock-break path), ``IOwait-schedule``
+idling, and pure priority ties (the partial-order-reduction showcase).
+The seeded mutants' demo pairs reference these by name, and CI model
+checks every case under every policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.config import SimulationConfig
+from repro.rtdb.transaction import Operation, TransactionSpec
+
+#: Policies the checker quantifies over by default: one per paper family
+#: (High Priority, Wait-Promote, plain wait, least-slack, baseline FCFS,
+#: and the cost-conscious algorithm itself).
+ALL_MC_POLICIES: tuple[str, ...] = (
+    "EDF-HP",
+    "EDF-WP",
+    "EDF-Wait",
+    "LSF-HP",
+    "FCFS",
+    "CCA",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadCase:
+    """One bundled scenario: a config plus a literal transaction list."""
+
+    name: str
+    summary: str
+    config: SimulationConfig
+    specs: tuple[TransactionSpec, ...]
+
+
+_MM = SimulationConfig(db_size=8, n_transactions=2, abort_cost=4.0)
+_DISK = SimulationConfig(
+    db_size=8, n_transactions=2, abort_cost=5.0, disk_resident=True
+)
+
+
+def _spec(
+    tid: int,
+    arrival: float,
+    deadline: float,
+    ops: Sequence[Operation],
+) -> TransactionSpec:
+    return TransactionSpec(
+        tid=tid,
+        type_id=tid % 50,
+        arrival_time=arrival,
+        deadline=deadline,
+        operations=tuple(ops),
+    )
+
+
+_CASES: dict[str, WorkloadCase] = {}
+
+
+def _register(case: WorkloadCase) -> WorkloadCase:
+    _CASES[case.name] = case
+    return case
+
+
+CONTENDED_PAIR = _register(
+    WorkloadCase(
+        name="contended-pair",
+        summary="a tighter-deadline transaction arrives mid-flight and "
+        "must wound (never wait on) the partially executed one",
+        config=_MM,
+        specs=(
+            _spec(1, 0.0, 100.0, [Operation(0, 4.0), Operation(1, 4.0)]),
+            _spec(2, 2.0, 40.0, [Operation(0, 4.0), Operation(1, 4.0)]),
+        ),
+    )
+)
+
+HANDOFF_DISK = _register(
+    WorkloadCase(
+        name="handoff-disk",
+        summary="simultaneous arrivals; the lower-priority transaction "
+        "runs into a lock held by the IO-waiting primary and the "
+        "lock must hand off cleanly at commit",
+        config=_DISK,
+        specs=(
+            _spec(
+                1,
+                0.0,
+                50.0,
+                [Operation(0, 2.0, io_time=25.0), Operation(1, 2.0)],
+            ),
+            _spec(2, 0.0, 80.0, [Operation(0, 4.0)]),
+        ),
+    )
+)
+
+IO_CROSS = _register(
+    WorkloadCase(
+        name="io-cross",
+        summary="two transactions lock items in opposite order across "
+        "IO legs — the schedule that reaches a wait-for cycle "
+        "unless the scheduler breaks it at creation",
+        config=_DISK,
+        specs=(
+            _spec(
+                1,
+                0.0,
+                60.0,
+                [Operation(0, 2.0, io_time=25.0), Operation(1, 2.0)],
+            ),
+            _spec(
+                2,
+                0.0,
+                70.0,
+                [Operation(1, 2.0, io_time=25.0), Operation(0, 2.0)],
+            ),
+        ),
+    )
+)
+
+IOWAIT_PAIR = _register(
+    WorkloadCase(
+        name="iowait-pair",
+        summary="the primary IO-waits while a conflicting ready "
+        "transaction tempts IOwait-schedule — the CPU must idle "
+        "rather than run it",
+        config=_DISK,
+        specs=(
+            _spec(
+                1,
+                0.0,
+                60.0,
+                [Operation(0, 2.0, io_time=25.0), Operation(1, 2.0)],
+            ),
+            _spec(2, 1.0, 90.0, [Operation(1, 4.0)]),
+        ),
+    )
+)
+
+TIE_TWINS = _register(
+    WorkloadCase(
+        name="tie-twins",
+        summary="identical deadlines, disjoint items: every tie-break "
+        "order commutes, which partial-order reduction should "
+        "prove without exploring them",
+        config=_MM,
+        specs=(
+            _spec(1, 0.0, 50.0, [Operation(0, 4.0)]),
+            _spec(2, 0.0, 50.0, [Operation(1, 4.0)]),
+        ),
+    )
+)
+
+TIE_CONFLICT = _register(
+    WorkloadCase(
+        name="tie-conflict",
+        summary="identical deadlines, overlapping items: genuinely "
+        "different outcomes per tie-break, all of which must stay "
+        "serializable and wound one-directionally",
+        config=_MM,
+        specs=(
+            _spec(1, 0.0, 50.0, [Operation(0, 4.0), Operation(1, 4.0)]),
+            _spec(2, 0.0, 50.0, [Operation(1, 4.0), Operation(2, 4.0)]),
+        ),
+    )
+)
+
+
+def all_cases() -> tuple[WorkloadCase, ...]:
+    """Every bundled case, in registration order."""
+    return tuple(_CASES.values())
+
+
+def get_case(name: str) -> WorkloadCase:
+    try:
+        return _CASES[name]
+    except KeyError:
+        known = ", ".join(sorted(_CASES))
+        raise KeyError(
+            f"unknown bundled workload {name!r} (known: {known})"
+        ) from None

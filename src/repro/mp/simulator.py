@@ -275,7 +275,7 @@ class MultiprocessorSimulator:
         """The up-to-``n_cpus`` transactions that should be running."""
         runnable = [
             tx
-            for tx in self.live.values()
+            for tx in self.live.values()  # repro: allow[DET008] -- order-insensitive: sorted by the full selection key two lines down
             if tx.state in (TxState.READY, TxState.RUNNING)
         ]
         if not runnable:
@@ -288,7 +288,7 @@ class MultiprocessorSimulator:
         for tx in ordered[1:]:
             if len(chosen) >= self.n_cpus:
                 break
-            others = [t for t in self._plist.values() if t.tid != tx.tid]
+            others = [t for t in self._plist.values() if t.tid != tx.tid]  # repro: allow[DET008] -- order-insensitive: the P-list is only probed for compatibility
             others.extend(t for t in chosen if t.tid != tx.tid)
             if is_compatible(tx, others, self.oracle):
                 chosen.append(tx)
@@ -314,7 +314,7 @@ class MultiprocessorSimulator:
         tx_key = self._priority_key(tx)
         victims = [
             other
-            for other in self._plist.values()
+            for other in self._plist.values()  # repro: allow[DET008] -- same-instant wounds; P-list order is admission order, stable in (config, seed, policy)
             if other.tid != tx.tid
             and self.oracle.safety(other, tx) is Safety.UNSAFE
             and self._priority_key(other) < tx_key

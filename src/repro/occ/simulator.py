@@ -224,7 +224,7 @@ class OCCSimulator:
     def _dispatch_once(self) -> None:
         runnable = [
             tx
-            for tx in self.live.values()
+            for tx in self.live.values()  # repro: allow[DET008] -- order-insensitive: choose_primary reduces by the total selection key (priority, tid)
             if tx.state in (TxState.READY, TxState.RUNNING)
         ]
         desired = choose_primary(runnable, self._selection_key)

@@ -50,6 +50,12 @@ OrderKey = Callable[[Transaction], object]
 """Priority order for the queue: the request whose transaction maximizes
 the key is served next.  None selects FCFS."""
 
+TieChooser = Callable[[list[DiskRequest]], DiskRequest]
+"""Resolution hook for queue ties (same enqueue instant under FCFS, same
+``tie_key`` under priority service): receives the tied requests with the
+default pick first and returns the one to serve.  The model checker
+registers one to branch over IO service orderings."""
+
 
 class Disk:
     """Single disk, FCFS or priority service, non-preemptible accesses."""
@@ -59,10 +65,14 @@ class Disk:
         sim: Simulator,
         on_complete: CompletionCallback,
         order_key: Optional[OrderKey] = None,
+        tie_key: Optional[OrderKey] = None,
+        tie_chooser: Optional[TieChooser] = None,
     ) -> None:
         self._sim = sim
         self._on_complete = on_complete
         self._order_key = order_key
+        self._tie_key = tie_key
+        self._tie_chooser = tie_chooser
         self._queue: deque[DiskRequest] = deque()
         self._active: Optional[DiskRequest] = None
         self.busy_time = 0.0
@@ -104,7 +114,11 @@ class Disk:
     def _start_next(self) -> None:
         if not self._queue:
             return
-        if self._order_key is None:
+        if self._tie_chooser is not None:
+            ties = self._tied_requests()
+            request = ties[0] if len(ties) == 1 else self._tie_chooser(ties)
+            self._queue.remove(request)
+        elif self._order_key is None:
             request = self._queue.popleft()
         else:
             # Priority service: re-evaluate the key at selection time so
@@ -119,6 +133,27 @@ class Disk:
             kind="disk_complete",
             payload=request,
         )
+
+    def _tied_requests(self) -> list[DiskRequest]:
+        """The requests the service discipline cannot order on its own.
+
+        FCFS: every request enqueued at the head's enqueue instant, in
+        queue order.  Priority: every request tied on ``tie_key`` (the
+        *policy* priority, before any deterministic tid tie-break),
+        ordered by the full ``order_key`` descending.  Either way the
+        first element is the default pick, so a chooser that returns
+        ``ties[0]`` reproduces the unhooked schedule bit for bit.
+        """
+        if self._order_key is None:
+            head_time = self._queue[0].enqueue_time
+            return [req for req in self._queue if req.enqueue_time == head_time]
+        order = self._order_key
+        ranked = sorted(
+            self._queue, key=lambda req: order(req.tx), reverse=True
+        )
+        tie = self._tie_key if self._tie_key is not None else order
+        top = tie(ranked[0].tx)
+        return [req for req in ranked if tie(req.tx) == top]
 
     def _finish(self, event) -> None:
         request: DiskRequest = event.payload

@@ -79,6 +79,42 @@ class EventCalendar:
             return self._heap[0].time
         return None
 
+    def take_ties(self) -> list["Event"]:
+        """Remove and return *every* live event at the earliest time.
+
+        The result is ordered by sequence number, so ``take_ties()[0]``
+        is exactly what :meth:`pop` would have returned — callers that
+        fire one and :meth:`reinsert` the rest reproduce the default
+        schedule bit for bit.  Returns ``[]`` when the calendar is
+        empty.  This is the model checker's simultaneous-event seam:
+        the engine's fixed (insertion-order) resolution of same-time
+        events is one admissible ordering among several.
+        """
+        first = self.pop()
+        if first is None:
+            return []
+        ties = [first]
+        while self._heap:
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            if not self._heap or self._heap[0].time != first.time:
+                break
+            ties.append(self.pop())
+        return ties
+
+    def reinsert(self, event: Event) -> None:
+        """Put back an event taken by :meth:`take_ties`, keeping its
+        original sequence number — later same-time ties must still see
+        the insertion order the event was created with."""
+        if event.cancelled:
+            raise ValueError("cannot reinsert a cancelled event")
+        if event._sequence is None:
+            raise ValueError("reinsert is only for events that were pushed")
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        if not event.daemon:
+            self._live_required += 1
+
     def cancel(self, event: Event) -> None:
         """Cancel ``event`` (no-op if already cancelled)."""
         if not event.cancelled:

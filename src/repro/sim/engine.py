@@ -123,6 +123,14 @@ class Simulator:
         with the event that fired.  The RTSan sanitizer registers here
         to validate global state once per event; ``None`` (the default)
         costs one pointer check per event."""
+        self.tie_breaker: Optional[Callable[[list[Event]], Event]] = None
+        """Simultaneous-event resolution hook: when set and several live
+        events share the earliest time, it receives them in insertion
+        order and returns the one to fire first (the rest are put back
+        unchanged).  Returning ``ties[0]`` reproduces the default
+        insertion-order schedule exactly.  The model checker registers
+        here to branch over same-time orderings; ``None`` (the default)
+        keeps the fixed resolution with zero overhead."""
 
     @property
     def events_processed(self) -> int:
@@ -171,7 +179,16 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire the earliest event.  Returns ``False`` when none remain."""
-        event = self.calendar.pop()
+        if self.tie_breaker is not None:
+            ties = self.calendar.take_ties()
+            if not ties:
+                return False
+            event = ties[0] if len(ties) == 1 else self.tie_breaker(ties)
+            for other in ties:
+                if other is not event:
+                    self.calendar.reinsert(other)
+        else:
+            event = self.calendar.pop()
         if event is None:
             return False
         if event.time < self.now:

@@ -73,6 +73,16 @@ def hash_priority_key(tx):
     return hash(tx.program_name)
 
 
+def choose_victim(live, lock_table, plist):
+    # DET008: plain-dict table order becomes the dispatch/wound order.
+    candidates = [tx for tx in live.values()]
+    for item, waiters in lock_table.items():
+        candidates.extend(waiters)
+    ordered_tids = list(plist.keys())
+    safe = sorted(live.values())  # blessed: sorted() absorbs the order
+    return candidates, ordered_tids, safe
+
+
 def sanctioned_wall_clock():
     # The suppression syntax silences a finding without hiding it.
     return time.perf_counter()  # repro: allow[DET001] -- fixture: suppression demo

@@ -32,10 +32,10 @@ def codes_of(source: str) -> set[str]:
 # ---------------------------------------------------------------------------
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         assert ALL_CODES == [
             "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
-            "DET007",
+            "DET007", "DET008",
         ]
 
     def test_rules_carry_scope_and_rationale(self):
@@ -288,6 +288,77 @@ class TestHashOrdering:
             "order = sorted(txs, key=hash)\n"
         )
         assert codes_of(src) == set()
+
+
+# ---------------------------------------------------------------------------
+# DET008 — dict-table iteration in scheduling decisions
+# ---------------------------------------------------------------------------
+
+class TestDictTableIteration:
+    def test_values_in_choose_function(self):
+        src = (
+            "def _choose(self):\n"
+            "    return [tx for tx in self.live.values()]\n"
+        )
+        assert codes_of(src) == {"DET008"}
+
+    def test_items_over_lock_table_in_dispatch(self):
+        src = (
+            "def dispatch_next(lock_table):\n"
+            "    for item, waiters in lock_table.items():\n"
+            "        pass\n"
+        )
+        assert codes_of(src) == {"DET008"}
+
+    def test_keys_over_plist_in_resolve(self):
+        src = (
+            "def _resolve_conflicts(self):\n"
+            "    tids = list(self._plist.keys())\n"
+            "    return tids\n"
+        )
+        assert codes_of(src) == {"DET008"}
+
+    def test_sorted_view_is_blessed(self):
+        src = (
+            "def _choose(self):\n"
+            "    return sorted(self.live.values(), key=key)\n"
+        )
+        assert codes_of(src) == set()
+
+    def test_order_insensitive_reducers_are_blessed(self):
+        src = (
+            "def _choose(self):\n"
+            "    lo = min(self.live.values(), key=key, default=None)\n"
+            "    busy = any(self.lock_table.values())\n"
+            "    return lo, busy\n"
+        )
+        assert codes_of(src) == set()
+
+    def test_non_decision_function_is_clean(self):
+        src = (
+            "def snapshot_metrics(self):\n"
+            "    return list(self.live.values())\n"
+        )
+        assert codes_of(src) == set()
+
+    def test_non_table_receiver_is_clean(self):
+        src = (
+            "def choose_color(self):\n"
+            "    return [c for c in self.palette.values()]\n"
+        )
+        assert codes_of(src) == set()
+
+    def test_module_level_iteration_is_clean(self):
+        # No enclosing function means no scheduling decision.
+        src = "order = list(lock_table.values())\n"
+        assert codes_of(src) == set()
+
+    def test_table_view_passed_to_helper_fires(self):
+        src = (
+            "def _choose(self):\n"
+            "    return choose_primary(self.live.values(), key)\n"
+        )
+        assert codes_of(src) == {"DET008"}
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,130 @@
+"""``repro mc`` / ``repro replay`` CLI contract: exits, formats, dispatch."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.modelcheck.cli import mc_main
+
+
+def run_mc(args, capsys):
+    code = mc_main(args)
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestExitContract:
+    def test_clean_workload_exits_zero(self, capsys):
+        code, out = run_mc(["tie-twins", "--policy", "EDF-HP"], capsys)
+        assert code == 0
+        assert "clean" in out
+
+    def test_mutant_exits_one_and_writes_bundle(self, tmp_path, capsys):
+        code, out = run_mc(
+            [
+                "--mutate",
+                "wait-instead-of-wound",
+                "--bundle-dir",
+                str(tmp_path),
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "MC001" in out
+        bundles = list(tmp_path.glob("*/bundle.json"))
+        assert len(bundles) == 1
+
+    def test_missing_target_exits_two(self, capsys):
+        assert mc_main([]) == 2
+
+    def test_unknown_target_exits_two(self, capsys):
+        assert mc_main(["no-such-workload"]) == 2
+
+    def test_unknown_mutant_exits_two(self, capsys):
+        assert mc_main(["--mutate", "no-such-mutant"]) == 2
+
+    def test_bad_depth_exits_two(self, capsys):
+        assert mc_main(["tie-twins", "--depth", "0"]) == 2
+
+
+class TestCatalogs:
+    def test_list_rules(self, capsys):
+        code, out = run_mc(["--list-rules"], capsys)
+        assert code == 0
+        for rule in ("MC001", "MC002", "MC003", "MC004", "MC005", "MC006"):
+            assert rule in out
+
+    def test_list_workloads(self, capsys):
+        code, out = run_mc(["--list-workloads"], capsys)
+        assert code == 0
+        assert "tie-twins" in out and "io-cross" in out
+
+
+class TestFormats:
+    def test_json_report_shape(self, capsys):
+        code, out = run_mc(
+            ["tie-twins", "--policy", "EDF-HP", "--format", "json"], capsys
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["kind"] == "repro-mc-report"
+        assert doc["clean"] is True
+        assert doc["explorations"][0]["workload"] == "tie-twins"
+
+    def test_measure_por_reports_factor(self, capsys):
+        code, out = run_mc(
+            ["tie-twins", "--policy", "EDF-HP", "--measure-por"], capsys
+        )
+        assert code == 0
+        assert "reduction" in out
+
+
+class TestReplayDispatch:
+    @pytest.fixture
+    def bundle(self, tmp_path, capsys):
+        code = mc_main(
+            ["--mutate", "drop-wake", "--bundle-dir", str(tmp_path)]
+        )
+        capsys.readouterr()
+        assert code == 1
+        (path,) = [p.parent for p in tmp_path.glob("*/bundle.json")]
+        return path
+
+    def test_replay_reproduces_mc_bundle(self, bundle, capsys):
+        code = repro_main(["replay", str(bundle)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "REPRODUCED" in out
+        assert "MC003" in out
+
+    def test_replay_json_format(self, bundle, capsys):
+        code = repro_main(["replay", str(bundle), "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["matched"] is True
+        assert doc["mutant"] == "drop-wake"
+
+    def test_replay_rejects_garbage_bundle(self, tmp_path, capsys):
+        (tmp_path / "bundle.json").write_text("{}")
+        code = repro_main(["replay", str(tmp_path)])
+        assert code == 2
+
+    def test_mc_subcommand_is_wired_into_main(self, capsys):
+        assert repro_main(["mc", "--list-rules"]) == 0
+        assert "MC001" in capsys.readouterr().out
+
+    def test_bundle_trace_certifies_with_recorded_violation(self, bundle):
+        # The bundle's trace.jsonl + workload.jsonl are directly
+        # consumable by the offline certifier (the ISSUE's contract);
+        # a violating schedule must come back not-certified.
+        from repro.certify.certifier import certify_events
+        from repro.tracing import EventLog
+        from repro.workload.serialization import load_workload
+
+        events = EventLog.from_jsonl(bundle / "trace.jsonl").events
+        specs = load_workload(bundle / "workload.jsonl")
+        result = certify_events(events, specs, "EDF-HP")
+        assert not result.certified

@@ -1,0 +1,115 @@
+"""Exploration mechanics: exhaustiveness, POR, bounds, minimization.
+
+The bundled workloads are the ground truth here: each was built to pin
+one schedule-space shape (no ties, simultaneous arrivals, commuting
+ties, conflicting ties), so the expected schedule counts below are not
+incidental — a change to them means the branching model changed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.modelcheck.explorer import explore, run_schedule
+from repro.modelcheck.workloads import ALL_MC_POLICIES, all_cases, get_case
+
+
+def explore_case(name, policy, **kwargs):
+    case = get_case(name)
+    return explore(
+        case.config, case.specs, policy, workload_name=name, **kwargs
+    )
+
+
+class TestCleanExploration:
+    @pytest.mark.parametrize("case", [c.name for c in all_cases()])
+    @pytest.mark.parametrize("policy", ALL_MC_POLICIES)
+    def test_every_bundled_workload_is_clean_under_every_policy(
+        self, case, policy
+    ):
+        result = explore_case(case, policy)
+        assert result.clean, result.counterexample
+        assert not result.truncated  # the verdict is total, not bounded
+        assert result.schedules >= 1
+
+    def test_conflicting_ties_branch(self):
+        # Two equal-deadline transactions sharing an item: each tie
+        # resolution is a genuinely different schedule.
+        result = explore_case("tie-conflict", "EDF-HP")
+        assert result.schedules == 4
+        assert result.choice_points == 2
+
+    def test_simultaneous_arrivals_branch(self):
+        result = explore_case("handoff-disk", "FCFS")
+        assert result.schedules == 3
+
+    def test_no_ties_means_one_schedule(self):
+        # Distinct deadlines and arrivals: the deterministic engine's
+        # schedule is the whole reachable space.
+        result = explore_case("contended-pair", "EDF-HP")
+        assert result.schedules == 1
+        assert result.choice_points == 0
+
+
+class TestPartialOrderReduction:
+    def test_commuting_ties_are_pruned(self):
+        # tie-twins touches disjoint items, so every tie-break order
+        # commutes and POR collapses the space to the default schedule.
+        reduced = explore_case("tie-twins", "EDF-HP")
+        naive = explore_case("tie-twins", "EDF-HP", por=False)
+        assert reduced.schedules == 1
+        assert reduced.por_skipped == 2
+        assert naive.schedules == 4
+        assert naive.por_skipped == 0
+        assert naive.events_total / reduced.events_total >= 2.0
+
+    def test_por_never_prunes_conflicting_ties(self):
+        reduced = explore_case("tie-conflict", "EDF-HP")
+        naive = explore_case("tie-conflict", "EDF-HP", por=False)
+        assert reduced.schedules == naive.schedules == 4
+
+    def test_por_preserves_verdicts_everywhere(self):
+        for case in all_cases():
+            for policy in ALL_MC_POLICIES:
+                reduced = explore_case(case.name, policy)
+                naive = explore_case(case.name, policy, por=False)
+                assert reduced.clean == naive.clean
+                assert reduced.schedules <= naive.schedules
+
+
+class TestBounds:
+    def test_max_schedules_truncates(self):
+        result = explore_case("tie-conflict", "EDF-HP", max_schedules=2)
+        assert result.truncated
+        assert result.schedules == 2
+        assert result.clean  # bounded verdict, still no violation
+
+    def test_depth_zero_checks_only_the_default_schedule(self):
+        result = explore_case("tie-conflict", "EDF-HP", depth=1)
+        assert result.schedules < 4
+        assert result.truncated
+
+
+class TestRunSchedule:
+    def test_empty_prefix_is_the_deterministic_schedule(self):
+        case = get_case("tie-conflict")
+        run = run_schedule(case.config, case.specs, "EDF-HP")
+        assert run.violation is None
+        assert run.choices == tuple(r.chosen for r in run.trail)
+        assert all(c == 0 for c in run.choices)
+        assert run.n_committed == len(case.specs)
+
+    def test_alternative_prefix_changes_the_trace(self):
+        case = get_case("tie-conflict")
+        default = run_schedule(case.config, case.specs, "EDF-HP")
+        flipped = run_schedule(case.config, case.specs, "EDF-HP", (1,))
+        assert flipped.violation is None
+        assert flipped.choices[0] == 1
+        assert flipped.events != default.events
+
+    def test_same_prefix_replays_bit_for_bit(self):
+        case = get_case("handoff-disk")
+        first = run_schedule(case.config, case.specs, "FCFS", (1,))
+        second = run_schedule(case.config, case.specs, "FCFS", (1,))
+        assert first.events == second.events
+        assert first.choices == second.choices

@@ -35,8 +35,19 @@ class TestReadme:
 
         for match in re.findall(r"python -m repro (\S+)(?: (\S+))?", readme):
             first, second = match
-            if first in ("all", "validate", "lint"):
+            if first in ("all", "validate", "lint", "replay"):
                 continue  # subcommands/batch ids, not experiment ids
+            if first == "mc":
+                # `repro mc <bundled-workload|all|experiment>` or flags
+                from repro.modelcheck.workloads import all_cases
+
+                bundled = {case.name for case in all_cases()} | {"all"}
+                assert (
+                    second in bundled
+                    or second in ALL_RUNNABLE
+                    or second.startswith("-")
+                ), f"README mcs unknown target {second}"
+                continue
             if first in ("trace", "certify", "profile", "analyze"):
                 # `repro trace|certify|profile|analyze <experiment> ...`
                 # (certify/analyze also accept flag-only forms like
